@@ -1,0 +1,122 @@
+// Ablation A3 — PPO vs A2C (no trust region).
+//
+// The paper argues (Section IV-C) that PPO's bounded policy deviation
+// makes training stable and sample-efficient. We train both updaters on
+// identical environments/seeds and compare training curves and the final
+// online policy quality.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "rl/a2c.hpp"
+
+namespace {
+
+using namespace fedra;
+
+// A2C training loop mirroring OfflineTrainer (Algorithm 1 with the PPO
+// update swapped out).
+std::vector<double> train_a2c_costs(const ExperimentConfig& cfg,
+                                    std::size_t episodes, FlEnvConfig env_cfg,
+                                    A2cAgent& agent, std::uint64_t seed) {
+  FlEnv env(build_simulator(cfg), env_cfg);
+  Rng rng(seed);
+  RolloutBuffer buffer(512);
+  std::vector<double> costs;
+  for (std::size_t e = 0; e < episodes; ++e) {
+    auto state = env.reset(rng);
+    double cost_acc = 0.0;
+    std::size_t steps = 0;
+    bool done = false;
+    while (!done) {
+      auto sample = agent.act(state, rng);
+      const double value = agent.value(state);
+      auto step = env.step(sample.action);
+      Transition t;
+      t.state = state;
+      t.next_state = step.state;
+      t.action_u = sample.action_u;
+      t.log_prob = sample.log_prob;
+      t.reward = step.reward;
+      t.value = value;
+      t.next_value = agent.value(step.state);
+      t.episode_end = step.done;
+      buffer.push(std::move(t));
+      if (buffer.full()) {
+        agent.update(buffer, rng);
+        buffer.clear();
+      }
+      cost_acc += step.info.cost;
+      ++steps;
+      state = std::move(step.state);
+      done = step.done;
+    }
+    costs.push_back(cost_acc / static_cast<double>(steps));
+  }
+  return costs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A3: PPO vs A2C on the testbed scenario\n");
+
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 2000;
+  const std::size_t episodes = 1500;
+
+  // PPO via the standard trainer.
+  auto ppo = bench::train_agent(cfg, episodes, /*seed=*/7);
+
+  // A2C with identical network sizes and common hyper-parameters.
+  FlEnvConfig env_cfg = bench::env_config_for(cfg);
+  TrainerConfig tcfg = recommended_trainer_config(episodes);
+  FlEnv probe_env(build_simulator(cfg), env_cfg);
+  A2cAgent a2c(probe_env.state_dim(), probe_env.action_dim(), tcfg.policy,
+               tcfg.ppo, /*seed=*/7);
+  auto a2c_costs = train_a2c_costs(cfg, episodes, env_cfg, a2c, 7);
+
+  std::printf("\n== training curves (20-episode means) ==\n");
+  std::printf("%-9s %12s %12s\n", "episode", "ppo cost", "a2c cost");
+  for (std::size_t e = 0; e + 20 <= episodes; e += 100) {
+    double p = 0.0, a = 0.0;
+    for (std::size_t i = e; i < e + 20; ++i) {
+      p += ppo.history[i].avg_cost;
+      a += a2c_costs[i];
+    }
+    std::printf("%-9zu %12.4f %12.4f\n", e, p / 20.0, a / 20.0);
+  }
+
+  // Online evaluation on identical conditions.
+  auto sim = build_simulator(cfg);
+  DrlController ppo_ctrl(ppo.trainer->agent(), env_cfg, ppo.bandwidth_ref);
+  auto s_ppo = run_controller(sim, ppo_ctrl, 300);
+
+  class A2cController final : public Controller {
+   public:
+    A2cController(A2cAgent& agent, FlEnvConfig cfg, double bw_ref)
+        : agent_(agent), cfg_(cfg), bw_ref_(bw_ref) {}
+    std::vector<double> decide(const FlSimulator& sim_ref) override {
+      auto state =
+          bandwidth_history_state(sim_ref, sim_ref.now(), cfg_, bw_ref_);
+      auto fractions = agent_.mean_action(state);
+      std::vector<double> freqs(fractions.size());
+      for (std::size_t i = 0; i < fractions.size(); ++i) {
+        freqs[i] = fractions[i] * sim_ref.devices()[i].max_freq_hz;
+      }
+      return freqs;
+    }
+    std::string name() const override { return "a2c"; }
+
+   private:
+    A2cAgent& agent_;
+    FlEnvConfig cfg_;
+    double bw_ref_;
+  };
+  A2cController a2c_ctrl(a2c, env_cfg, ppo.bandwidth_ref);
+  auto s_a2c = run_controller(sim, a2c_ctrl, 300);
+
+  std::printf("\n== online policy quality (300 iterations) ==\n");
+  std::printf("ppo  avg cost = %.4f\n", s_ppo.avg_cost());
+  std::printf("a2c  avg cost = %.4f\n", s_a2c.avg_cost());
+  return 0;
+}

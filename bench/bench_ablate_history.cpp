@@ -1,0 +1,38 @@
+// Ablation A1 — how much bandwidth history does the state need?
+//
+// The paper sets the state to "several past bandwidth slots" (Section
+// IV-B1) without ablating H. We sweep H in {0, 2, 4, 8, 16}: H = 0 means
+// the agent only sees the current slot average; larger H lets it infer
+// the regime and its trend.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fedra;
+  std::printf("Ablation A1: state history depth H (N=3, 200 eval iters)\n");
+  std::printf("%-6s %12s %12s %12s\n", "H", "avg cost", "avg time",
+              "avg Ecmp");
+
+  for (std::size_t history : {0u, 2u, 4u, 8u, 16u}) {
+    ExperimentConfig cfg = testbed_config();
+    cfg.trace_samples = 2000;
+    cfg.history_slots = history;
+    auto agent = bench::train_agent(cfg, 1200, /*seed=*/7);
+    auto roster = bench::evaluate_roster(agent, 200);
+    const auto& drl = roster[0];
+    std::printf("%-6zu %12.4f %12.4f %12.4f\n", history, drl.avg_cost(),
+                drl.avg_time(), drl.avg_compute_energy());
+  }
+
+  std::printf("\n(baselines for reference, H-independent)\n");
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 2000;
+  auto agent = bench::train_agent(cfg, 1, /*seed=*/7);  // untrained stub
+  auto roster = bench::evaluate_roster(agent, 200);
+  for (std::size_t i = 1; i < roster.size(); ++i) {
+    std::printf("%-10s avg cost = %.4f\n", roster[i].policy.c_str(),
+                roster[i].avg_cost());
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Ablation A2 — the time/energy preference lambda (Eq. 9).
+//
+// The paper motivates lambda as the knob trading learning time against
+// energy. We sweep it and print the realized (time, energy) frontier per
+// policy: larger lambda must push every sane policy toward lower energy
+// and longer time.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fedra;
+  std::printf("Ablation A2: lambda sweep (N=3, 300 eval iterations)\n");
+  std::printf("%-8s %-10s %12s %12s %12s %12s\n", "lambda", "policy", "cost",
+              "time", "Ecmp", "Etot");
+
+  for (double lambda : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0}) {
+    ExperimentConfig cfg = testbed_config();
+    cfg.trace_samples = 2000;
+    cfg.cost.lambda = lambda;
+    auto agent = bench::train_agent(cfg, 1500, /*seed=*/7);
+    auto roster = bench::evaluate_roster(agent, 300);
+    for (const auto& s : roster) {
+      std::printf("%-8.2f %-10s %12.4f %12.4f %12.4f %12.4f\n", lambda,
+                  s.policy.c_str(), s.avg_cost(), s.avg_time(),
+                  s.avg_compute_energy(), s.avg_total_energy());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation A6 — on-policy PPO (the paper's choice) vs off-policy DDPG.
+//
+// The paper picks PPO for its stability/tuning profile (Section IV-C) but
+// cites the DPG line of work. This bench trains a DDPG agent on the same
+// environment with the same step budget and compares online quality.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "rl/ddpg.hpp"
+
+namespace {
+
+using namespace fedra;
+
+class DdpgController final : public Controller {
+ public:
+  DdpgController(DdpgAgent& agent, FlEnvConfig cfg, double bw_ref)
+      : agent_(agent), cfg_(cfg), bw_ref_(bw_ref) {}
+  std::vector<double> decide(const FlSimulator& sim) override {
+    auto state = bandwidth_history_state(sim, sim.now(), cfg_, bw_ref_);
+    auto fractions = agent_.act(state);
+    std::vector<double> freqs(fractions.size());
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      freqs[i] = fractions[i] * sim.devices()[i].max_freq_hz;
+    }
+    return freqs;
+  }
+  std::string name() const override { return "ddpg"; }
+
+ private:
+  DdpgAgent& agent_;
+  FlEnvConfig cfg_;
+  double bw_ref_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A6: PPO vs DDPG (identical environments, "
+              "same step budget)\n");
+
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 2000;
+  const std::size_t episodes = 1500;
+
+  auto ppo = bench::train_agent(cfg, episodes, /*seed=*/7);
+  const FlEnvConfig env_cfg = ppo.env_cfg;
+
+  // DDPG on the same env, same number of environment steps.
+  FlEnv env(build_simulator(cfg), env_cfg);
+  DdpgConfig dcfg;
+  DdpgAgent ddpg(env.state_dim(), env.action_dim(), dcfg, /*seed=*/7);
+  Rng rng(8);
+  std::size_t steps = 0;
+  const std::size_t step_budget = episodes * env_cfg.episode_length;
+  std::printf("training DDPG for %zu environment steps...\n", step_budget);
+  while (steps < step_budget) {
+    auto state = env.reset(rng);
+    bool done = false;
+    while (!done && steps < step_budget) {
+      auto action = ddpg.act_noisy(state, rng);
+      auto step = env.step(action);
+      OffPolicyTransition t;
+      t.state = state;
+      t.action = action;
+      t.reward = step.reward;
+      t.next_state = step.state;
+      ddpg.remember(std::move(t));
+      ddpg.update(rng);
+      state = std::move(step.state);
+      done = step.done;
+      ++steps;
+    }
+  }
+
+  auto sim = build_simulator(cfg);
+  DrlController ppo_ctrl(ppo.trainer->agent(), env_cfg, ppo.bandwidth_ref);
+  DdpgController ddpg_ctrl(ddpg, env_cfg, ppo.bandwidth_ref);
+  OracleController oracle;
+  auto s_ppo = run_controller(sim, ppo_ctrl, 300);
+  auto s_ddpg = run_controller(sim, ddpg_ctrl, 300);
+  auto s_oracle = run_controller(sim, oracle, 300);
+
+  std::printf("\n== online policy quality (300 iterations) ==\n");
+  std::printf("%-8s avg cost = %.4f | time %.4f | Ecmp %.4f\n", "ppo",
+              s_ppo.avg_cost(), s_ppo.avg_time(), s_ppo.avg_compute_energy());
+  std::printf("%-8s avg cost = %.4f | time %.4f | Ecmp %.4f\n", "ddpg",
+              s_ddpg.avg_cost(), s_ddpg.avg_time(),
+              s_ddpg.avg_compute_energy());
+  std::printf("%-8s avg cost = %.4f (bound)\n", "oracle",
+              s_oracle.avg_cost());
+  return 0;
+}

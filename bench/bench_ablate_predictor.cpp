@@ -1,0 +1,67 @@
+// Ablation A5 — bandwidth predictor quality vs. scheduling cost.
+//
+// Heuristic [3] (= last-value) and Static [4] are two points on a
+// predictor spectrum. This bench runs the full family (last value, EWMA
+// with several betas, sliding means, Holt level+trend) through the SAME
+// deadline solver on identical conditions, against the oracle bound —
+// quantifying exactly how much of the DRL agent's edge is "just" better
+// bandwidth prediction.
+#include <cstdio>
+#include <memory>
+
+#include "core/evaluation.hpp"
+#include "sched/baselines.hpp"
+#include "sched/predictive.hpp"
+#include "sim/experiment_config.hpp"
+
+int main() {
+  using namespace fedra;
+  std::printf("Ablation A5: predictor family vs scheduling cost "
+              "(N=3, 400 iterations)\n\n");
+
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 2000;
+  auto sim = build_simulator(cfg);
+  const std::size_t iters = 400;
+
+  std::printf("%-14s %12s %12s %12s\n", "policy", "avg cost", "avg time",
+              "avg Ecmp");
+
+  auto report = [&](Controller& c) {
+    auto s = run_controller(sim, c, iters);
+    std::printf("%-14s %12.4f %12.4f %12.4f\n", s.policy.c_str(),
+                s.avg_cost(), s.avg_time(), s.avg_compute_energy());
+  };
+
+  OracleController oracle;
+  report(oracle);
+  FullSpeedController full;
+  report(full);
+  {
+    Rng rng(1);
+    StaticController st(sim, 10, rng);
+    report(st);
+  }
+  {
+    PredictiveController c(sim, std::make_unique<LastValuePredictor>());
+    report(c);
+  }
+  for (double beta : {0.2, 0.4, 0.7}) {
+    PredictiveController c(sim, std::make_unique<EwmaPredictor>(beta));
+    auto s = run_controller(sim, c, iters);
+    std::printf("%-10s b%.1f %12.4f %12.4f %12.4f\n", "mpc-ewma", beta,
+                s.avg_cost(), s.avg_time(), s.avg_compute_energy());
+  }
+  for (std::size_t window : {3u, 8u}) {
+    PredictiveController c(sim,
+                           std::make_unique<SlidingMeanPredictor>(window));
+    auto s = run_controller(sim, c, iters);
+    std::printf("%-10s w%zu  %12.4f %12.4f %12.4f\n", "mpc-slide", window,
+                s.avg_cost(), s.avg_time(), s.avg_compute_energy());
+  }
+  {
+    PredictiveController c(sim, std::make_unique<HoltPredictor>());
+    report(c);
+  }
+  return 0;
+}

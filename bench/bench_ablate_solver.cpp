@@ -1,0 +1,66 @@
+// Ablation A4 — validates the deadline solver all model-based baselines
+// share: golden-section vs an exhaustive 20k-point grid over random
+// instances, plus solve throughput.
+#include <chrono>
+#include <cstdio>
+
+#include "sched/deadline_solver.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace fedra;
+  std::printf("Ablation A4: deadline solver optimality + throughput\n");
+
+  Rng rng(2024);
+  double worst_gap = 0.0;
+  const int instances = 200;
+  for (int inst = 0; inst < instances; ++inst) {
+    FleetModel fm;
+    const std::size_t n =
+        static_cast<std::size_t>(rng.uniform_int(1, 8));
+    auto devices = make_fleet(n, fm, rng);
+    std::vector<double> comm;
+    for (std::size_t i = 0; i < n; ++i) comm.push_back(rng.uniform(0.2, 12.0));
+    CostParams params;
+    params.lambda = rng.uniform(0.02, 2.0);
+
+    auto sol = solve_deadline(devices, comm, params, 0.01, 1e-6);
+
+    const double lo = min_deadline(devices, comm, params.tau);
+    const double hi = max_deadline(devices, comm, params.tau, 0.01);
+    double grid_best = 1e300;
+    for (int g = 0; g <= 20000; ++g) {
+      const double t = lo + (hi - lo) * g / 20000.0;
+      const auto freqs =
+          freqs_for_deadline(devices, comm, t, params.tau, 0.01);
+      const double c = predicted_cost(devices, comm, freqs, params);
+      if (c < grid_best) grid_best = c;
+    }
+    worst_gap =
+        std::max(worst_gap, (sol.predicted_cost - grid_best) / grid_best);
+  }
+  std::printf("instances checked: %d\n", instances);
+  std::printf("worst relative gap solver vs 20k-grid: %.3e\n", worst_gap);
+
+  // Throughput: how many per-iteration solves per second (matters because
+  // the heuristic baseline solves every iteration).
+  FleetModel fm;
+  auto devices = make_fleet(50, fm, rng);
+  std::vector<double> comm(50);
+  for (auto& c : comm) c = rng.uniform(0.5, 10.0);
+  CostParams params;
+  params.lambda = 0.1;
+  const auto start = std::chrono::steady_clock::now();
+  const int solves = 2000;
+  double sink = 0.0;
+  for (int i = 0; i < solves; ++i) {
+    comm[i % 50] = 0.5 + (i % 17) * 0.5;
+    sink += solve_deadline(devices, comm, params).predicted_cost;
+  }
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  std::printf("50-device solves/second: %.0f  (checksum %.1f)\n",
+              solves / elapsed, sink);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation A9 — does the state need device profiles?
+//
+// Section IV-B3: "there are different ways of defining states ... we
+// choose a simple and clean way" — bandwidth history only. The device
+// constants (c_i D_i, delta_max, radio power) also shape the optimal
+// action; the network could in principle need them. This bench trains
+// identical agents on the bandwidth-only state vs the device-augmented
+// state and compares online quality — directly testing the paper's claim
+// that bandwidth-only suffices (the profiles are FIXED per scenario, so a
+// big enough network can absorb them into its weights).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace fedra;
+
+double train_and_eval(bool include_features, std::uint64_t seed) {
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 2000;
+  FlEnvConfig env_cfg = bench::env_config_for(cfg);
+  env_cfg.include_device_features = include_features;
+  FlEnv env(build_simulator(cfg), env_cfg);
+  const double bw_ref = env.bandwidth_ref();
+  OfflineTrainer trainer(std::move(env), recommended_trainer_config(1500),
+                         seed);
+  trainer.train();
+  auto sim = build_simulator(cfg);
+  DrlController ctrl(trainer.agent(), env_cfg, bw_ref);
+  return run_controller(sim, ctrl, 300).avg_cost();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A9: bandwidth-only state (paper) vs "
+              "device-augmented state\n\n");
+  std::printf("%-24s %12s %12s %12s\n", "state", "seed 7", "seed 21",
+              "seed 99");
+  std::printf("%-24s", "bandwidth only");
+  for (std::uint64_t seed : {7ull, 21ull, 99ull}) {
+    std::printf(" %12.4f", train_and_eval(false, seed));
+  }
+  std::printf("\n%-24s", "+ device features");
+  for (std::uint64_t seed : {7ull, 21ull, 99ull}) {
+    std::printf(" %12.4f", train_and_eval(true, seed));
+  }
+  std::printf("\n\n(device profiles are fixed per deployment, so the "
+              "bandwidth-only network can\nlearn them implicitly — the "
+              "paper's 'simple and clean' state design.)\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation A7 — local training passes tau.
+//
+// tau shifts the compute/communication balance of every iteration (Eqs. 1
+// and 6 scale with tau; upload size does not). Small tau = communication-
+// bound iterations where bandwidth prediction dominates; large tau =
+// compute-bound iterations where DVFS matters most. This sweep shows how
+// the policies' margins move across that spectrum.
+#include <cstdio>
+
+#include "core/evaluation.hpp"
+#include "sched/baselines.hpp"
+#include "sim/experiment_config.hpp"
+
+int main() {
+  using namespace fedra;
+  std::printf("Ablation A7: local passes tau (N=3, 300 iterations)\n");
+  std::printf("%-6s %-10s %12s %12s %12s\n", "tau", "policy", "avg cost",
+              "avg time", "avg Ecmp");
+
+  for (double tau : {0.5, 1.0, 2.0, 4.0}) {
+    ExperimentConfig cfg = testbed_config();
+    cfg.trace_samples = 2000;
+    cfg.cost.tau = tau;
+    auto sim = build_simulator(cfg);
+    OracleController oracle;
+    HeuristicController heuristic(sim);
+    Rng rng(1);
+    StaticController st(sim, 10, rng);
+    FullSpeedController full;
+    for (Controller* c : std::initializer_list<Controller*>{
+             &oracle, &heuristic, &st, &full}) {
+      auto s = run_controller(sim, *c, 300);
+      std::printf("%-6.1f %-10s %12.4f %12.4f %12.4f\n", tau,
+                  s.policy.c_str(), s.avg_cost(), s.avg_time(),
+                  s.avg_compute_energy());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 8 — scalability: system cost per iteration with 50 mobile
+// devices, lambda = 0.1, five shared walking traces (paper: DRL avg 11.2,
+// heuristic 14.3, static 17.3; DRL per-iteration cost mostly < 12 while
+// heuristic > 14 and static > 16).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fedra;
+  std::printf("Figure 8: system cost per iteration, N=50, lambda=0.1\n");
+
+  ExperimentConfig cfg = scale_config();
+  cfg.trace_samples = 2000;
+  std::printf("training DRL agent (Algorithm 1, %d episodes)...\n", 2500);
+  auto agent = bench::train_agent(cfg, 2500, /*seed=*/9);
+
+  auto roster = bench::evaluate_roster(agent, 400, /*static_probes=*/10);
+
+  // Per-iteration cost series (every 10th iteration) — the scatter the
+  // paper plots.
+  std::printf("\n== per-iteration system cost ==\n");
+  std::printf("%-6s %10s %10s %10s %10s %10s\n", "iter", "drl", "heuristic",
+              "static", "fullspeed", "oracle");
+  for (std::size_t k = 0; k < roster[0].costs.size(); k += 10) {
+    std::printf("%-6zu %10.3f %10.3f %10.3f %10.3f %10.3f\n", k,
+                roster[0].costs[k], roster[1].costs[k], roster[2].costs[k],
+                roster[3].costs[k], roster[4].costs[k]);
+  }
+
+  bench::print_summary_table("system cost per iteration (Fig. 8)", roster,
+                             &EvalSeries::costs);
+  bench::print_summary_table("training time per iteration (s)", roster,
+                             &EvalSeries::times);
+  bench::print_summary_table("computational energy per iteration (J)",
+                             roster, &EvalSeries::compute_energies);
+
+  std::printf("\n== averages (paper: DRL 11.2 < heuristic 14.3 < "
+              "static 17.3) ==\n");
+  for (const auto& s : roster) {
+    std::printf("%-10s avg cost = %.3f\n", s.policy.c_str(), s.avg_cost());
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark) for the hot kernels: GEMM, NN
+// forward/backward, trace-integral upload queries, simulator steps and
+// policy inference.
+#include <benchmark/benchmark.h>
+
+#include "env/fl_env.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "rl/policy.hpp"
+#include "sim/experiment_config.hpp"
+#include "tensor/ops.hpp"
+#include "trace/generator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace fedra;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  auto a = Matrix::random_gaussian(n, n, rng);
+  auto b = Matrix::random_gaussian(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n *
+                          n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  auto a = Matrix::random_gaussian(n, n, rng);
+  auto b = Matrix::random_gaussian(n, n, rng);
+  ThreadPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_parallel(a, b, pool));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n *
+                          n);
+}
+BENCHMARK(BM_GemmParallel)->Arg(128)->Arg(256);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(2);
+  Mlp net({64, 128, 128, 10}, Activation::ReLU, rng);
+  Matrix x = Matrix::random_gaussian(32, 64, rng);
+  std::vector<std::size_t> labels(32);
+  for (std::size_t i = 0; i < 32; ++i) labels[i] = i % 10;
+  for (auto _ : state) {
+    net.zero_grad();
+    auto loss = softmax_cross_entropy(net.forward(x), labels);
+    net.backward(loss.grad);
+    benchmark::DoNotOptimize(loss.value);
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(3);
+  Mlp net({128, 256, 128}, Activation::Tanh, rng);
+  Adam opt(net, 1e-3);
+  for (Matrix* g : net.grads()) g->fill(0.01);
+  for (auto _ : state) {
+    opt.step();
+  }
+}
+BENCHMARK(BM_AdamStep);
+
+void BM_UploadFinishQuery(benchmark::State& state) {
+  Rng rng(4);
+  auto trace = generate_trace(lte_walking_model(),
+                              static_cast<std::size_t>(state.range(0)), rng);
+  double t = 0.0;
+  for (auto _ : state) {
+    t = trace.upload_finish_time(t, 10e6);
+    benchmark::DoNotOptimize(t);
+    if (t > 1e7) t = 0.0;
+  }
+}
+BENCHMARK(BM_UploadFinishQuery)->Arg(1000)->Arg(100000);
+
+void BM_SimulatorStep(benchmark::State& state) {
+  ExperimentConfig cfg = testbed_config();
+  cfg.num_devices = static_cast<std::size_t>(state.range(0));
+  cfg.trace_pool = 0;
+  cfg.trace_samples = 2000;
+  auto sim = build_simulator(cfg);
+  std::vector<double> freqs;
+  for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz * 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step(freqs));
+    if (sim.now() > 1e7) sim.reset(0.0);
+  }
+}
+BENCHMARK(BM_SimulatorStep)->Arg(3)->Arg(50);
+
+void BM_PolicyAct(benchmark::State& state) {
+  const auto devices = static_cast<std::size_t>(state.range(0));
+  PolicyConfig cfg;
+  Rng rng(5);
+  GaussianPolicy policy(devices * 9, devices, cfg, rng);
+  std::vector<double> obs(devices * 9, 0.5);
+  Rng act_rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.act(obs, act_rng));
+  }
+}
+BENCHMARK(BM_PolicyAct)->Arg(3)->Arg(50);
+
+void BM_EnvEpisode(benchmark::State& state) {
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 2000;
+  FlEnvConfig env_cfg;
+  env_cfg.episode_length = 40;
+  FlEnv env(build_simulator(cfg), env_cfg);
+  Rng rng(7);
+  std::vector<double> action(env.action_dim(), 0.8);
+  for (auto _ : state) {
+    env.reset(rng);
+    bool done = false;
+    while (!done) done = env.step(action).done;
+  }
+}
+BENCHMARK(BM_EnvEpisode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Trace explorer: generate or load bandwidth traces, print their
+// statistics and an ASCII sparkline, and export to CSV for plotting.
+//
+// Usage:
+//   trace_explorer                     # both built-in presets
+//   trace_explorer lte_walking 600     # preset + duration (seconds)
+//   trace_explorer path/to/trace.csv   # inspect a measured trace
+#include <cstdio>
+#include <string>
+
+#include "trace/generator.hpp"
+#include "trace/loader.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fedra;
+
+void sparkline(const BandwidthTrace& trace, std::size_t width = 72) {
+  static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  const double lo = trace.min_bandwidth();
+  const double hi = trace.max_bandwidth();
+  const double span = hi > lo ? hi - lo : 1.0;
+  const double step = trace.duration() / static_cast<double>(width);
+  std::printf("  [");
+  for (std::size_t i = 0; i < width; ++i) {
+    const double t0 = static_cast<double>(i) * step;
+    const double avg = trace.average_bandwidth(t0, t0 + step);
+    const auto lvl = static_cast<std::size_t>((avg - lo) / span * 7.999);
+    std::printf("%s", levels[lvl]);
+  }
+  std::printf("]\n");
+}
+
+void describe(const char* name, const BandwidthTrace& trace) {
+  std::printf("%s: %zu samples @ %.1f s, duration %.0f s\n", name,
+              trace.num_samples(), trace.resolution(), trace.duration());
+  std::printf("  bandwidth (MB/s): min %.3f  mean %.3f  max %.3f\n",
+              trace.min_bandwidth() / 1e6, trace.mean_bandwidth() / 1e6,
+              trace.max_bandwidth() / 1e6);
+  std::printf("  10 MB upload from t=0 takes %.2f s; from t=%0.f s takes "
+              "%.2f s\n",
+              trace.upload_duration(0.0, 10e6), trace.duration() / 2,
+              trace.upload_duration(trace.duration() / 2, 10e6));
+  sparkline(trace);
+}
+
+void export_csv(const BandwidthTrace& trace, const std::string& path) {
+  CsvWriter w(path);
+  w.write_row(CsvRow{"time_s", "bandwidth_bytes_per_s"});
+  for (std::size_t j = 0; j < trace.num_samples(); ++j) {
+    w.write_row(std::vector<double>{
+        static_cast<double>(j) * trace.resolution(), trace.samples()[j]});
+  }
+  std::printf("  exported to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedra;
+  Rng rng(99);
+
+  if (argc >= 2 && std::string(argv[1]).find(".csv") != std::string::npos) {
+    try {
+      auto trace = load_trace_csv(argv[1]);
+      describe(argv[1], trace);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to load %s: %s\n", argv[1], e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  const std::string preset = argc >= 2 ? argv[1] : "";
+  const std::size_t seconds =
+      argc >= 3 ? static_cast<std::size_t>(std::stoul(argv[2])) : 900;
+
+  if (preset.empty() || preset == "lte_walking") {
+    auto traces = generate_trace_set("lte_walking", 3, seconds, rng);
+    std::printf("== preset lte_walking (Ghent 4G substitute) ==\n");
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      describe(("walking trace " + std::to_string(i + 1)).c_str(),
+               traces[i]);
+    }
+    export_csv(traces[0], "lte_walking_sample.csv");
+  }
+  if (preset.empty() || preset == "hsdpa_bus") {
+    auto traces = generate_trace_set("hsdpa_bus", 2, seconds, rng);
+    std::printf("\n== preset hsdpa_bus (Norway HSDPA substitute) ==\n");
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      describe(("bus trace " + std::to_string(i + 1)).c_str(), traces[i]);
+    }
+  }
+  return 0;
+}

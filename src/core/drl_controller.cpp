@@ -1,0 +1,25 @@
+#include "core/drl_controller.hpp"
+
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+DrlController::DrlController(PpoAgent& agent, FlEnvConfig env_config,
+                             double bandwidth_ref)
+    : agent_(agent), env_config_(env_config), bandwidth_ref_(bandwidth_ref) {
+  FEDRA_EXPECTS(bandwidth_ref > 0.0);
+}
+
+std::vector<double> DrlController::decide(const FlSimulator& sim) {
+  const auto state =
+      bandwidth_history_state(sim, sim.now(), env_config_, bandwidth_ref_);
+  const auto fractions = agent_.mean_action(state);
+  FEDRA_ENSURES(fractions.size() == sim.num_devices());
+  std::vector<double> freqs(fractions.size());
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    freqs[i] = fractions[i] * sim.devices()[i].max_freq_hz;
+  }
+  return freqs;
+}
+
+}  // namespace fedra

@@ -1,0 +1,53 @@
+#include "core/evaluation.hpp"
+
+#include "util/stats.hpp"
+
+namespace fedra {
+
+double EvalSeries::avg_cost() const { return mean(costs); }
+double EvalSeries::avg_time() const { return mean(times); }
+double EvalSeries::avg_compute_energy() const {
+  return mean(compute_energies);
+}
+double EvalSeries::avg_total_energy() const { return mean(total_energies); }
+
+std::vector<IterationResult> run_controller_detailed(
+    const FlSimulator& sim, Controller& controller, std::size_t iterations,
+    double start_time) {
+  FlSimulator run = sim;  // value copy: identical conditions per controller
+  run.reset(start_time);
+  std::vector<IterationResult> results;
+  results.reserve(iterations);
+  for (std::size_t k = 0; k < iterations; ++k) {
+    const auto freqs = controller.decide(run);
+    IterationResult r = run.step(freqs);
+    controller.observe(r);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+EvalSeries run_controller(const FlSimulator& sim, Controller& controller,
+                          std::size_t iterations, double start_time) {
+  EvalSeries series;
+  series.policy = controller.name();
+  const auto results =
+      run_controller_detailed(sim, controller, iterations, start_time);
+  series.costs.reserve(iterations);
+  series.times.reserve(iterations);
+  series.compute_energies.reserve(iterations);
+  series.total_energies.reserve(iterations);
+  series.idle_times.reserve(iterations);
+  for (const auto& r : results) {
+    series.costs.push_back(r.cost);
+    series.times.push_back(r.iteration_time);
+    series.compute_energies.push_back(r.total_compute_energy);
+    series.total_energies.push_back(r.total_energy);
+    double idle = 0.0;
+    for (const auto& d : r.devices) idle += d.idle_time;
+    series.idle_times.push_back(idle);
+  }
+  return series;
+}
+
+}  // namespace fedra

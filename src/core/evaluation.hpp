@@ -1,0 +1,40 @@
+// Online evaluation harness: runs any Controller against a simulator for a
+// fixed number of iterations (the paper's "experimental results after 400
+// iterations", Section V-B2) and collects the per-iteration series behind
+// Figures 7 and 8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace fedra {
+
+/// Per-iteration series of one evaluation run.
+struct EvalSeries {
+  std::string policy;
+  std::vector<double> costs;            ///< Eq. (9) per iteration
+  std::vector<double> times;            ///< T^k
+  std::vector<double> compute_energies; ///< sum_i computation energy
+  std::vector<double> total_energies;   ///< sum_i E_i
+  std::vector<double> idle_times;       ///< sum_i idle per iteration
+
+  double avg_cost() const;
+  double avg_time() const;
+  double avg_compute_energy() const;
+  double avg_total_energy() const;
+};
+
+/// Runs `controller` for `iterations` iterations from `start_time` on a
+/// COPY of the simulator (every controller sees identical conditions).
+EvalSeries run_controller(const FlSimulator& sim, Controller& controller,
+                          std::size_t iterations, double start_time = 0.0);
+
+/// Full per-iteration results (when callers need device-level detail).
+std::vector<IterationResult> run_controller_detailed(
+    const FlSimulator& sim, Controller& controller, std::size_t iterations,
+    double start_time = 0.0);
+
+}  // namespace fedra

@@ -1,0 +1,42 @@
+// Per-device fairness metrics over evaluation runs. The paper optimizes
+// TOTAL energy (Eq. 9), which can concentrate the burden on a few
+// devices; these metrics quantify that concentration so schedulers can be
+// compared on fairness as well as cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+
+namespace fedra {
+
+/// Jain's fairness index over non-negative allocations:
+/// (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly even, 1/n = one
+/// device carries everything. Returns 1 for empty/all-zero input.
+double jain_index(std::span<const double> allocations);
+
+/// Per-device totals accumulated over a run.
+struct DeviceTotals {
+  std::vector<double> energy;        ///< sum of E_i across iterations
+  std::vector<double> compute_energy;
+  std::vector<double> idle_time;
+  std::vector<double> busy_time;     ///< compute + comm
+  std::size_t iterations = 0;
+};
+
+/// Accumulates per-device totals from detailed iteration results.
+DeviceTotals accumulate_device_totals(
+    const std::vector<IterationResult>& results);
+
+/// Fairness summary of a run.
+struct FairnessReport {
+  double energy_jain = 1.0;        ///< Jain over per-device total energy
+  double busy_time_jain = 1.0;     ///< Jain over per-device busy time
+  double max_min_energy_ratio = 1.0;
+  double idle_fraction = 0.0;      ///< total idle / (N * total makespan)
+};
+
+FairnessReport fairness_report(const std::vector<IterationResult>& results);
+
+}  // namespace fedra

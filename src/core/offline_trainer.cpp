@@ -1,0 +1,114 @@
+#include "core/offline_trainer.hpp"
+
+#include "util/logging.hpp"
+
+namespace fedra {
+
+TrainerConfig recommended_trainer_config(std::size_t episodes) {
+  TrainerConfig cfg;
+  cfg.episodes = episodes;
+  cfg.buffer_capacity = 512;
+  cfg.policy.hidden = {64, 64};
+  cfg.policy.init_log_std = -1.2;
+  cfg.ppo.gamma = 0.4;
+  cfg.ppo.gae_lambda = 0.95;
+  cfg.ppo.update_epochs = 10;
+  cfg.ppo.minibatch_size = 64;
+  cfg.ppo.actor_lr = 3e-4;
+  cfg.ppo.critic_lr = 1e-3;
+  cfg.ppo.entropy_coef = 1e-4;
+  return cfg;
+}
+
+OfflineTrainer::OfflineTrainer(FlEnv env, const TrainerConfig& config,
+                               std::uint64_t seed)
+    : env_(std::move(env)),
+      config_(config),
+      agent_(env_.state_dim(), env_.action_dim(), config.policy, config.ppo,
+             seed),
+      buffer_(config.buffer_capacity),
+      rng_(seed ^ 0xa0761d6478bd642fULL) {
+  FEDRA_EXPECTS(config.episodes > 0);
+}
+
+EpisodeStats OfflineTrainer::run_episode(std::size_t episode_index) {
+  EpisodeStats stats;
+  stats.episode = episode_index;
+
+  // Lines 6-10: random start time, initial bandwidth-history state.
+  std::vector<double> state = env_.reset(rng_);
+
+  double cost_acc = 0.0;
+  double reward_acc = 0.0;
+  double time_acc = 0.0;
+  double energy_acc = 0.0;
+  std::size_t steps = 0;
+
+  bool done = false;
+  while (!done) {
+    // Line 12: sample from the behavior policy theta_old.
+    PolicySample sample = agent_.act(state, rng_);
+    const double value = agent_.value(state);
+
+    // Line 13: the devices run the iteration at the chosen frequencies.
+    StepResult step = env_.step(sample.action);
+
+    // Lines 14-16: reward, next state, store the transition.
+    Transition t;
+    t.state = state;
+    t.next_state = step.state;
+    t.action_u = sample.action_u;
+    t.log_prob = sample.log_prob;
+    t.reward = step.reward;
+    t.value = value;
+    t.next_value = agent_.value(step.state);
+    t.episode_end = step.done;
+    buffer_.push(std::move(t));
+
+    cost_acc += step.info.cost;
+    reward_acc += step.reward;
+    time_acc += step.info.iteration_time;
+    energy_acc += step.info.total_energy;
+    ++steps;
+
+    // Lines 17-23: buffer full -> M PPO epochs + critic fit, sync
+    // theta_old, clear the buffer.
+    if (buffer_.full()) {
+      last_update_ = agent_.update(buffer_, rng_);
+      has_update_ = true;
+      buffer_.clear();
+    }
+
+    state = std::move(step.state);
+    done = step.done;
+  }
+
+  const double inv = steps > 0 ? 1.0 / static_cast<double>(steps) : 0.0;
+  stats.avg_cost = cost_acc * inv;
+  stats.avg_reward = reward_acc * inv;
+  stats.avg_time = time_acc * inv;
+  stats.avg_energy = energy_acc * inv;
+  if (has_update_) {
+    stats.total_loss = last_update_.total_loss;
+    stats.policy_loss = last_update_.policy_loss;
+    stats.value_loss = last_update_.value_loss;
+    stats.entropy = last_update_.entropy;
+  }
+  return stats;
+}
+
+std::vector<EpisodeStats> OfflineTrainer::train() {
+  std::vector<EpisodeStats> history;
+  history.reserve(config_.episodes);
+  for (std::size_t e = 0; e < config_.episodes; ++e) {
+    history.push_back(run_episode(e));
+    if ((e + 1) % 50 == 0) {
+      FEDRA_LOG_INFO("episode %zu/%zu: avg cost %.3f, loss %.4f", e + 1,
+                     config_.episodes, history.back().avg_cost,
+                     history.back().total_loss);
+    }
+  }
+  return history;
+}
+
+}  // namespace fedra

@@ -1,0 +1,77 @@
+#include "core/online_adaptation.hpp"
+
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+OnlineAdaptiveController::OnlineAdaptiveController(
+    PpoAgent& agent, FlEnvConfig env_config, double bandwidth_ref,
+    OnlineAdaptationConfig config, std::uint64_t seed)
+    : agent_(agent),
+      env_config_(env_config),
+      bandwidth_ref_(bandwidth_ref),
+      config_(config),
+      rng_(seed),
+      buffer_(config.buffer_capacity) {
+  FEDRA_EXPECTS(bandwidth_ref > 0.0);
+  FEDRA_EXPECTS(config.reward_scale > 0.0);
+}
+
+std::vector<double> OnlineAdaptiveController::decide(const FlSimulator& sim) {
+  const auto state =
+      bandwidth_history_state(sim, sim.now(), env_config_, bandwidth_ref_);
+
+  // Close out the previous transition: the state we just computed is its
+  // successor state s_{k+1}.
+  if (pending_ && pending_->has_reward) {
+    Transition t;
+    t.state = pending_->state;
+    t.next_state = state;
+    t.action_u = pending_->action_u;
+    t.log_prob = pending_->log_prob;
+    t.reward = pending_->reward;
+    t.value = pending_->value;
+    t.next_value = agent_.value(state);
+    // Online deployment is one unbroken trajectory; no episode cuts.
+    t.episode_end = false;
+    buffer_.push(std::move(t));
+    pending_.reset();
+    if (buffer_.full()) {
+      agent_.update(buffer_, rng_);
+      buffer_.clear();
+      ++updates_;
+    }
+  }
+
+  std::vector<double> fractions;
+  Pending p;
+  p.state = state;
+  p.value = agent_.value(state);
+  if (config_.stochastic) {
+    PolicySample sample = agent_.act(state, rng_);
+    fractions = sample.action;
+    p.action_u = sample.action_u;
+    p.log_prob = sample.log_prob;
+    pending_ = std::move(p);
+  } else {
+    // Exploit-only mode: still act, but do not learn from off-policy
+    // mean actions (the importance ratios would be wrong).
+    fractions = agent_.mean_action(state);
+    pending_.reset();
+  }
+
+  FEDRA_ENSURES(fractions.size() == sim.num_devices());
+  std::vector<double> freqs(fractions.size());
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    freqs[i] = fractions[i] * sim.devices()[i].max_freq_hz;
+  }
+  return freqs;
+}
+
+void OnlineAdaptiveController::observe(const IterationResult& result) {
+  if (!pending_) return;
+  pending_->reward = result.reward * config_.reward_scale;
+  pending_->has_reward = true;
+}
+
+}  // namespace fedra

@@ -1,0 +1,71 @@
+// Online adaptation: keep learning while deployed.
+//
+// The paper trains offline and freezes the actor for online reasoning
+// (Section V-B). Its own motivation — network conditions drift — argues
+// for continuing to learn online: this controller acts with the CURRENT
+// policy (stochastically, to keep exploring) and folds every observed
+// iteration back into the PPO update loop, exactly as Algorithm 1 does
+// offline. If the bandwidth process drifts away from the training
+// distribution, the policy follows it instead of decaying.
+//
+// The controller implements the standard Controller interface, so the
+// evaluation harness can compare frozen vs adaptive agents directly.
+#pragma once
+
+#include <optional>
+
+#include "env/fl_env.hpp"
+#include "rl/ppo.hpp"
+#include "sched/controller.hpp"
+
+namespace fedra {
+
+struct OnlineAdaptationConfig {
+  /// Transitions buffered before each PPO update (|D| of Algorithm 1).
+  std::size_t buffer_capacity = 256;
+  /// Reward scaling — must match the agent's offline training.
+  double reward_scale = 0.05;
+  /// Explore with sampled actions (true) or exploit the mean (false).
+  /// Exploration is what keeps the on-policy updates sound.
+  bool stochastic = true;
+};
+
+class OnlineAdaptiveController final : public Controller {
+ public:
+  /// Non-owning: `agent` must outlive the controller and is MUTATED by
+  /// the online updates. `env_config`/`bandwidth_ref` must match the
+  /// agent's training setup.
+  OnlineAdaptiveController(PpoAgent& agent, FlEnvConfig env_config,
+                           double bandwidth_ref,
+                           OnlineAdaptationConfig config, std::uint64_t seed);
+
+  std::vector<double> decide(const FlSimulator& sim) override;
+  void observe(const IterationResult& result) override;
+  std::string name() const override { return "drl-online"; }
+
+  /// PPO updates applied since construction.
+  std::size_t updates_applied() const { return updates_; }
+
+ private:
+  PpoAgent& agent_;
+  FlEnvConfig env_config_;
+  double bandwidth_ref_;
+  OnlineAdaptationConfig config_;
+  Rng rng_;
+  RolloutBuffer buffer_;
+  std::size_t updates_ = 0;
+
+  /// Transition under construction: filled by decide(), completed by the
+  /// next decide()'s state (s') after observe() supplies the reward.
+  struct Pending {
+    std::vector<double> state;
+    std::vector<double> action_u;
+    double log_prob = 0.0;
+    double value = 0.0;
+    double reward = 0.0;
+    bool has_reward = false;
+  };
+  std::optional<Pending> pending_;
+};
+
+}  // namespace fedra

@@ -1,0 +1,99 @@
+#include "env/fl_env.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedra {
+
+std::vector<double> bandwidth_history_state(const FlSimulator& sim,
+                                            double now,
+                                            const FlEnvConfig& config,
+                                            double bandwidth_ref) {
+  FEDRA_EXPECTS(bandwidth_ref > 0.0);
+  const auto now_slot =
+      static_cast<long long>(std::floor(now / config.slot_seconds));
+  std::vector<double> state;
+  state.reserve(sim.num_devices() *
+                (config.history_slots + 1 +
+                 (config.include_device_features ? 3 : 0)));
+  for (std::size_t i = 0; i < sim.num_devices(); ++i) {
+    const auto& trace = sim.traces()[i];
+    for (std::size_t j = 0; j <= config.history_slots; ++j) {
+      const long long slot = now_slot - static_cast<long long>(j);
+      state.push_back(trace.slot_average(slot, config.slot_seconds) /
+                      bandwidth_ref);
+    }
+    if (config.include_device_features) {
+      // Static per-device profile, scaled to O(1): compute volume per
+      // round (cycles / 1e10), frequency cap (/ 2 GHz, the fleet-model
+      // maximum), radio power (W, already O(1)).
+      const auto& dev = sim.devices()[i];
+      state.push_back(dev.cycles_per_round(sim.params().tau) / 1e10);
+      state.push_back(dev.max_freq_hz / 2e9);
+      state.push_back(dev.tx_power_w);
+    }
+  }
+  return state;
+}
+
+FlEnv::FlEnv(FlSimulator simulator, FlEnvConfig config)
+    : sim_(std::move(simulator)), config_(config) {
+  FEDRA_EXPECTS(config_.slot_seconds > 0.0);
+  FEDRA_EXPECTS(config_.episode_length > 0);
+  FEDRA_EXPECTS(config_.reward_scale > 0.0);
+  if (config_.bandwidth_ref > 0.0) {
+    bandwidth_ref_ = config_.bandwidth_ref;
+  } else {
+    double ref = 0.0;
+    for (const auto& t : sim_.traces()) {
+      ref = std::max(ref, t.max_bandwidth());
+    }
+    bandwidth_ref_ = std::max(ref, 1.0);
+  }
+}
+
+std::vector<double> FlEnv::reset(Rng& rng) {
+  // Random start phase within one trace period. Traces are periodic, so
+  // any non-negative time works; staying inside [0, period) keeps slot
+  // indices small.
+  const double period = sim_.traces().front().duration();
+  return reset_at(rng.uniform(0.0, period));
+}
+
+std::vector<double> FlEnv::reset_at(double start_time) {
+  sim_.reset(start_time);
+  steps_in_episode_ = 0;
+  return observe();
+}
+
+std::vector<double> FlEnv::observe() const {
+  // s_k: per device, slot averages at slots floor(t/h), ..., floor(t/h)-H
+  // (paper Section IV-B1), most recent first.
+  return bandwidth_history_state(sim_, sim_.now(), config_, bandwidth_ref_);
+}
+
+StepResult FlEnv::step(const std::vector<double>& action) {
+  FEDRA_EXPECTS(action.size() == action_dim());
+  const auto caps = max_freqs();
+  std::vector<double> freqs(action.size());
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    // Fraction -> Hz; the simulator applies its own floor/cap clamping.
+    freqs[i] = action[i] * caps[i];
+  }
+  StepResult r;
+  r.info = sim_.step(freqs);
+  r.reward = r.info.reward * config_.reward_scale;
+  ++steps_in_episode_;
+  r.done = steps_in_episode_ >= config_.episode_length;
+  r.state = observe();
+  return r;
+}
+
+std::vector<double> FlEnv::max_freqs() const {
+  std::vector<double> caps;
+  caps.reserve(sim_.num_devices());
+  for (const auto& d : sim_.devices()) caps.push_back(d.max_freq_hz);
+  return caps;
+}
+
+}  // namespace fedra

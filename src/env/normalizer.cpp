@@ -1,0 +1,45 @@
+#include "env/normalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+RunningNormalizer::RunningNormalizer(std::size_t dim)
+    : mean_(dim, 0.0), m2_(dim, 0.0) {
+  FEDRA_EXPECTS(dim > 0);
+}
+
+void RunningNormalizer::observe(const std::vector<double>& x) {
+  FEDRA_EXPECTS(x.size() == mean_.size());
+  if (frozen_) return;
+  ++count_;
+  const double n = static_cast<double>(count_);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double delta = x[j] - mean_[j];
+    mean_[j] += delta / n;
+    m2_[j] += delta * (x[j] - mean_[j]);
+  }
+}
+
+std::vector<double> RunningNormalizer::normalize(
+    const std::vector<double>& x) const {
+  FEDRA_EXPECTS(x.size() == mean_.size());
+  std::vector<double> out(x.size());
+  if (count_ < 2) {
+    out = x;
+    for (auto& v : out) v = std::clamp(v, -clip, clip);
+    return out;
+  }
+  const double n = static_cast<double>(count_);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double var = m2_[j] / (n - 1.0);
+    const double sd = std::max(std::sqrt(std::max(var, 0.0)), eps);
+    out[j] = std::clamp((x[j] - mean_[j]) / sd, -clip, clip);
+  }
+  return out;
+}
+
+}  // namespace fedra

@@ -1,0 +1,41 @@
+// Running per-dimension observation normalizer (Welford moments), the
+// standard trick that keeps policy-gradient inputs well-conditioned when
+// raw observations span orders of magnitude (bandwidths here run 1e5..1e7
+// bytes/s).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fedra {
+
+class RunningNormalizer {
+ public:
+  explicit RunningNormalizer(std::size_t dim);
+
+  std::size_t dim() const { return mean_.size(); }
+  std::size_t count() const { return count_; }
+
+  /// Folds one observation into the running moments.
+  void observe(const std::vector<double>& x);
+
+  /// (x - mean) / max(std, eps), clipped to [-clip, clip]. Before any
+  /// observe() call this is the identity (zero mean, unit std).
+  std::vector<double> normalize(const std::vector<double>& x) const;
+
+  /// Freezing stops observe() from mutating (use after training, so online
+  /// reasoning sees the same transform the agent was trained with).
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  double clip = 10.0;
+  double eps = 1e-8;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> m2_;
+  std::size_t count_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace fedra

@@ -1,0 +1,73 @@
+#include "fl/client.hpp"
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace fedra {
+
+namespace {
+Mlp build_model(const ModelSpec& spec, std::uint64_t seed) {
+  Rng rng(seed);
+  return Mlp(spec.sizes, spec.hidden, rng);
+}
+}  // namespace
+
+FlClient::FlClient(Dataset data, const ModelSpec& spec, std::uint64_t seed)
+    : data_(std::move(data)), model_(build_model(spec, seed)), seed_(seed) {
+  FEDRA_EXPECTS(data_.size() > 0);
+  FEDRA_EXPECTS(!spec.sizes.empty() && spec.sizes.front() == data_.dim());
+}
+
+ClientUpdate FlClient::train_round(const std::vector<Matrix>& global_params,
+                                   const LocalTrainConfig& config,
+                                   std::size_t round_index) {
+  FEDRA_EXPECTS(config.tau > 0.0);
+  FEDRA_EXPECTS(config.batch_size > 0);
+  model_.set_param_values(global_params);
+  Sgd opt(model_, config.learning_rate);
+
+  // Per-round RNG stream keeps rounds independent yet reproducible.
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (round_index + 1)));
+
+  const std::size_t n = data_.size();
+  // tau passes over the data = ceil(tau * n / batch) minibatches.
+  const auto total_batches = static_cast<std::size_t>(std::ceil(
+      config.tau * static_cast<double>(n) /
+      static_cast<double>(config.batch_size)));
+
+  ClientUpdate update;
+  update.num_samples = n;
+  double loss_acc = 0.0;
+  std::size_t batches_done = 0;
+  while (batches_done < total_batches) {
+    auto perm = rng.permutation(n);
+    for (std::size_t start = 0;
+         start < n && batches_done < total_batches;
+         start += config.batch_size, ++batches_done) {
+      const std::size_t end = std::min(start + config.batch_size, n);
+      std::vector<std::size_t> idx(perm.begin() + static_cast<std::ptrdiff_t>(start),
+                                   perm.begin() + static_cast<std::ptrdiff_t>(end));
+      Dataset batch = data_.subset(idx);
+      opt.zero_grad();
+      Matrix logits = model_.forward(batch.features);
+      LossResult loss = softmax_cross_entropy(logits, batch.labels);
+      model_.backward(loss.grad);
+      opt.step();
+      loss_acc += loss.value;
+    }
+  }
+  update.avg_loss =
+      batches_done > 0 ? loss_acc / static_cast<double>(batches_done) : 0.0;
+  update.params = model_.param_values();
+  return update;
+}
+
+double FlClient::local_loss(const std::vector<Matrix>& params) {
+  model_.set_param_values(params);
+  Matrix logits = model_.forward(data_.features);
+  return softmax_cross_entropy(logits, data_.labels).value;
+}
+
+}  // namespace fedra

@@ -1,0 +1,119 @@
+#include "fl/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+CompressionStats top_k_sparsify(std::vector<Matrix>& delta,
+                                double keep_fraction) {
+  FEDRA_EXPECTS(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  CompressionStats stats;
+  for (const auto& m : delta) stats.total_values += m.size();
+  if (stats.total_values == 0) return stats;
+
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             keep_fraction * static_cast<double>(stats.total_values))));
+
+  if (keep >= stats.total_values) {
+    stats.kept_values = stats.total_values;
+    stats.wire_bytes = 8.0 * static_cast<double>(stats.total_values);
+    return stats;
+  }
+
+  // Threshold = magnitude of the keep-th largest entry (nth_element over
+  // a flat copy of magnitudes).
+  std::vector<double> mags;
+  mags.reserve(stats.total_values);
+  for (const auto& m : delta) {
+    for (double x : m.flat()) mags.push_back(std::abs(x));
+  }
+  std::nth_element(mags.begin(),
+                   mags.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                   mags.end(), std::greater<double>());
+  const double threshold = mags[keep - 1];
+
+  // Zero everything strictly below the threshold; among equals keep until
+  // the budget is exhausted (deterministic scan order).
+  std::size_t kept = 0;
+  for (auto& m : delta) {
+    for (auto& x : m.flat()) {
+      const double a = std::abs(x);
+      if (a > threshold || (a == threshold && kept < keep)) {
+        if (kept < keep) {
+          ++kept;
+          continue;
+        }
+      }
+      stats.max_abs_error = std::max(stats.max_abs_error, a);
+      x = 0.0;
+    }
+  }
+  stats.kept_values = kept;
+  // (u32 index + f32 value) per surviving coordinate.
+  stats.wire_bytes = 8.0 * static_cast<double>(kept);
+  return stats;
+}
+
+CompressionStats quantize_uniform(std::vector<Matrix>& delta, int bits) {
+  FEDRA_EXPECTS(bits >= 1 && bits <= 16);
+  CompressionStats stats;
+  const double levels = std::pow(2.0, bits - 1) - 1.0;  // symmetric range
+  for (auto& m : delta) {
+    stats.total_values += m.size();
+    double max_abs = 0.0;
+    for (double x : m.flat()) max_abs = std::max(max_abs, std::abs(x));
+    if (max_abs == 0.0) continue;
+    if (levels < 1.0) {
+      // 1-bit: sign * mean magnitude (signSGD-style).
+      double mean_mag = 0.0;
+      for (double x : m.flat()) mean_mag += std::abs(x);
+      mean_mag /= static_cast<double>(m.size());
+      for (auto& x : m.flat()) {
+        const double q = x >= 0.0 ? mean_mag : -mean_mag;
+        stats.max_abs_error = std::max(stats.max_abs_error, std::abs(x - q));
+        x = q;
+      }
+      continue;
+    }
+    const double scale = max_abs / levels;
+    for (auto& x : m.flat()) {
+      const double q = std::round(x / scale) * scale;
+      stats.max_abs_error = std::max(stats.max_abs_error, std::abs(x - q));
+      x = q;
+    }
+  }
+  stats.kept_values = stats.total_values;
+  stats.wire_bytes =
+      static_cast<double>(stats.total_values) * bits / 8.0 +
+      4.0 * static_cast<double>(delta.size());  // one f32 scale per tensor
+  return stats;
+}
+
+void apply_delta(std::vector<Matrix>& base,
+                 const std::vector<Matrix>& delta) {
+  FEDRA_EXPECTS(base.size() == delta.size());
+  for (std::size_t p = 0; p < base.size(); ++p) {
+    FEDRA_EXPECTS(base[p].same_shape(delta[p]));
+    base[p] += delta[p];
+  }
+}
+
+std::vector<Matrix> compute_delta(const std::vector<Matrix>& a,
+                                  const std::vector<Matrix>& b) {
+  FEDRA_EXPECTS(a.size() == b.size());
+  std::vector<Matrix> delta;
+  delta.reserve(a.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    FEDRA_EXPECTS(a[p].same_shape(b[p]));
+    Matrix d = a[p];
+    d -= b[p];
+    delta.push_back(std::move(d));
+  }
+  return delta;
+}
+
+}  // namespace fedra

@@ -1,0 +1,48 @@
+// Model-update compression for communication-efficient federated learning
+// (Konecny et al., the paper's refs [2]/[8]). Two classic schemes:
+//
+//   * top-k sparsification of the update DELTA (w_local - w_global): only
+//     the k largest-magnitude coordinates are transmitted;
+//   * uniform b-bit quantization of the delta per tensor (symmetric range
+//     scaling).
+//
+// Both operate on deltas so the error vanishes as training converges.
+// compressed_bytes() estimates the wire size, which plugs straight into
+// CostParams::model_bytes — the compression bench measures the resulting
+// cost/accuracy frontier with the simulator pricing the uploads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace fedra {
+
+struct CompressionStats {
+  std::size_t total_values = 0;
+  std::size_t kept_values = 0;   ///< non-zeros transmitted (top-k) or all
+  double wire_bytes = 0.0;       ///< estimated transmitted bytes
+  double max_abs_error = 0.0;    ///< reconstruction error vs the input
+};
+
+/// Keeps the `keep_fraction` largest-|x| entries across ALL tensors of
+/// the update (global top-k), zeroing the rest IN PLACE. Returns stats;
+/// wire size counts (index, value) pairs at 4 + 4 bytes each (float
+/// payloads on the wire).
+CompressionStats top_k_sparsify(std::vector<Matrix>& delta,
+                                double keep_fraction);
+
+/// Uniform symmetric quantization to `bits` in [1, 16] per tensor:
+/// x -> round(x / s) * s with s = max|x| / (2^(bits-1) - 1), applied IN
+/// PLACE. Wire size counts bits per value plus one float scale per tensor.
+CompressionStats quantize_uniform(std::vector<Matrix>& delta, int bits);
+
+/// Applies `delta` to `base` (base += delta) — the decompression side.
+void apply_delta(std::vector<Matrix>& base, const std::vector<Matrix>& delta);
+
+/// delta = a - b, elementwise over aligned tensor lists.
+std::vector<Matrix> compute_delta(const std::vector<Matrix>& a,
+                                  const std::vector<Matrix>& b);
+
+}  // namespace fedra

@@ -1,0 +1,183 @@
+#include "fl/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.features = Matrix(indices.size(), features.cols());
+  out.labels.reserve(indices.size());
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    const std::size_t src = indices[r];
+    FEDRA_EXPECTS(src < size());
+    auto dst_row = out.features.row(r);
+    auto src_row = features.row(src);
+    std::copy(src_row.begin(), src_row.end(), dst_row.begin());
+    out.labels.push_back(labels[src]);
+  }
+  return out;
+}
+
+Dataset make_gaussian_mixture(std::size_t samples, std::size_t dim,
+                              std::size_t classes, Rng& rng,
+                              double separation, double noise) {
+  FEDRA_EXPECTS(samples > 0 && dim > 0 && classes > 0);
+  FEDRA_EXPECTS(separation >= 0.0 && noise >= 0.0);
+  // Class means drawn once; unit-normal entries scaled by `separation`.
+  std::vector<Matrix> means;
+  means.reserve(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    means.push_back(Matrix::random_gaussian(1, dim, rng, 0.0, separation));
+  }
+  Dataset data;
+  data.features = Matrix(samples, dim);
+  data.labels.resize(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto c = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(classes) - 1));
+    data.labels[s] = c;
+    auto row = data.features.row(s);
+    auto mean = means[c].row(0);
+    for (std::size_t j = 0; j < dim; ++j) {
+      row[j] = mean[j] + rng.gaussian(0.0, noise);
+    }
+  }
+  return data;
+}
+
+std::vector<Dataset> split_iid(const Dataset& data, std::size_t n, Rng& rng) {
+  FEDRA_EXPECTS(n > 0 && data.size() >= n);
+  auto perm = rng.permutation(data.size());
+  std::vector<Dataset> shards;
+  shards.reserve(n);
+  const std::size_t base = data.size() / n;
+  const std::size_t extra = data.size() % n;
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t count = base + (i < extra ? 1 : 0);
+    std::vector<std::size_t> idx(perm.begin() + static_cast<std::ptrdiff_t>(offset),
+                                 perm.begin() + static_cast<std::ptrdiff_t>(offset + count));
+    shards.push_back(data.subset(idx));
+    offset += count;
+  }
+  return shards;
+}
+
+std::vector<Dataset> split_dirichlet(const Dataset& data, std::size_t n,
+                                     double beta, Rng& rng) {
+  FEDRA_EXPECTS(n > 0 && data.size() >= n);
+  FEDRA_EXPECTS(beta > 0.0);
+  const std::size_t classes =
+      1 + *std::max_element(data.labels.begin(), data.labels.end());
+
+  // Group sample indices by class, shuffled within each class.
+  std::vector<std::vector<std::size_t>> by_class(classes);
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    by_class[data.labels[s]].push_back(s);
+  }
+  for (auto& group : by_class) {
+    auto perm = rng.permutation(group.size());
+    std::vector<std::size_t> shuffled(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) shuffled[i] = group[perm[i]];
+    group = std::move(shuffled);
+  }
+
+  std::vector<std::vector<std::size_t>> assignment(n);
+  for (auto& group : by_class) {
+    // Dirichlet(beta) via normalized Gamma(beta, 1) draws. For beta <= 1
+    // use the Ahrens-Dieter-free trick: Gamma(beta) = Gamma(beta+1) * U^(1/beta).
+    std::vector<double> shares(n);
+    double total = 0.0;
+    for (auto& g : shares) {
+      // Marsaglia-Tsang for shape >= 1.
+      const double shape = beta < 1.0 ? beta + 1.0 : beta;
+      const double d = shape - 1.0 / 3.0;
+      const double c = 1.0 / std::sqrt(9.0 * d);
+      double v, x;
+      for (;;) {
+        do {
+          x = rng.gaussian();
+          v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        const double u = rng.uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x) break;
+        if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) break;
+      }
+      g = d * v;
+      if (beta < 1.0) {
+        g *= std::pow(std::max(rng.uniform(), 1e-12), 1.0 / beta);
+      }
+      total += g;
+    }
+    FEDRA_ENSURES(total > 0.0);
+
+    // Turn shares into contiguous slices of the shuffled class group.
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto count =
+          i + 1 == n ? group.size() - offset
+                     : std::min(group.size() - offset,
+                                static_cast<std::size_t>(std::llround(
+                                    shares[i] / total *
+                                    static_cast<double>(group.size()))));
+      for (std::size_t j = 0; j < count; ++j) {
+        assignment[i].push_back(group[offset + j]);
+      }
+      offset += count;
+    }
+  }
+
+  // Guarantee non-empty shards: steal one sample from the largest shard.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!assignment[i].empty()) continue;
+    auto largest = std::max_element(
+        assignment.begin(), assignment.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    FEDRA_ENSURES(largest->size() > 1);
+    assignment[i].push_back(largest->back());
+    largest->pop_back();
+  }
+
+  std::vector<Dataset> shards;
+  shards.reserve(n);
+  for (auto& idx : assignment) shards.push_back(data.subset(idx));
+  return shards;
+}
+
+std::vector<Dataset> split_proportional(const Dataset& data,
+                                        const std::vector<double>& weights,
+                                        Rng& rng) {
+  FEDRA_EXPECTS(!weights.empty() && data.size() >= weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    FEDRA_EXPECTS(w > 0.0);
+    total += w;
+  }
+  auto perm = rng.permutation(data.size());
+  std::vector<Dataset> shards;
+  shards.reserve(weights.size());
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    std::size_t count;
+    if (i + 1 == weights.size()) {
+      count = data.size() - offset;
+    } else {
+      count = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::llround(
+                 weights[i] / total * static_cast<double>(data.size()))));
+      count = std::min(count, data.size() - offset - (weights.size() - i - 1));
+    }
+    std::vector<std::size_t> idx(perm.begin() + static_cast<std::ptrdiff_t>(offset),
+                                 perm.begin() + static_cast<std::ptrdiff_t>(offset + count));
+    shards.push_back(data.subset(idx));
+    offset += count;
+  }
+  return shards;
+}
+
+}  // namespace fedra

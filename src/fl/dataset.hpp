@@ -1,0 +1,52 @@
+// Synthetic classification data and federated (non-)IID sharding.
+//
+// The paper trains real models on-device but never depends on a specific
+// dataset; what matters for reproducing constraint (10) is a genuine loss
+// trajectory under FedAvg. We use a Gaussian-mixture classification task:
+// class c has a random mean vector, samples are mean + isotropic noise.
+// Non-IID sharding follows the common Dirichlet(beta) label-skew protocol.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+struct Dataset {
+  Matrix features;                  ///< (samples x dim)
+  std::vector<std::size_t> labels;  ///< class index per sample
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t dim() const { return features.cols(); }
+
+  /// Rows of `features`/`labels` selected by index (bounds-checked).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+};
+
+/// Gaussian-mixture task: `classes` clusters in `dim` dimensions with unit
+/// class-mean spread (`separation` scales it) and per-sample noise sigma.
+Dataset make_gaussian_mixture(std::size_t samples, std::size_t dim,
+                              std::size_t classes, Rng& rng,
+                              double separation = 2.0, double noise = 1.0);
+
+/// Even IID split into n shards (sizes differ by at most 1).
+std::vector<Dataset> split_iid(const Dataset& data, std::size_t n, Rng& rng);
+
+/// Dirichlet label-skew split: for each class, the per-device share of its
+/// samples is drawn from Dirichlet(beta,...,beta). Small beta = highly
+/// non-IID (each device sees few classes); large beta approaches IID.
+/// Every shard is guaranteed at least one sample.
+std::vector<Dataset> split_dirichlet(const Dataset& data, std::size_t n,
+                                     double beta, Rng& rng);
+
+/// Proportional split: shard i receives a share proportional to weights[i]
+/// (used to match the paper's D_i ~ U(50,100) MB heterogeneity: dataset
+/// rows stand in for bytes at a fixed bytes-per-sample).
+std::vector<Dataset> split_proportional(const Dataset& data,
+                                        const std::vector<double>& weights,
+                                        Rng& rng);
+
+}  // namespace fedra

@@ -1,0 +1,123 @@
+#include "fl/fedavg.hpp"
+
+#include "nn/loss.hpp"
+
+namespace fedra {
+
+namespace {
+Mlp build_model(const ModelSpec& spec, std::uint64_t seed) {
+  Rng rng(seed);
+  return Mlp(spec.sizes, spec.hidden, rng);
+}
+}  // namespace
+
+FedAvgServer::FedAvgServer(std::vector<FlClient> clients,
+                           const ModelSpec& spec, std::uint64_t seed)
+    : clients_(std::move(clients)), global_model_(build_model(spec, seed)) {
+  FEDRA_EXPECTS(!clients_.empty());
+  global_params_ = global_model_.param_values();
+}
+
+RoundMetrics FedAvgServer::run_round(const LocalTrainConfig& config,
+                                     ThreadPool& pool) {
+  std::vector<std::size_t> everyone(clients_.size());
+  for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+  return run_round(config, pool, everyone);
+}
+
+RoundMetrics FedAvgServer::run_round(
+    const LocalTrainConfig& config, ThreadPool& pool,
+    const std::vector<std::size_t>& participants) {
+  // De-duplicate while preserving validity checks.
+  std::vector<std::size_t> roster;
+  roster.reserve(participants.size());
+  std::vector<bool> seen(clients_.size(), false);
+  for (std::size_t idx : participants) {
+    FEDRA_EXPECTS(idx < clients_.size());
+    if (!seen[idx]) {
+      seen[idx] = true;
+      roster.push_back(idx);
+    }
+  }
+  FEDRA_EXPECTS(!roster.empty());
+
+  const std::size_t n = roster.size();
+  std::vector<ClientUpdate> updates(n);
+  // Per-device local training is embarrassingly parallel: each client owns
+  // its model replica and dataset; `updates` slots are disjoint.
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    updates[i] =
+        clients_[roster[i]].train_round(global_params_, config, round_);
+  });
+
+  // Weighted average: w <- sum_i (D_i / D) w_i (Eq. 8 weighting).
+  double total_samples = 0.0;
+  for (const auto& u : updates) {
+    total_samples += static_cast<double>(u.num_samples);
+  }
+  FEDRA_ENSURES(total_samples > 0.0);
+  std::vector<Matrix> aggregated;
+  aggregated.reserve(global_params_.size());
+  for (std::size_t p = 0; p < global_params_.size(); ++p) {
+    Matrix acc(global_params_[p].rows(), global_params_[p].cols());
+    for (const auto& u : updates) {
+      const double w =
+          static_cast<double>(u.num_samples) / total_samples;
+      FEDRA_EXPECTS(u.params[p].same_shape(acc));
+      for (std::size_t j = 0; j < acc.size(); ++j) {
+        acc[j] += w * u.params[p][j];
+      }
+    }
+    aggregated.push_back(std::move(acc));
+  }
+  global_params_ = std::move(aggregated);
+
+  RoundMetrics m;
+  m.round = round_++;
+  m.global_loss = global_loss();
+  m.global_accuracy = global_accuracy();
+  double loss_sum = 0.0;
+  for (const auto& u : updates) loss_sum += u.avg_loss;
+  m.mean_client_loss = loss_sum / static_cast<double>(n);
+  return m;
+}
+
+std::vector<RoundMetrics> FedAvgServer::train_until(
+    const LocalTrainConfig& config, double epsilon, std::size_t max_rounds,
+    ThreadPool& pool) {
+  FEDRA_EXPECTS(epsilon > 0.0 && max_rounds > 0);
+  std::vector<RoundMetrics> history;
+  for (std::size_t k = 0; k < max_rounds; ++k) {
+    history.push_back(run_round(config, pool));
+    if (history.back().global_loss < epsilon) break;  // constraint (10)
+  }
+  return history;
+}
+
+double FedAvgServer::global_loss() {
+  // F(w) = sum_n D_n F_n(w) / sum_n D_n (Eq. 8).
+  double weighted = 0.0;
+  double total = 0.0;
+  for (auto& c : clients_) {
+    const auto d = static_cast<double>(c.num_samples());
+    weighted += d * c.local_loss(global_params_);
+    total += d;
+  }
+  return weighted / total;
+}
+
+double FedAvgServer::global_accuracy() {
+  global_model_.set_param_values(global_params_);
+  double correct_weighted = 0.0;
+  double total = 0.0;
+  for (auto& c : clients_) {
+    Matrix logits = global_model_.forward(c.data().features);
+    const double acc = accuracy(logits, c.data().labels);
+    const auto d = static_cast<double>(c.num_samples());
+    correct_weighted += d * acc;
+    total += d;
+  }
+  return correct_weighted / total;
+}
+
+}  // namespace fedra

@@ -1,0 +1,63 @@
+// FedAvg parameter server (McMahan et al., the aggregation rule the paper's
+// system runs). Each round: broadcast global params, every client trains
+// locally for tau passes (fanned out over the thread pool — clients own
+// their replicas so rounds are data-race-free), aggregate weighted by D_n
+// (Eq. 8's weights), track the global loss for constraint (10).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fl/client.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fedra {
+
+struct RoundMetrics {
+  std::size_t round = 0;
+  double global_loss = 0.0;     ///< F(w) of Eq. (8) after aggregation
+  double global_accuracy = 0.0; ///< on the union of client data
+  double mean_client_loss = 0.0;
+};
+
+class FedAvgServer {
+ public:
+  /// Builds the global model and takes ownership of the clients.
+  FedAvgServer(std::vector<FlClient> clients, const ModelSpec& spec,
+               std::uint64_t seed);
+
+  std::size_t num_clients() const { return clients_.size(); }
+
+  const std::vector<Matrix>& global_params() const { return global_params_; }
+
+  /// Runs one synchronized FedAvg round; returns its metrics.
+  RoundMetrics run_round(const LocalTrainConfig& config, ThreadPool& pool);
+
+  /// Partial-participation round (client selection): only the listed
+  /// clients train; the new global model is the D_n-weighted average of
+  /// THEIR updates (standard FedAvg with client sampling). Indices must
+  /// be valid and non-empty; duplicates are ignored.
+  RoundMetrics run_round(const LocalTrainConfig& config, ThreadPool& pool,
+                         const std::vector<std::size_t>& participants);
+
+  /// Runs rounds until F(w) < epsilon (constraint 10) or max_rounds.
+  /// Returns all round metrics.
+  std::vector<RoundMetrics> train_until(const LocalTrainConfig& config,
+                                        double epsilon,
+                                        std::size_t max_rounds,
+                                        ThreadPool& pool);
+
+  /// F(w) of Eq. (8): data-size-weighted mean of client losses.
+  double global_loss();
+
+  /// Accuracy of the global model over the union of client datasets.
+  double global_accuracy();
+
+ private:
+  std::vector<FlClient> clients_;
+  Mlp global_model_;
+  std::vector<Matrix> global_params_;
+  std::size_t round_ = 0;
+};
+
+}  // namespace fedra

@@ -1,0 +1,72 @@
+// Client selection for federated rounds (Nishio & Yonetani's FedCS line,
+// cited in the paper's related work). Selection is orthogonal to the
+// frequency control the paper studies: a selector decides WHO joins each
+// round, the controller decides HOW FAST the participants compute. The
+// selection bench combines both and measures the time/accuracy trade.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+class ClientSelector {
+ public:
+  virtual ~ClientSelector() = default;
+
+  /// Participation mask for the iteration starting at sim.now(); at least
+  /// one entry must be true.
+  virtual std::vector<bool> select(const FlSimulator& sim) = 0;
+
+  /// Feedback after the round (realized bandwidths etc.).
+  virtual void observe(const IterationResult& result) { (void)result; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Everyone, every round — the paper's (and FedAvg's) default.
+class AllSelector final : public ClientSelector {
+ public:
+  std::vector<bool> select(const FlSimulator& sim) override;
+  std::string name() const override { return "all"; }
+};
+
+/// Uniformly random subset of k clients per round (classic FedAvg client
+/// sampling).
+class RandomSelector final : public ClientSelector {
+ public:
+  RandomSelector(std::size_t k, std::uint64_t seed);
+  std::vector<bool> select(const FlSimulator& sim) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  std::size_t k_;
+  Rng rng_;
+};
+
+/// FedCS-style deadline selection: include every device whose ESTIMATED
+/// round completion (compute at delta_max + upload at the estimated
+/// bandwidth) fits within `deadline` seconds; estimates start at the
+/// trace means and are refreshed with realized bandwidths (same
+/// information model as the Heuristic controller). If nobody fits, the
+/// single fastest-estimated device is drafted so the round can proceed.
+class DeadlineSelector final : public ClientSelector {
+ public:
+  DeadlineSelector(const FlSimulator& sim, double deadline);
+  std::vector<bool> select(const FlSimulator& sim) override;
+  void observe(const IterationResult& result) override;
+  std::string name() const override { return "deadline"; }
+
+  /// Estimated completion time of device i at full speed.
+  double estimated_completion(const FlSimulator& sim, std::size_t i) const;
+
+ private:
+  double deadline_;
+  std::vector<double> est_bandwidth_;
+};
+
+}  // namespace fedra

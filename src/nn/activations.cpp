@@ -1,0 +1,109 @@
+#include "nn/activations.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace fedra {
+
+Matrix ReLU::forward(const Matrix& input) {
+  cached_input_ = input;
+  return apply(input, [](double x) { return x > 0.0 ? x : 0.0; });
+}
+
+Matrix ReLU::backward(const Matrix& grad_output) {
+  FEDRA_EXPECTS(grad_output.same_shape(cached_input_));
+  Matrix g = grad_output;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (cached_input_[i] <= 0.0) g[i] = 0.0;
+  }
+  return g;
+}
+
+Matrix LeakyReLU::forward(const Matrix& input) {
+  cached_input_ = input;
+  const double s = slope_;
+  return apply(input, [s](double x) { return x > 0.0 ? x : s * x; });
+}
+
+Matrix LeakyReLU::backward(const Matrix& grad_output) {
+  FEDRA_EXPECTS(grad_output.same_shape(cached_input_));
+  Matrix g = grad_output;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (cached_input_[i] <= 0.0) g[i] *= slope_;
+  }
+  return g;
+}
+
+Matrix Tanh::forward(const Matrix& input) {
+  cached_output_ = apply(input, [](double x) { return std::tanh(x); });
+  return cached_output_;
+}
+
+Matrix Tanh::backward(const Matrix& grad_output) {
+  FEDRA_EXPECTS(grad_output.same_shape(cached_output_));
+  Matrix g = grad_output;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] *= 1.0 - cached_output_[i] * cached_output_[i];
+  }
+  return g;
+}
+
+Matrix Sigmoid::forward(const Matrix& input) {
+  cached_output_ = apply(input, [](double x) {
+    // Split on sign to avoid overflow in exp.
+    if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+    const double e = std::exp(x);
+    return e / (1.0 + e);
+  });
+  return cached_output_;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_output) {
+  FEDRA_EXPECTS(grad_output.same_shape(cached_output_));
+  Matrix g = grad_output;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] *= cached_output_[i] * (1.0 - cached_output_[i]);
+  }
+  return g;
+}
+
+Matrix softmax_rows(const Matrix& logits) {
+  Matrix out = logits;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    auto row = out.row(i);
+    const double mx = *std::max_element(row.begin(), row.end());
+    double z = 0.0;
+    for (auto& v : row) {
+      v = std::exp(v - mx);
+      z += v;
+    }
+    for (auto& v : row) v /= z;
+  }
+  return out;
+}
+
+Matrix Softmax::forward(const Matrix& input) {
+  cached_output_ = softmax_rows(input);
+  return cached_output_;
+}
+
+Matrix Softmax::backward(const Matrix& grad_output) {
+  FEDRA_EXPECTS(grad_output.same_shape(cached_output_));
+  // dL/dx_j = y_j * (dL/dy_j - sum_k dL/dy_k y_k), per row.
+  Matrix g(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    auto y = cached_output_.row(i);
+    auto go = grad_output.row(i);
+    double dotp = 0.0;
+    for (std::size_t j = 0; j < y.size(); ++j) dotp += go[j] * y[j];
+    auto gi = g.row(i);
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      gi[j] = y[j] * (go[j] - dotp);
+    }
+  }
+  return g;
+}
+
+}  // namespace fedra

@@ -1,0 +1,65 @@
+// Stateless activation layers. Each caches what its derivative needs.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fedra {
+
+class ReLU final : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Matrix cached_input_;
+};
+
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(double slope = 0.01) : slope_(slope) {}
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "LeakyReLU"; }
+
+ private:
+  double slope_;
+  Matrix cached_input_;
+};
+
+class Tanh final : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Matrix cached_output_;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Row-wise softmax. Usually fused into SoftmaxCrossEntropy for training;
+/// exposed as a layer for inference-time probability outputs.
+class Softmax final : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "Softmax"; }
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Row-wise softmax as a free function (numerically stabilized).
+Matrix softmax_rows(const Matrix& logits);
+
+}  // namespace fedra

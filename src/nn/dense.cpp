@@ -1,0 +1,51 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace fedra {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng,
+             Init init)
+    : weight_(in_features, out_features),
+      bias_(1, out_features),
+      grad_weight_(in_features, out_features),
+      grad_bias_(1, out_features) {
+  FEDRA_EXPECTS(in_features > 0 && out_features > 0);
+  switch (init) {
+    case Init::Xavier: {
+      const double limit =
+          std::sqrt(6.0 / static_cast<double>(in_features + out_features));
+      weight_ = Matrix::random_uniform(in_features, out_features, rng, -limit,
+                                       limit);
+      break;
+    }
+    case Init::He: {
+      const double std = std::sqrt(2.0 / static_cast<double>(in_features));
+      weight_ =
+          Matrix::random_gaussian(in_features, out_features, rng, 0.0, std);
+      break;
+    }
+    case Init::Zero:
+      break;  // already zeroed
+  }
+}
+
+Matrix Dense::forward(const Matrix& input) {
+  FEDRA_EXPECTS(input.cols() == weight_.rows());
+  cached_input_ = input;
+  Matrix out = matmul(input, weight_);
+  add_row_broadcast(out, bias_);
+  return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output) {
+  FEDRA_EXPECTS(grad_output.rows() == cached_input_.rows());
+  FEDRA_EXPECTS(grad_output.cols() == weight_.cols());
+  grad_weight_ += matmul_at_b(cached_input_, grad_output);
+  grad_bias_ += col_sum(grad_output);
+  return matmul_a_bt(grad_output, weight_);
+}
+
+}  // namespace fedra

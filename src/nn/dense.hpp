@@ -1,0 +1,43 @@
+// Fully connected layer: y = x W + b, with W (in x out) and b (1 x out).
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+enum class Init {
+  Xavier,  ///< uniform(-sqrt(6/(in+out)), +sqrt(6/(in+out))) — tanh/sigmoid
+  He,      ///< gaussian(0, sqrt(2/in)) — ReLU family
+  Zero,    ///< zeros (useful for output heads that should start neutral)
+};
+
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng,
+        Init init = Init::Xavier);
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+
+  std::vector<Matrix*> params() override { return {&weight_, &bias_}; }
+  std::vector<Matrix*> grads() override { return {&grad_weight_, &grad_bias_}; }
+  std::string name() const override { return "Dense"; }
+
+  std::size_t in_features() const { return weight_.rows(); }
+  std::size_t out_features() const { return weight_.cols(); }
+
+  const Matrix& weight() const { return weight_; }
+  const Matrix& bias() const { return bias_; }
+  Matrix& weight() { return weight_; }
+  Matrix& bias() { return bias_; }
+
+ private:
+  Matrix weight_;
+  Matrix bias_;
+  Matrix grad_weight_;
+  Matrix grad_bias_;
+  Matrix cached_input_;
+};
+
+}  // namespace fedra

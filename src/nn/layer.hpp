@@ -1,0 +1,46 @@
+// Layer abstraction for the fedra neural-network library.
+//
+// Layers operate on batches: a (batch x features) Matrix flows forward, the
+// loss gradient flows backward. Each layer caches whatever it needs from
+// the forward pass; backward() must be called with the same batch that was
+// last forwarded. Parameter gradients ACCUMULATE across backward calls so
+// federated local training can average minibatches; call zero_grad()
+// between optimizer steps.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace fedra {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass on a batch (rows = samples).
+  virtual Matrix forward(const Matrix& input) = 0;
+
+  /// Backward pass: given dLoss/dOutput, accumulates parameter gradients
+  /// and returns dLoss/dInput.
+  virtual Matrix backward(const Matrix& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers). Pointers remain
+  /// valid for the layer's lifetime.
+  virtual std::vector<Matrix*> params() { return {}; }
+
+  /// Gradients, aligned 1:1 with params().
+  virtual std::vector<Matrix*> grads() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  void zero_grad() {
+    for (Matrix* g : grads()) g->set_zero();
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace fedra

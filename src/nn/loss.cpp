@@ -1,0 +1,80 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "tensor/ops.hpp"
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+LossResult mse_loss(const Matrix& pred, const Matrix& target) {
+  FEDRA_EXPECTS(pred.same_shape(target));
+  FEDRA_EXPECTS(pred.rows() > 0);
+  LossResult r;
+  r.grad = Matrix(pred.rows(), pred.cols());
+  const double scale = 1.0 / static_cast<double>(pred.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    acc += d * d;
+    r.grad[i] = 2.0 * d * scale;
+  }
+  r.value = acc * scale;
+  return r;
+}
+
+LossResult softmax_cross_entropy(const Matrix& logits,
+                                 const std::vector<std::size_t>& labels) {
+  FEDRA_EXPECTS(logits.rows() == labels.size());
+  FEDRA_EXPECTS(logits.rows() > 0);
+  LossResult r;
+  Matrix probs = softmax_rows(logits);
+  const double inv_batch = 1.0 / static_cast<double>(logits.rows());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    FEDRA_EXPECTS(labels[i] < logits.cols());
+    const double p = probs(i, labels[i]);
+    acc += -std::log(std::max(p, 1e-12));
+    probs(i, labels[i]) -= 1.0;  // dCE/dlogit = softmax - onehot
+  }
+  probs *= inv_batch;
+  r.value = acc * inv_batch;
+  r.grad = std::move(probs);
+  return r;
+}
+
+LossResult huber_loss(const Matrix& pred, const Matrix& target,
+                      double delta) {
+  FEDRA_EXPECTS(pred.same_shape(target));
+  FEDRA_EXPECTS(pred.rows() > 0);
+  FEDRA_EXPECTS(delta > 0.0);
+  LossResult r;
+  r.grad = Matrix(pred.rows(), pred.cols());
+  const double scale = 1.0 / static_cast<double>(pred.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    if (std::abs(d) <= delta) {
+      acc += 0.5 * d * d;
+      r.grad[i] = d * scale;
+    } else {
+      acc += delta * (std::abs(d) - 0.5 * delta);
+      r.grad[i] = (d > 0.0 ? delta : -delta) * scale;
+    }
+  }
+  r.value = acc * scale;
+  return r;
+}
+
+double accuracy(const Matrix& logits, const std::vector<std::size_t>& labels) {
+  FEDRA_EXPECTS(logits.rows() == labels.size());
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    if (argmax_row(logits, i) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace fedra

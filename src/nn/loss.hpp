@@ -1,0 +1,35 @@
+// Loss functions. Each returns the mean loss over the batch and exposes the
+// gradient with respect to the network output (already divided by batch
+// size, so backward() through the network yields mean gradients).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace fedra {
+
+struct LossResult {
+  double value = 0.0;  ///< mean loss over the batch
+  Matrix grad;         ///< dLoss/dPrediction, shape of the prediction
+};
+
+/// Mean squared error: mean over batch and output dims of (pred-target)^2.
+LossResult mse_loss(const Matrix& pred, const Matrix& target);
+
+/// Fused softmax + cross-entropy against integer class labels.
+/// `logits` is (batch x classes); labels[i] in [0, classes).
+LossResult softmax_cross_entropy(const Matrix& logits,
+                                 const std::vector<std::size_t>& labels);
+
+/// Huber (smooth-L1) loss: quadratic within |err| <= delta, linear
+/// outside. The robust choice for value-function regression where TD
+/// targets carry outliers.
+LossResult huber_loss(const Matrix& pred, const Matrix& target,
+                      double delta = 1.0);
+
+/// Classification accuracy of logits against labels.
+double accuracy(const Matrix& logits, const std::vector<std::size_t>& labels);
+
+}  // namespace fedra

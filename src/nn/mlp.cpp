@@ -1,0 +1,127 @@
+#include "nn/mlp.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "tensor/serialize.hpp"
+
+namespace fedra {
+
+void Sequential::add(LayerPtr layer) {
+  FEDRA_EXPECTS(layer != nullptr);
+  layers_.push_back(std::move(layer));
+}
+
+Matrix Sequential::forward(const Matrix& input) {
+  Matrix x = input;
+  for (auto& l : layers_) x = l->forward(x);
+  return x;
+}
+
+Matrix Sequential::backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Matrix*> Sequential::params() {
+  std::vector<Matrix*> ps;
+  for (auto& l : layers_) {
+    for (Matrix* p : l->params()) ps.push_back(p);
+  }
+  return ps;
+}
+
+std::vector<Matrix*> Sequential::grads() {
+  std::vector<Matrix*> gs;
+  for (auto& l : layers_) {
+    for (Matrix* g : l->grads()) gs.push_back(g);
+  }
+  return gs;
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  FEDRA_EXPECTS(i < layers_.size());
+  return *layers_[i];
+}
+
+std::size_t Sequential::num_params() {
+  std::size_t n = 0;
+  for (Matrix* p : params()) n += p->size();
+  return n;
+}
+
+void Sequential::copy_params_from(Sequential& other) {
+  auto dst = params();
+  auto src = other.params();
+  FEDRA_EXPECTS(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    FEDRA_EXPECTS(dst[i]->same_shape(*src[i]));
+    *dst[i] = *src[i];
+  }
+}
+
+std::vector<Matrix> Sequential::param_values() {
+  std::vector<Matrix> values;
+  for (Matrix* p : params()) values.push_back(*p);
+  return values;
+}
+
+void Sequential::set_param_values(const std::vector<Matrix>& values) {
+  auto ps = params();
+  FEDRA_EXPECTS(ps.size() == values.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    FEDRA_EXPECTS(ps[i]->same_shape(values[i]));
+    *ps[i] = values[i];
+  }
+}
+
+void Sequential::save(const std::string& path) {
+  save_matrices(path, param_values());
+}
+
+void Sequential::load(const std::string& path) {
+  set_param_values(load_matrices(path));
+}
+
+namespace {
+
+LayerPtr make_activation(Activation a) {
+  switch (a) {
+    case Activation::ReLU:
+      return std::make_unique<ReLU>();
+    case Activation::LeakyReLU:
+      return std::make_unique<LeakyReLU>();
+    case Activation::Tanh:
+      return std::make_unique<Tanh>();
+    case Activation::Sigmoid:
+      return std::make_unique<Sigmoid>();
+    case Activation::None:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+Init init_for(Activation a) {
+  return (a == Activation::ReLU || a == Activation::LeakyReLU) ? Init::He
+                                                               : Init::Xavier;
+}
+
+}  // namespace
+
+Mlp::Mlp(const std::vector<std::size_t>& sizes, Activation hidden, Rng& rng,
+         Activation output) {
+  FEDRA_EXPECTS(sizes.size() >= 2);
+  in_features_ = sizes.front();
+  out_features_ = sizes.back();
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    const bool last = (i + 2 == sizes.size());
+    add(std::make_unique<Dense>(sizes[i], sizes[i + 1], rng,
+                                last ? Init::Xavier : init_for(hidden)));
+    LayerPtr act = make_activation(last ? output : hidden);
+    if (act) add(std::move(act));
+  }
+}
+
+}  // namespace fedra

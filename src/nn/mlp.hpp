@@ -1,0 +1,68 @@
+// Sequential container and a convenience MLP builder.
+//
+// Mlp is the workhorse model type of fedra: the actor and critic networks
+// of the DRL agent and the on-device federated models are all Mlps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+enum class Activation { ReLU, LeakyReLU, Tanh, Sigmoid, None };
+
+/// A stack of layers applied in order.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  void add(LayerPtr layer);
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<Matrix*> params() override;
+  std::vector<Matrix*> grads() override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+
+  /// Total number of scalar parameters.
+  std::size_t num_params();
+
+  /// Copies parameter values from another network with identical topology.
+  void copy_params_from(Sequential& other);
+
+  /// Snapshot of parameter values (deep copy, aligned with params()).
+  std::vector<Matrix> param_values();
+
+  /// Restores a snapshot produced by param_values().
+  void set_param_values(const std::vector<Matrix>& values);
+
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// Fully-connected network: sizes = {in, h1, ..., out}. `hidden` activation
+/// is inserted after every layer except the last; `output` after the last.
+/// Hidden layers use He init for ReLU-family activations, Xavier otherwise.
+class Mlp : public Sequential {
+ public:
+  Mlp(const std::vector<std::size_t>& sizes, Activation hidden, Rng& rng,
+      Activation output = Activation::None);
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+ private:
+  std::size_t in_features_ = 0;
+  std::size_t out_features_ = 0;
+};
+
+}  // namespace fedra

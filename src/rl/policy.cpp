@@ -1,0 +1,243 @@
+#include "rl/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/serialize.hpp"
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+double sigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+std::vector<std::size_t> mlp_sizes(std::size_t in,
+                                   const std::vector<std::size_t>& hidden,
+                                   std::size_t out) {
+  std::vector<std::size_t> sizes;
+  sizes.push_back(in);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(out);
+  return sizes;
+}
+
+}  // namespace
+
+GaussianPolicy::GaussianPolicy(std::size_t state_dim, std::size_t action_dim,
+                               const PolicyConfig& config, Rng& rng)
+    : state_dim_(state_dim),
+      action_dim_(action_dim),
+      config_(config),
+      mean_net_(mlp_sizes(state_dim, config.hidden,
+                          config.state_dependent_std ? 2 * action_dim
+                                                     : action_dim),
+                config.activation, rng),
+      log_std_(1, action_dim, config.init_log_std),
+      grad_log_std_(1, action_dim) {
+  FEDRA_EXPECTS(state_dim > 0 && action_dim > 0);
+  FEDRA_EXPECTS(config.min_log_std <= config.init_log_std &&
+                config.init_log_std <= config.max_log_std);
+  if (config_.state_dependent_std) {
+    // Bias the log-std head so the initial policy explores at the
+    // configured width (raw head starts near zero; shift it).
+    auto params = mean_net_.params();
+    Matrix& out_bias = *params.back();  // last Dense's bias (1 x 2A)
+    FEDRA_EXPECTS(out_bias.rows() == 1 &&
+                  out_bias.cols() == 2 * action_dim);
+    for (std::size_t j = 0; j < action_dim; ++j) {
+      out_bias[action_dim + j] = config.init_log_std;
+    }
+  }
+}
+
+double GaussianPolicy::log_sigma_at(const Matrix& raw, std::size_t b,
+                                    std::size_t j) const {
+  if (!config_.state_dependent_std) return log_std_[j];
+  return std::clamp(raw(b, action_dim_ + j), config_.min_log_std,
+                    config_.max_log_std);
+}
+
+bool GaussianPolicy::log_sigma_in_range(const Matrix& raw, std::size_t b,
+                                        std::size_t j) const {
+  if (!config_.state_dependent_std) return true;
+  const double v = raw(b, action_dim_ + j);
+  return v > config_.min_log_std && v < config_.max_log_std;
+}
+
+PolicySample GaussianPolicy::act(const std::vector<double>& state, Rng& rng) {
+  FEDRA_EXPECTS(state.size() == state_dim_);
+  Matrix s = Matrix::row_vector(state);
+  Matrix raw = forward_raw(s);
+  PolicySample sample;
+  sample.action.resize(action_dim_);
+  sample.action_u.resize(action_dim_);
+  double logp = 0.0;
+  for (std::size_t j = 0; j < action_dim_; ++j) {
+    const double ls = log_sigma_at(raw, 0, j);
+    const double sd = std::exp(ls);
+    const double u = raw(0, j) + sd * rng.gaussian();
+    const double z = (u - raw(0, j)) / sd;
+    logp += -0.5 * z * z - ls - 0.5 * kLog2Pi;
+    sample.action_u[j] = u;
+    sample.action[j] = sigmoid(u);
+  }
+  sample.log_prob = logp;
+  return sample;
+}
+
+std::vector<double> GaussianPolicy::mean_action(
+    const std::vector<double>& state) {
+  FEDRA_EXPECTS(state.size() == state_dim_);
+  Matrix s = Matrix::row_vector(state);
+  Matrix raw = forward_raw(s);
+  std::vector<double> action(action_dim_);
+  for (std::size_t j = 0; j < action_dim_; ++j) {
+    action[j] = sigmoid(raw(0, j));
+  }
+  return action;
+}
+
+std::vector<double> GaussianPolicy::log_probs(const Matrix& states,
+                                              const Matrix& actions_u) {
+  return forward_log_probs(states, actions_u);
+}
+
+std::vector<double> GaussianPolicy::forward_log_probs(
+    const Matrix& states, const Matrix& actions_u) {
+  FEDRA_EXPECTS(states.cols() == state_dim_);
+  FEDRA_EXPECTS(actions_u.cols() == action_dim_);
+  FEDRA_EXPECTS(states.rows() == actions_u.rows());
+  cached_out_ = forward_raw(states);
+  std::vector<double> logps(states.rows());
+  double entropy_acc = 0.0;
+  for (std::size_t b = 0; b < states.rows(); ++b) {
+    double logp = 0.0;
+    for (std::size_t j = 0; j < action_dim_; ++j) {
+      const double ls = log_sigma_at(cached_out_, b, j);
+      const double sd = std::exp(ls);
+      const double z = (actions_u(b, j) - cached_out_(b, j)) / sd;
+      logp += -0.5 * z * z - ls - 0.5 * kLog2Pi;
+      entropy_acc += ls + 0.5 * (kLog2Pi + 1.0);
+    }
+    logps[b] = logp;
+  }
+  last_entropy_ = states.rows() > 0
+                      ? entropy_acc / static_cast<double>(states.rows())
+                      : 0.0;
+  return logps;
+}
+
+void GaussianPolicy::backward_log_probs(const Matrix& states,
+                                        const Matrix& actions_u,
+                                        const std::vector<double>& coeff,
+                                        double entropy_coeff) {
+  FEDRA_EXPECTS(states.rows() == coeff.size());
+  FEDRA_EXPECTS(cached_out_.rows() == states.rows());
+  const std::size_t batch = states.rows();
+  const bool sds = config_.state_dependent_std;
+  // d logp / d mu_j       = (u_j - mu_j) / sigma_j^2
+  // d logp / d log sigma_j = z_j^2 - 1, with z = (u - mu)/sigma.
+  // Entropy term (loss -entropy_coeff * H_bar):
+  //   state-indep: dH/dlog sigma_j = 1 (H global)
+  //   state-dep:   dH_bar/d raw_{b,j} = 1/B inside the clamp.
+  Matrix grad_out(batch, sds ? 2 * action_dim_ : action_dim_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t j = 0; j < action_dim_; ++j) {
+      const double ls = log_sigma_at(cached_out_, b, j);
+      const double sd = std::exp(ls);
+      const double diff = actions_u(b, j) - cached_out_(b, j);
+      const double z = diff / sd;
+      grad_out(b, j) = coeff[b] * diff / (sd * sd);
+      const double dlogp_dls = coeff[b] * (z * z - 1.0);
+      if (sds) {
+        if (log_sigma_in_range(cached_out_, b, j)) {
+          grad_out(b, action_dim_ + j) =
+              dlogp_dls -
+              entropy_coeff / static_cast<double>(batch);
+        }
+      } else {
+        grad_log_std_[j] += dlogp_dls;
+      }
+    }
+  }
+  if (!sds && entropy_coeff != 0.0) {
+    for (std::size_t j = 0; j < action_dim_; ++j) {
+      grad_log_std_[j] -= entropy_coeff;
+    }
+  }
+  mean_net_.backward(grad_out);
+}
+
+double GaussianPolicy::entropy() const {
+  if (config_.state_dependent_std) return last_entropy_;
+  double h = 0.0;
+  for (std::size_t j = 0; j < action_dim_; ++j) {
+    h += log_std_[j] + 0.5 * (kLog2Pi + 1.0);
+  }
+  return h;
+}
+
+void GaussianPolicy::accumulate_entropy_grad(double coeff) {
+  FEDRA_EXPECTS(!config_.state_dependent_std);
+  for (std::size_t j = 0; j < action_dim_; ++j) grad_log_std_[j] += coeff;
+}
+
+std::vector<Matrix*> GaussianPolicy::params() {
+  auto ps = mean_net_.params();
+  if (!config_.state_dependent_std) ps.push_back(&log_std_);
+  return ps;
+}
+
+std::vector<Matrix*> GaussianPolicy::grads() {
+  auto gs = mean_net_.grads();
+  if (!config_.state_dependent_std) gs.push_back(&grad_log_std_);
+  return gs;
+}
+
+void GaussianPolicy::zero_grad() {
+  mean_net_.zero_grad();
+  grad_log_std_.set_zero();
+}
+
+void GaussianPolicy::clamp_log_std() {
+  if (config_.state_dependent_std) return;  // clamped at evaluation time
+  for (std::size_t j = 0; j < action_dim_; ++j) {
+    log_std_[j] =
+        std::clamp(log_std_[j], config_.min_log_std, config_.max_log_std);
+  }
+}
+
+void GaussianPolicy::copy_params_from(GaussianPolicy& other) {
+  auto dst = params();
+  auto src = other.params();
+  FEDRA_EXPECTS(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    FEDRA_EXPECTS(dst[i]->same_shape(*src[i]));
+    *dst[i] = *src[i];
+  }
+}
+
+void GaussianPolicy::save(const std::string& path) {
+  std::vector<Matrix> values;
+  for (Matrix* p : params()) values.push_back(*p);
+  save_matrices(path, values);
+}
+
+void GaussianPolicy::load(const std::string& path) {
+  auto values = load_matrices(path);
+  auto ps = params();
+  FEDRA_EXPECTS(values.size() == ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    FEDRA_EXPECTS(ps[i]->same_shape(values[i]));
+    *ps[i] = values[i];
+  }
+}
+
+}  // namespace fedra

@@ -1,0 +1,123 @@
+// Diagonal-Gaussian policy with a sigmoid squash — the actor network of
+// the paper's DRL agent (Section IV-B2: continuous delta_i in (0, 1] of
+// delta_i^max, so tabular/value methods are out and the policy is a neural
+// network pi(a|s; theta_a)).
+//
+// Architecture: an MLP maps the state to the Gaussian mean mu(s) in
+// u-space; log-std is a state-independent trainable vector. A sample
+// u ~ N(mu, sigma) is squashed to the action a = sigmoid(u) in (0, 1).
+// PPO ratios are formed in u-space: the squash Jacobian is identical under
+// the old and new policies for a stored u, so it cancels in the ratio and
+// never needs to be differentiated.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+struct PolicyConfig {
+  std::vector<std::size_t> hidden = {64, 64};
+  Activation activation = Activation::Tanh;
+  double init_log_std = -0.7;  ///< sigma ~ 0.5 in u-space
+  double min_log_std = -5.0;
+  double max_log_std = 1.0;
+  /// false (default): log-std is a free state-independent parameter
+  /// vector (the common PPO choice). true: the network emits 2A outputs —
+  /// mean and log-std per action — so exploration width can depend on the
+  /// observed bandwidth state (wider when the regime is ambiguous).
+  bool state_dependent_std = false;
+};
+
+/// One sampled decision.
+struct PolicySample {
+  std::vector<double> action;    ///< sigmoid(u), in (0,1)^A
+  std::vector<double> action_u;  ///< pre-squash Gaussian sample
+  double log_prob = 0.0;         ///< log N(u; mu(s), sigma)
+};
+
+class GaussianPolicy {
+ public:
+  GaussianPolicy(std::size_t state_dim, std::size_t action_dim,
+                 const PolicyConfig& config, Rng& rng);
+
+  std::size_t state_dim() const { return state_dim_; }
+  std::size_t action_dim() const { return action_dim_; }
+
+  /// Stochastic action for one state (training-time exploration).
+  PolicySample act(const std::vector<double>& state, Rng& rng);
+
+  /// Deterministic action sigmoid(mu(s)) (online reasoning uses the mean,
+  /// Section V-B2).
+  std::vector<double> mean_action(const std::vector<double>& state);
+
+  /// log pi(u|s) for a batch, WITHOUT caching for backward (evaluation).
+  std::vector<double> log_probs(const Matrix& states, const Matrix& actions_u);
+
+  /// Forward pass that caches activations; returns per-row log pi(u|s).
+  /// Must be followed by backward_log_probs on the same batch.
+  std::vector<double> forward_log_probs(const Matrix& states,
+                                        const Matrix& actions_u);
+
+  /// Accumulates gradients of
+  ///   sum_b coeff[b] * log pi(u_b|s_b)  -  entropy_coeff * H_bar
+  /// w.r.t. all policy parameters, where H_bar is the policy entropy
+  /// (batch mean for state-dependent sigma). The caller encodes the
+  /// surrogate objective in `coeff` (e.g. -adv * ratio / B for PPO) and
+  /// the entropy-bonus weight in `entropy_coeff` (loss convention: a
+  /// positive coefficient REWARDS entropy).
+  void backward_log_probs(const Matrix& states, const Matrix& actions_u,
+                          const std::vector<double>& coeff,
+                          double entropy_coeff = 0.0);
+
+  /// Policy entropy: exact for state-independent sigma; for
+  /// state-dependent sigma, the batch-mean entropy of the most recent
+  /// forward_log_probs call (0 before any call).
+  double entropy() const;
+
+  /// Adds d(entropy)/d(log_std) * coeff to the log-std gradient (entropy
+  /// bonus). Only valid for state-independent sigma — state-dependent
+  /// entropy must flow through backward_log_probs' entropy_coeff.
+  void accumulate_entropy_grad(double coeff);
+
+  std::vector<Matrix*> params();
+  std::vector<Matrix*> grads();
+  void zero_grad();
+
+  /// Keeps log-std inside [min, max] after an optimizer step.
+  void clamp_log_std();
+
+  void copy_params_from(GaussianPolicy& other);
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+  const Matrix& log_std() const { return log_std_; }
+  Mlp& mean_net() { return mean_net_; }
+
+ private:
+  /// Raw network output: A columns (mean) or 2A (mean + raw log-std).
+  Matrix forward_raw(const Matrix& states) {
+    return mean_net_.forward(states);
+  }
+  /// Clamped log-sigma of sample b, action j, given the raw net output.
+  double log_sigma_at(const Matrix& raw, std::size_t b, std::size_t j) const;
+  /// Whether the clamp is inactive (gradient passes) at (b, j).
+  bool log_sigma_in_range(const Matrix& raw, std::size_t b,
+                          std::size_t j) const;
+
+  std::size_t state_dim_;
+  std::size_t action_dim_;
+  PolicyConfig config_;
+  Mlp mean_net_;
+  Matrix log_std_;       ///< state-independent mode only
+  Matrix grad_log_std_;
+  Matrix cached_out_;    ///< raw output of the last forward_log_probs batch
+  double last_entropy_ = 0.0;  ///< batch-mean entropy (state-dep mode)
+};
+
+}  // namespace fedra

@@ -1,0 +1,88 @@
+// Proximal Policy Optimization (clipped surrogate) with an actor-critic
+// pair, implementing the update stage of Algorithm 1:
+//   - the SAMPLING policy theta_a^old fills the buffer (lines 11-16);
+//   - M epochs of minibatch PPO update theta_a (line 19);
+//   - the critic V(.; theta_v) is fitted by minimizing the one-step TD
+//     residual [r + gamma V(s') - V(s)]^2 (line 20, semi-gradient: the
+//     bootstrap target is re-evaluated under the current critic each
+//     epoch but not differentiated);
+//   - theta_a^old <- theta_a and the buffer is cleared (lines 22-23).
+#pragma once
+
+#include <cstddef>
+
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "rl/policy.hpp"
+#include "rl/rollout.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+struct PpoConfig {
+  double gamma = 0.95;
+  double gae_lambda = 0.95;
+  double clip_epsilon = 0.2;
+  std::size_t update_epochs = 10;  ///< M of Algorithm 1
+  std::size_t minibatch_size = 64;
+  double actor_lr = 3e-4;
+  double critic_lr = 1e-3;
+  double entropy_coef = 1e-3;
+  double max_grad_norm = 0.5;
+  std::vector<std::size_t> critic_hidden = {64, 64};
+  Activation critic_activation = Activation::Tanh;
+  /// Huber (smooth-L1) critic loss instead of squared TD error: linear
+  /// tails cap the gradient of outlier targets (long straggler
+  /// iterations produce heavy-tailed rewards). 0 disables.
+  double critic_huber_delta = 0.0;
+};
+
+struct UpdateStats {
+  double policy_loss = 0.0;   ///< mean clipped-surrogate loss (minimized)
+  double value_loss = 0.0;    ///< mean TD residual squared
+  double entropy = 0.0;       ///< policy entropy after the update
+  double approx_kl = 0.0;     ///< mean(logp_old - logp_new) after update
+  double clip_fraction = 0.0; ///< fraction of samples with clipped ratio
+  /// Combined scalar reported as the "training loss" of the paper's
+  /// Fig. 6(a): policy_loss + value_loss - entropy_coef * entropy.
+  double total_loss = 0.0;
+};
+
+class PpoAgent {
+ public:
+  PpoAgent(std::size_t state_dim, std::size_t action_dim,
+           const PolicyConfig& policy_config, const PpoConfig& config,
+           std::uint64_t seed);
+
+  const PpoConfig& config() const { return config_; }
+
+  /// Samples from theta_a^old (the behavior policy, Algorithm 1 line 12).
+  PolicySample act(const std::vector<double>& state, Rng& rng);
+
+  /// Deterministic mean action from theta_a (online reasoning).
+  std::vector<double> mean_action(const std::vector<double>& state);
+
+  /// V(s; theta_v) for rollout bookkeeping.
+  double value(const std::vector<double>& state);
+
+  /// Runs M PPO epochs + critic fits over the (full) buffer, then syncs
+  /// theta_a^old <- theta_a. The caller clears the buffer afterwards.
+  UpdateStats update(const RolloutBuffer& buffer, Rng& rng);
+
+  GaussianPolicy& policy() { return policy_; }
+  GaussianPolicy& behavior_policy() { return policy_old_; }
+  Mlp& critic() { return critic_; }
+
+  void save(const std::string& prefix);
+  void load(const std::string& prefix);
+
+ private:
+  PpoConfig config_;
+  GaussianPolicy policy_;      ///< theta_a
+  GaussianPolicy policy_old_;  ///< theta_a^old
+  Mlp critic_;                 ///< theta_v
+  Adam actor_opt_;
+  Adam critic_opt_;
+};
+
+}  // namespace fedra

@@ -1,0 +1,135 @@
+#include "rl/prioritized_replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedra {
+
+SumTree::SumTree(std::size_t capacity) : capacity_(capacity) {
+  FEDRA_EXPECTS(capacity > 0);
+  base_ = 1;
+  while (base_ < capacity) base_ *= 2;
+  nodes_.assign(2 * base_, 0.0);
+}
+
+double SumTree::get(std::size_t leaf) const {
+  FEDRA_EXPECTS(leaf < capacity_);
+  return nodes_[base_ + leaf];
+}
+
+void SumTree::set(std::size_t leaf, double weight) {
+  FEDRA_EXPECTS(leaf < capacity_);
+  FEDRA_EXPECTS(weight >= 0.0);
+  std::size_t idx = base_ + leaf;
+  nodes_[idx] = weight;
+  while (idx > 1) {
+    idx /= 2;
+    nodes_[idx] = nodes_[2 * idx] + nodes_[2 * idx + 1];
+  }
+}
+
+std::size_t SumTree::find_prefix(double u) const {
+  FEDRA_EXPECTS(u >= 0.0 && u < total());
+  std::size_t idx = 1;
+  while (idx < base_) {
+    const double left = nodes_[2 * idx];
+    if (u < left) {
+      idx = 2 * idx;
+    } else {
+      u -= left;
+      idx = 2 * idx + 1;
+    }
+  }
+  // Floating-point drift can land on a zero-weight leaf; walk left to the
+  // nearest positive one.
+  std::size_t leaf = idx - base_;
+  while (leaf > 0 && nodes_[base_ + leaf] == 0.0) --leaf;
+  return std::min(leaf, capacity_ - 1);
+}
+
+PrioritizedReplayBuffer::PrioritizedReplayBuffer(std::size_t capacity,
+                                                 double alpha, double beta)
+    : capacity_(capacity), alpha_(alpha), beta_(beta), tree_(capacity) {
+  FEDRA_EXPECTS(capacity > 0);
+  FEDRA_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+  FEDRA_EXPECTS(beta >= 0.0 && beta <= 1.0);
+  data_.reserve(capacity);
+}
+
+void PrioritizedReplayBuffer::set_beta(double beta) {
+  FEDRA_EXPECTS(beta >= 0.0 && beta <= 1.0);
+  beta_ = beta;
+}
+
+void PrioritizedReplayBuffer::push(OffPolicyTransition t) {
+  FEDRA_EXPECTS(!t.state.empty());
+  FEDRA_EXPECTS(t.next_state.size() == t.state.size());
+  std::size_t slot;
+  if (data_.size() < capacity_) {
+    slot = data_.size();
+    data_.push_back(std::move(t));
+  } else {
+    slot = next_;
+    data_[next_] = std::move(t);
+    next_ = (next_ + 1) % capacity_;
+  }
+  tree_.set(slot, std::pow(max_priority_, alpha_));
+}
+
+PrioritizedBatch PrioritizedReplayBuffer::sample(std::size_t batch,
+                                                 Rng& rng) const {
+  FEDRA_EXPECTS(!data_.empty());
+  FEDRA_EXPECTS(batch > 0);
+  FEDRA_EXPECTS(tree_.total() > 0.0);
+  const std::size_t sdim = data_.front().state.size();
+  const std::size_t adim = data_.front().action.size();
+
+  PrioritizedBatch out;
+  out.batch.states = Matrix(batch, sdim);
+  out.batch.actions = Matrix(batch, adim);
+  out.batch.next_states = Matrix(batch, sdim);
+  out.batch.rewards.resize(batch);
+  out.indices.resize(batch);
+  out.weights.resize(batch);
+
+  const double total = tree_.total();
+  const double n = static_cast<double>(data_.size());
+  double max_weight = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    // Stratified sampling: one draw per equal-mass segment.
+    const double seg = total / static_cast<double>(batch);
+    const double u = (static_cast<double>(b) + rng.uniform()) * seg;
+    const std::size_t idx = tree_.find_prefix(std::min(u, total * (1 - 1e-12)));
+    out.indices[b] = idx;
+    const double p = tree_.get(idx) / total;
+    out.weights[b] = std::pow(n * std::max(p, 1e-12), -beta_);
+    max_weight = std::max(max_weight, out.weights[b]);
+
+    const auto& t = data_[idx];
+    for (std::size_t j = 0; j < sdim; ++j) {
+      out.batch.states(b, j) = t.state[j];
+      out.batch.next_states(b, j) = t.next_state[j];
+    }
+    for (std::size_t j = 0; j < adim; ++j) {
+      out.batch.actions(b, j) = t.action[j];
+    }
+    out.batch.rewards[b] = t.reward;
+  }
+  // Normalize so the largest weight is 1 (standard stabilization).
+  for (auto& w : out.weights) w /= max_weight;
+  return out;
+}
+
+void PrioritizedReplayBuffer::update_priorities(
+    const std::vector<std::size_t>& indices,
+    const std::vector<double>& td_errors) {
+  FEDRA_EXPECTS(indices.size() == td_errors.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    FEDRA_EXPECTS(indices[i] < data_.size());
+    const double priority = std::abs(td_errors[i]) + kEps;
+    max_priority_ = std::max(max_priority_, priority);
+    tree_.set(indices[i], std::pow(priority, alpha_));
+  }
+}
+
+}  // namespace fedra

@@ -1,0 +1,81 @@
+// Prioritized experience replay (Schaul et al., cited by the paper's
+// related-work survey): transitions are sampled with probability
+// proportional to priority^alpha (priority = |TD error| + eps), with
+// importance-sampling weights correcting the induced bias. Sampling and
+// priority updates are O(log n) via a sum tree.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/replay.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+/// Complete binary tree whose leaves hold non-negative weights and whose
+/// internal nodes cache subtree sums; find_prefix(u) locates the leaf
+/// where the running prefix sum crosses u.
+class SumTree {
+ public:
+  explicit SumTree(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Sum of all leaf weights (the root lives at index 1; 0 is unused).
+  double total() const { return nodes_[1]; }
+  double get(std::size_t leaf) const;
+  void set(std::size_t leaf, double weight);
+
+  /// Returns the leaf index l such that u lands inside leaf l's weight
+  /// span when scanning leaves left to right. Requires 0 <= u < total().
+  std::size_t find_prefix(double u) const;
+
+ private:
+  std::size_t capacity_;   ///< leaves
+  std::size_t base_;       ///< index of first leaf in nodes_
+  std::vector<double> nodes_;
+};
+
+struct PrioritizedBatch {
+  OffPolicyBatch batch;
+  std::vector<std::size_t> indices;  ///< buffer slots (for priority updates)
+  std::vector<double> weights;       ///< normalized IS weights in (0, 1]
+};
+
+class PrioritizedReplayBuffer {
+ public:
+  /// alpha: prioritization strength (0 = uniform); beta: IS correction
+  /// strength (1 = full correction).
+  PrioritizedReplayBuffer(std::size_t capacity, double alpha = 0.6,
+                          double beta = 0.4);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return data_.size(); }
+
+  /// New transitions get the current maximum priority so they are seen at
+  /// least once.
+  void push(OffPolicyTransition t);
+
+  PrioritizedBatch sample(std::size_t batch, Rng& rng) const;
+
+  /// Re-prioritizes sampled transitions with fresh |TD errors|.
+  void update_priorities(const std::vector<std::size_t>& indices,
+                         const std::vector<double>& td_errors);
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+  void set_beta(double beta);
+
+ private:
+  std::size_t capacity_;
+  double alpha_;
+  double beta_;
+  double max_priority_ = 1.0;
+  std::size_t next_ = 0;
+  std::vector<OffPolicyTransition> data_;
+  SumTree tree_;
+  static constexpr double kEps = 1e-6;
+};
+
+}  // namespace fedra

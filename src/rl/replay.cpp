@@ -1,0 +1,50 @@
+#include "rl/replay.hpp"
+
+namespace fedra {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  FEDRA_EXPECTS(capacity > 0);
+  data_.reserve(capacity);
+}
+
+void ReplayBuffer::push(OffPolicyTransition t) {
+  FEDRA_EXPECTS(!t.state.empty());
+  FEDRA_EXPECTS(t.next_state.size() == t.state.size());
+  FEDRA_EXPECTS(!t.action.empty());
+  if (!data_.empty()) {
+    FEDRA_EXPECTS(t.state.size() == data_.front().state.size());
+    FEDRA_EXPECTS(t.action.size() == data_.front().action.size());
+  }
+  if (data_.size() < capacity_) {
+    data_.push_back(std::move(t));
+  } else {
+    data_[next_] = std::move(t);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+OffPolicyBatch ReplayBuffer::sample(std::size_t batch, Rng& rng) const {
+  FEDRA_EXPECTS(!data_.empty());
+  FEDRA_EXPECTS(batch > 0);
+  const std::size_t sdim = data_.front().state.size();
+  const std::size_t adim = data_.front().action.size();
+  OffPolicyBatch out;
+  out.states = Matrix(batch, sdim);
+  out.actions = Matrix(batch, adim);
+  out.next_states = Matrix(batch, sdim);
+  out.rewards.resize(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(data_.size()) - 1));
+    const auto& t = data_[idx];
+    for (std::size_t j = 0; j < sdim; ++j) {
+      out.states(b, j) = t.state[j];
+      out.next_states(b, j) = t.next_state[j];
+    }
+    for (std::size_t j = 0; j < adim; ++j) out.actions(b, j) = t.action[j];
+    out.rewards[b] = t.reward;
+  }
+  return out;
+}
+
+}  // namespace fedra

@@ -1,0 +1,50 @@
+// Uniform-sampling ring replay buffer for off-policy learners (DDPG).
+// Unlike the on-policy RolloutBuffer (Algorithm 1's D, filled and
+// cleared), this keeps a sliding window of the most recent transitions
+// and samples minibatches with replacement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+struct OffPolicyTransition {
+  std::vector<double> state;
+  std::vector<double> action;  ///< post-squash action in (0, 1)^A
+  double reward = 0.0;
+  std::vector<double> next_state;
+};
+
+/// A minibatch in matrix form, ready for network forward passes.
+struct OffPolicyBatch {
+  Matrix states;
+  Matrix actions;
+  std::vector<double> rewards;
+  Matrix next_states;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return data_.size(); }
+
+  void push(OffPolicyTransition t);
+
+  /// Samples `batch` transitions uniformly with replacement. Requires a
+  /// non-empty buffer.
+  OffPolicyBatch sample(std::size_t batch, Rng& rng) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< ring write position once full
+  std::vector<OffPolicyTransition> data_;
+};
+
+}  // namespace fedra

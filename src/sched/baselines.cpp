@@ -1,0 +1,181 @@
+#include "sched/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+// ---------------------------------------------------------------- FullSpeed
+
+std::vector<double> FullSpeedController::decide(const FlSimulator& sim) {
+  std::vector<double> freqs;
+  freqs.reserve(sim.num_devices());
+  for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz);
+  return freqs;
+}
+
+// ------------------------------------------------------------------- Static
+
+StaticController::StaticController(const FlSimulator& sim,
+                                   std::size_t probe_samples, Rng& rng) {
+  FEDRA_EXPECTS(probe_samples > 0);
+  std::vector<double> est(sim.num_devices());
+  for (std::size_t i = 0; i < sim.num_devices(); ++i) {
+    const auto& trace = sim.traces()[i];
+    double acc = 0.0;
+    for (std::size_t s = 0; s < probe_samples; ++s) {
+      acc += trace.bandwidth_at(rng.uniform(0.0, trace.duration()));
+    }
+    est[i] = acc / static_cast<double>(probe_samples);
+  }
+  freqs_ = solve_with_bandwidths(sim.devices(), est, sim.params(),
+                                 FlSimulator::kMinFreqFraction)
+               .freqs_hz;
+}
+
+std::vector<double> StaticController::decide(const FlSimulator& sim) {
+  FEDRA_EXPECTS(freqs_.size() == sim.num_devices());
+  return freqs_;
+}
+
+// ---------------------------------------------------------------- Heuristic
+
+HeuristicController::HeuristicController(const FlSimulator& sim) {
+  last_bandwidths_.reserve(sim.num_devices());
+  for (const auto& trace : sim.traces()) {
+    last_bandwidths_.push_back(trace.mean_bandwidth());
+  }
+}
+
+std::vector<double> HeuristicController::decide(const FlSimulator& sim) {
+  FEDRA_EXPECTS(last_bandwidths_.size() == sim.num_devices());
+  return solve_with_bandwidths(sim.devices(), last_bandwidths_, sim.params(),
+                               FlSimulator::kMinFreqFraction)
+      .freqs_hz;
+}
+
+void HeuristicController::observe(const IterationResult& result) {
+  FEDRA_EXPECTS(result.devices.size() == last_bandwidths_.size());
+  for (std::size_t i = 0; i < result.devices.size(); ++i) {
+    if (result.devices[i].avg_bandwidth > 0.0) {
+      last_bandwidths_[i] = result.devices[i].avg_bandwidth;
+    }
+  }
+}
+
+// ------------------------------------------------------------------- Oracle
+
+OracleController::OracleController(std::size_t grid_points)
+    : grid_points_(grid_points) {
+  FEDRA_EXPECTS(grid_points >= 4);
+}
+
+std::vector<double> OracleController::freqs_for_true_deadline(
+    const FlSimulator& sim, double deadline) const {
+  // For each device independently: the smallest frequency whose TRUE
+  // completion time (compute + trace-integral upload) is <= deadline.
+  // Completion time is non-increasing in frequency, so bisect.
+  const double start = sim.now();
+  const auto& params = sim.params();
+  std::vector<double> freqs(sim.num_devices());
+  for (std::size_t i = 0; i < sim.num_devices(); ++i) {
+    const DeviceProfile& d = sim.devices()[i];
+    const auto& trace = sim.traces()[i];
+    const auto completion = [&](double f) {
+      const double cmp = d.compute_time(f, params.tau);
+      return cmp + trace.upload_duration(start + cmp, params.model_bytes);
+    };
+    const double floor_hz = FlSimulator::kMinFreqFraction * d.max_freq_hz;
+    if (completion(d.max_freq_hz) >= deadline) {
+      freqs[i] = d.max_freq_hz;  // even flat-out misses it
+      continue;
+    }
+    if (completion(floor_hz) <= deadline) {
+      freqs[i] = floor_hz;  // even the floor makes it
+      continue;
+    }
+    double lo = floor_hz;  // completion(lo) > deadline
+    double hi = d.max_freq_hz;  // completion(hi) < deadline
+    for (int iter = 0; iter < 60 && hi - lo > 1e3; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (completion(mid) <= deadline) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    freqs[i] = hi;
+  }
+  return freqs;
+}
+
+double OracleController::true_cost(const FlSimulator& sim,
+                                   double deadline) const {
+  const auto freqs = freqs_for_true_deadline(sim, deadline);
+  return sim.preview(freqs, sim.now()).cost;
+}
+
+std::vector<double> OracleController::decide(const FlSimulator& sim) {
+  const double start = sim.now();
+  const auto& params = sim.params();
+
+  // Bracket: fastest possible finish .. everyone at the frequency floor.
+  double lo = 0.0;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < sim.num_devices(); ++i) {
+    const DeviceProfile& d = sim.devices()[i];
+    const auto& trace = sim.traces()[i];
+    const double cmp_fast = d.min_compute_time(params.tau);
+    lo = std::max(lo, cmp_fast + trace.upload_duration(start + cmp_fast,
+                                                       params.model_bytes));
+    const double floor_hz = FlSimulator::kMinFreqFraction * d.max_freq_hz;
+    const double cmp_slow = d.compute_time(floor_hz, params.tau);
+    hi = std::max(hi, cmp_slow + trace.upload_duration(start + cmp_slow,
+                                                       params.model_bytes));
+  }
+  hi = std::max(hi, lo * (1.0 + 1e-9));
+
+  // Realized cost(T) need not be convex (the trace integral is piecewise
+  // linear), so scan a grid first, then golden-section the best bracket.
+  double best_t = lo;
+  double best_c = true_cost(sim, lo);
+  const double step = (hi - lo) / static_cast<double>(grid_points_ - 1);
+  for (std::size_t g = 1; g < grid_points_; ++g) {
+    const double t = lo + static_cast<double>(g) * step;
+    const double c = true_cost(sim, t);
+    if (c < best_c) {
+      best_c = c;
+      best_t = t;
+    }
+  }
+
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = std::max(lo, best_t - step);
+  double b = std::min(hi, best_t + step);
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = true_cost(sim, x1);
+  double f2 = true_cost(sim, x2);
+  for (int iter = 0; iter < 40 && b - a > 1e-4; ++iter) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = true_cost(sim, x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = true_cost(sim, x2);
+    }
+  }
+  const double refined = 0.5 * (a + b);
+  if (true_cost(sim, refined) < best_c) best_t = refined;
+  return freqs_for_true_deadline(sim, best_t);
+}
+
+}  // namespace fedra

@@ -1,0 +1,86 @@
+// The comparison controllers of the paper's evaluation (Section V-A), plus
+// two calibration points:
+//
+//   Heuristic [3]  — re-solves the frequency assignment each iteration
+//                    using the bandwidth REALIZED in the previous
+//                    iteration ("the parameter server could know all the
+//                    mobile devices' bandwidth information" from the
+//                    round that just ended);
+//   Static    [4]  — assumes the network is static: samples some bandwidth
+//                    measurements up front, solves once for the average,
+//                    and uses the same frequencies in every iteration;
+//   FullSpeed      — delta_i = delta_i^max always (no DVFS at all);
+//   Oracle         — optimizes against the TRUE future bandwidth of the
+//                    upcoming iteration via simulator preview. NEARLY a
+//                    clairvoyant lower bound: it searches deadline-matched
+//                    assignments (every participant targets one completion
+//                    time T) over a grid+golden scan of T, which is the
+//                    optimal FAMILY when comm energy is start-time
+//                    independent but can be off by a hair when upload
+//                    windows make later starts cheaper. Treat it as a
+//                    near-optimal reference, not an exact bound.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/controller.hpp"
+#include "sched/deadline_solver.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+class FullSpeedController final : public Controller {
+ public:
+  std::vector<double> decide(const FlSimulator& sim) override;
+  std::string name() const override { return "fullspeed"; }
+};
+
+class StaticController final : public Controller {
+ public:
+  /// Draws `probe_samples` random bandwidth measurements per device from
+  /// its trace, averages them, and solves the deadline problem once.
+  StaticController(const FlSimulator& sim, std::size_t probe_samples,
+                   Rng& rng);
+
+  std::vector<double> decide(const FlSimulator& sim) override;
+  std::string name() const override { return "static"; }
+
+  const std::vector<double>& fixed_freqs() const { return freqs_; }
+
+ private:
+  std::vector<double> freqs_;
+};
+
+class HeuristicController final : public Controller {
+ public:
+  /// Until the first observation arrives, falls back to the per-device
+  /// mean trace bandwidth (same information the Static baseline gets).
+  explicit HeuristicController(const FlSimulator& sim);
+
+  std::vector<double> decide(const FlSimulator& sim) override;
+  void observe(const IterationResult& result) override;
+  std::string name() const override { return "heuristic"; }
+
+ private:
+  std::vector<double> last_bandwidths_;
+};
+
+class OracleController final : public Controller {
+ public:
+  /// `grid_points` coarse deadlines are evaluated with true previews; the
+  /// best bracket is refined by golden-section.
+  explicit OracleController(std::size_t grid_points = 48);
+
+  std::vector<double> decide(const FlSimulator& sim) override;
+  std::string name() const override { return "oracle"; }
+
+ private:
+  std::vector<double> freqs_for_true_deadline(const FlSimulator& sim,
+                                              double deadline) const;
+  double true_cost(const FlSimulator& sim, double deadline) const;
+
+  std::size_t grid_points_;
+};
+
+}  // namespace fedra

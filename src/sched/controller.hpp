@@ -1,0 +1,28 @@
+// Controller interface: anything that can pick per-device CPU-cycle
+// frequencies at the start of an iteration. Implemented by the model-based
+// baselines (fedra::sched) and by the DRL agent (fedra::core), so the
+// evaluation harness runs them all through one loop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace fedra {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Frequencies (Hz) for the iteration starting at sim.now(). Must not
+  /// advance the simulator.
+  virtual std::vector<double> decide(const FlSimulator& sim) = 0;
+
+  /// Feedback after the iteration completes; default ignores it.
+  virtual void observe(const IterationResult& result) { (void)result; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace fedra

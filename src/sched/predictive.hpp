@@ -1,0 +1,117 @@
+// Bandwidth prediction + model-predictive control.
+//
+// Heuristic [3] and Static [4] are the two ends of a spectrum: "predict
+// with the last observation" vs "predict with a fixed average". This
+// module generalizes both into a Predictor interface feeding the shared
+// deadline solver, and adds the estimators in between — sliding-window
+// mean, EWMA, and Holt's double-exponential (level + trend) smoothing.
+// The predictor ablation bench compares them all against the DRL agent.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/controller.hpp"
+#include "sched/deadline_solver.hpp"
+
+namespace fedra {
+
+/// Online per-device bandwidth estimator. observe() is called once per
+/// iteration with realized average bandwidths (Eq. 3); predict() returns
+/// the estimates for the upcoming iteration.
+class BandwidthPredictor {
+ public:
+  virtual ~BandwidthPredictor() = default;
+
+  /// Called once before the run with each device's long-run mean — the
+  /// same prior information the paper's baselines bootstrap from.
+  virtual void initialize(const std::vector<double>& mean_bandwidths) = 0;
+
+  virtual void observe(const std::vector<double>& realized_bandwidths) = 0;
+
+  virtual std::vector<double> predict() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Predicts the previous iteration's bandwidth (the Heuristic rule [3]).
+class LastValuePredictor final : public BandwidthPredictor {
+ public:
+  void initialize(const std::vector<double>& mean_bandwidths) override;
+  void observe(const std::vector<double>& realized_bandwidths) override;
+  std::vector<double> predict() const override { return estimate_; }
+  std::string name() const override { return "last"; }
+
+ private:
+  std::vector<double> estimate_;
+};
+
+/// Exponentially weighted moving average: est <- (1-beta) est + beta obs.
+class EwmaPredictor final : public BandwidthPredictor {
+ public:
+  explicit EwmaPredictor(double beta = 0.4);
+  void initialize(const std::vector<double>& mean_bandwidths) override;
+  void observe(const std::vector<double>& realized_bandwidths) override;
+  std::vector<double> predict() const override { return estimate_; }
+  std::string name() const override { return "ewma"; }
+
+ private:
+  double beta_;
+  std::vector<double> estimate_;
+};
+
+/// Mean of the last `window` observations per device.
+class SlidingMeanPredictor final : public BandwidthPredictor {
+ public:
+  explicit SlidingMeanPredictor(std::size_t window = 5);
+  void initialize(const std::vector<double>& mean_bandwidths) override;
+  void observe(const std::vector<double>& realized_bandwidths) override;
+  std::vector<double> predict() const override;
+  std::string name() const override { return "sliding"; }
+
+ private:
+  std::size_t window_;
+  std::vector<std::vector<double>> history_;  ///< per device, ring content
+  std::vector<double> prior_;
+};
+
+/// Holt's double exponential smoothing (level + trend): extrapolates the
+/// bandwidth trend one iteration ahead. Predictions are floored at a
+/// small positive value (a negative-trend extrapolation must not produce
+/// a non-positive bandwidth).
+class HoltPredictor final : public BandwidthPredictor {
+ public:
+  HoltPredictor(double level_alpha = 0.5, double trend_beta = 0.2);
+  void initialize(const std::vector<double>& mean_bandwidths) override;
+  void observe(const std::vector<double>& realized_bandwidths) override;
+  std::vector<double> predict() const override;
+  std::string name() const override { return "holt"; }
+
+ private:
+  double alpha_;
+  double beta_;
+  std::vector<double> level_;
+  std::vector<double> trend_;
+  bool seen_ = false;
+};
+
+/// Model-predictive controller: predictor -> deadline solver -> freqs.
+/// With LastValuePredictor this IS the paper's Heuristic baseline; with a
+/// degenerate "never update" predictor it would be Static.
+class PredictiveController final : public Controller {
+ public:
+  PredictiveController(const FlSimulator& sim,
+                       std::unique_ptr<BandwidthPredictor> predictor);
+
+  std::vector<double> decide(const FlSimulator& sim) override;
+  void observe(const IterationResult& result) override;
+  std::string name() const override;
+
+  const BandwidthPredictor& predictor() const { return *predictor_; }
+
+ private:
+  std::unique_ptr<BandwidthPredictor> predictor_;
+};
+
+}  // namespace fedra

@@ -1,0 +1,61 @@
+// The paper's objective (Eq. 9) and reward (Eq. 13) as plain functions over
+// per-iteration outcomes, plus the container those outcomes live in.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace fedra {
+
+/// Knobs of the optimization problem (Section III-B).
+struct CostParams {
+  /// lambda — weight of total energy against iteration time in Eq. (9).
+  double lambda = 0.1;
+  /// tau — local training passes per iteration.
+  double tau = 1.0;
+  /// xi — model size uploaded each iteration, in BYTES (traces are
+  /// bytes/second).
+  double model_bytes = 10e6;
+};
+
+/// Outcome of one device in one federated iteration.
+struct DeviceOutcome {
+  /// False when the device was excluded from the round (client
+  /// selection); all time/energy fields are zero in that case.
+  bool participated = true;
+  double freq_hz = 0.0;       ///< delta_i^k chosen by the controller
+  double compute_time = 0.0;  ///< t_cmp (Eq. 1)
+  double comm_time = 0.0;     ///< t_com realized from the trace (Eq. 2/3)
+  double total_time = 0.0;    ///< T_i = t_cmp + t_com (Eq. 4)
+  double idle_time = 0.0;     ///< T^k - T_i (waiting for the straggler)
+  double compute_energy = 0.0;
+  double comm_energy = 0.0;
+  double energy = 0.0;        ///< E_i (Eq. 6)
+  double avg_bandwidth = 0.0; ///< B_i^k — realized mean upload speed (Eq. 3)
+};
+
+/// Outcome of one full synchronized iteration.
+struct IterationResult {
+  double start_time = 0.0;      ///< t^k
+  double iteration_time = 0.0;  ///< T^k = max_i T_i (Eq. 5)
+  double total_energy = 0.0;    ///< sum_i E_i
+  double total_compute_energy = 0.0;
+  double cost = 0.0;            ///< T^k + lambda * sum_i E_i (Eq. 9 summand)
+  double reward = 0.0;          ///< -cost (Eq. 13)
+  std::vector<DeviceOutcome> devices;
+};
+
+/// Eq. (9) single-iteration cost.
+double iteration_cost(double iteration_time, double total_energy,
+                      const CostParams& params);
+
+/// Eq. (13): r_k = -T^k - lambda * sum_i E_i^k.
+double iteration_reward(double iteration_time, double total_energy,
+                        const CostParams& params);
+
+/// Sum of per-iteration costs over a run (the full objective, Eq. 9).
+double total_cost(const std::vector<IterationResult>& results);
+
+}  // namespace fedra

@@ -1,0 +1,37 @@
+#include "sim/device.hpp"
+
+namespace fedra {
+
+std::vector<DeviceProfile> make_fleet(std::size_t n, const FleetModel& model,
+                                      Rng& rng) {
+  FEDRA_EXPECTS(n > 0);
+  FEDRA_EXPECTS(model.dataset_mb_min > 0.0 &&
+                model.dataset_mb_min <= model.dataset_mb_max);
+  FEDRA_EXPECTS(model.processed_fraction > 0.0 &&
+                model.processed_fraction <= 1.0);
+  FEDRA_EXPECTS(model.cycles_per_bit_min > 0.0 &&
+                model.cycles_per_bit_min <= model.cycles_per_bit_max);
+  FEDRA_EXPECTS(model.max_freq_ghz_min > 0.0 &&
+                model.max_freq_ghz_min <= model.max_freq_ghz_max);
+  std::vector<DeviceProfile> fleet;
+  fleet.reserve(n);
+  constexpr double kBitsPerMb = 8e6;
+  constexpr double kHzPerGhz = 1e9;
+  for (std::size_t i = 0; i < n; ++i) {
+    DeviceProfile d;
+    d.dataset_bits =
+        rng.uniform(model.dataset_mb_min, model.dataset_mb_max) * kBitsPerMb *
+        model.processed_fraction;
+    d.cycles_per_bit =
+        rng.uniform(model.cycles_per_bit_min, model.cycles_per_bit_max);
+    d.max_freq_hz =
+        rng.uniform(model.max_freq_ghz_min, model.max_freq_ghz_max) *
+        kHzPerGhz;
+    d.capacitance = model.capacitance;
+    d.tx_power_w = rng.uniform(model.tx_power_w_min, model.tx_power_w_max);
+    fleet.push_back(d);
+  }
+  return fleet;
+}
+
+}  // namespace fedra

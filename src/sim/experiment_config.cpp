@@ -1,0 +1,59 @@
+#include "sim/experiment_config.hpp"
+
+#include "trace/generator.hpp"
+
+namespace fedra {
+
+ExperimentConfig testbed_config() {
+  ExperimentConfig c;
+  c.num_devices = 3;
+  c.trace_pool = 3;
+  // The paper states lambda only for the 50-device simulation (0.1, where
+  // the energy sum over 50 devices is naturally comparable to T^k). At
+  // N = 3 the same absolute weight makes energy negligible and the
+  // time/energy tradeoff degenerate; 0.25 restores the paper's testbed
+  // cost breakdown (see DESIGN.md, calibration).
+  c.cost.lambda = 0.25;
+  return c;
+}
+
+ExperimentConfig scale_config() {
+  ExperimentConfig c;
+  c.num_devices = 50;
+  c.trace_pool = 5;  // paper: five walking traces shared by 50 devices
+  c.cost.lambda = 0.1;
+  return c;
+}
+
+FlSimulator build_simulator(const ExperimentConfig& config) {
+  FEDRA_EXPECTS(config.num_devices > 0);
+  FEDRA_EXPECTS(config.trace_samples > 0);
+  Rng rng(config.seed);
+  Rng fleet_rng = rng.split();
+  Rng trace_rng = rng.split();
+  Rng assign_rng = rng.split();
+
+  auto fleet = make_fleet(config.num_devices, config.fleet, fleet_rng);
+
+  const std::size_t pool_size =
+      config.trace_pool > 0 ? config.trace_pool : config.num_devices;
+  auto pool = generate_trace_set(config.trace_preset, pool_size,
+                                 config.trace_samples, trace_rng);
+
+  std::vector<BandwidthTrace> traces;
+  traces.reserve(config.num_devices);
+  for (std::size_t i = 0; i < config.num_devices; ++i) {
+    if (config.trace_pool == 0) {
+      traces.push_back(pool[i]);
+    } else {
+      // Devices randomly pick one trace from the pool, as in the paper's
+      // 50-device simulation.
+      const auto pick = static_cast<std::size_t>(assign_rng.uniform_int(
+          0, static_cast<std::int64_t>(pool.size()) - 1));
+      traces.push_back(pool[pick]);
+    }
+  }
+  return FlSimulator(std::move(fleet), std::move(traces), config.cost);
+}
+
+}  // namespace fedra

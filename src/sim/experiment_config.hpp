@@ -1,0 +1,51 @@
+// One struct holding every constant of an evaluation scenario, so benches,
+// examples and tests share a single source of truth instead of magic
+// numbers. Defaults reproduce the paper's testbed setting (Section V-A).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/cost_model.hpp"
+#include "sim/device.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+struct ExperimentConfig {
+  /// Number of participating mobile devices (paper: 3 testbed, 50 sim).
+  std::size_t num_devices = 3;
+  /// Trace preset fed to the generator ("lte_walking" or "hsdpa_bus").
+  std::string trace_preset = "lte_walking";
+  /// Length of each generated trace in samples (1 s resolution).
+  std::size_t trace_samples = 3000;
+  /// Distinct traces to draw device connections from (paper: 3 walking
+  /// traces on the testbed, 5 for the 50-device simulation; devices pick
+  /// one each). 0 means one private trace per device.
+  std::size_t trace_pool = 0;
+  /// Slot width h in seconds for bandwidth history (paper: "tens of
+  /// seconds"; we default to 10 s).
+  double slot_seconds = 10.0;
+  /// History depth H: the state holds H+1 slot averages per device.
+  std::size_t history_slots = 8;
+  /// Eq. (9)/(13) parameters.
+  CostParams cost;
+  /// Device-population distributions.
+  FleetModel fleet;
+  /// Master seed; all randomness derives from it.
+  std::uint64_t seed = 42;
+};
+
+/// The paper's 3-device testbed configuration.
+ExperimentConfig testbed_config();
+
+/// The paper's 50-device scalability simulation (5 shared walking traces,
+/// lambda = 0.1).
+ExperimentConfig scale_config();
+
+/// Builds the simulator for a config: samples the fleet, generates the
+/// trace pool, assigns one trace per device, and wires the cost model.
+FlSimulator build_simulator(const ExperimentConfig& config);
+
+}  // namespace fedra

@@ -1,0 +1,76 @@
+// Synchronized federated-learning iteration engine (the paper's "federated
+// learning system" box in Fig. 5, minus the actual model training — that
+// lives in fedra::fl and can be attached via examples).
+//
+// Each step() takes the controller's frequency vector, plays one iteration
+// against the bandwidth traces, and returns every quantity of the system
+// model: per-device compute/upload/idle times, energies, the iteration
+// makespan T^k (Eq. 5), the cost (Eq. 9) and the reward (Eq. 13). Upload
+// completion is solved exactly from the trace integral (Eq. 3): device i's
+// upload starts at t^k + t_cmp and finishes when xi bytes have flowed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/device.hpp"
+#include "trace/bandwidth_trace.hpp"
+
+namespace fedra {
+
+class FlSimulator {
+ public:
+  /// One trace per device; devices.size() == traces.size().
+  FlSimulator(std::vector<DeviceProfile> devices,
+              std::vector<BandwidthTrace> traces, CostParams params,
+              double start_time = 0.0);
+
+  std::size_t num_devices() const { return devices_.size(); }
+  const std::vector<DeviceProfile>& devices() const { return devices_; }
+  const std::vector<BandwidthTrace>& traces() const { return traces_; }
+  const CostParams& params() const { return params_; }
+
+  /// Current wall-clock time t^k (start of the next iteration).
+  double now() const { return now_; }
+  /// Iterations completed so far.
+  std::size_t iteration() const { return iteration_; }
+
+  /// Rewinds the simulation clock (e.g. to a random episode start per
+  /// Algorithm 1 line 6) and resets the iteration counter.
+  void reset(double start_time);
+
+  /// Runs one synchronized iteration with the given per-device CPU-cycle
+  /// frequencies (Hz). Frequencies are clamped to (0, delta_i^max]: values
+  /// above the cap saturate, non-positive values are lifted to a small
+  /// positive floor (a device cannot opt out of training).
+  IterationResult step(const std::vector<double>& freqs_hz);
+
+  /// Partial-participation variant (client selection, Nishio & Yonetani):
+  /// devices with participating[i] == false sit the round out — they
+  /// contribute no time, no energy, and do not gate the barrier. At least
+  /// one device must participate.
+  IterationResult step(const std::vector<double>& freqs_hz,
+                       const std::vector<bool>& participating);
+
+  /// Predicts the outcome of an iteration starting at `start_time` WITHOUT
+  /// advancing the simulator (used by the Oracle baseline and by tests).
+  IterationResult preview(const std::vector<double>& freqs_hz,
+                          double start_time) const;
+
+  /// Fraction of delta_i^max that non-positive actions are lifted to.
+  static constexpr double kMinFreqFraction = 0.01;
+
+ private:
+  IterationResult run_iteration(const std::vector<double>& freqs_hz,
+                                const std::vector<bool>* participating,
+                                double start_time) const;
+
+  std::vector<DeviceProfile> devices_;
+  std::vector<BandwidthTrace> traces_;
+  CostParams params_;
+  double now_ = 0.0;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace fedra

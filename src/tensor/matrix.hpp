@@ -1,0 +1,112 @@
+// Dense row-major matrix of doubles — the storage type underneath the
+// neural-network library. Vectors are 1xN or Nx1 matrices; std::span views
+// expose rows without copying.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Construct from a nested initializer list: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  /// 1 x n row vector from values.
+  static Matrix row_vector(std::span<const double> values);
+
+  /// n x 1 column vector from values.
+  static Matrix col_vector(std::span<const double> values);
+
+  /// Entries i.i.d. uniform in [lo, hi).
+  static Matrix random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                               double lo = -1.0, double hi = 1.0);
+
+  /// Entries i.i.d. normal(mean, stddev).
+  static Matrix random_gaussian(std::size_t rows, std::size_t cols, Rng& rng,
+                                double mean = 0.0, double stddev = 1.0);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    FEDRA_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    FEDRA_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Flat element access (row-major order).
+  double& operator[](std::size_t i) {
+    FEDRA_EXPECTS(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    FEDRA_EXPECTS(i < data_.size());
+    return data_[i];
+  }
+
+  std::span<double> row(std::size_t r) {
+    FEDRA_EXPECTS(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    FEDRA_EXPECTS(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void fill(double value);
+  void set_zero() { fill(0.0); }
+
+  /// Reshape in place; total element count must be preserved.
+  void reshape(std::size_t rows, std::size_t cols);
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // In-place arithmetic (shapes must match exactly; no broadcasting here —
+  // broadcast helpers live in ops.hpp where intent is explicit).
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+  /// Hadamard (elementwise) product in place.
+  Matrix& hadamard_inplace(const Matrix& other);
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace fedra

@@ -1,0 +1,209 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedra {
+
+namespace {
+
+// Inner kernel: accumulate rows [r0, r1) of C = A * B. Row-major inner loop
+// order (k middle) keeps B access sequential for cache-friendly streaming.
+void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+               std::size_t r1) {
+  const std::size_t n = a.cols();
+  const std::size_t p = b.cols();
+  for (std::size_t i = r0; i < r1; ++i) {
+    const double* arow = a.data() + i * n;
+    double* crow = c.data() + i * p;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.data() + k * p;
+      for (std::size_t j = 0; j < p; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  FEDRA_EXPECTS(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  gemm_rows(a, b, c, 0, a.rows());
+  return c;
+}
+
+Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool) {
+  FEDRA_EXPECTS(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // Parallelizing tiny products costs more than it saves.
+  if (a.rows() * a.cols() * b.cols() < 64 * 64 * 64) {
+    gemm_rows(a, b, c, 0, a.rows());
+    return c;
+  }
+  pool.parallel_for_chunks(0, a.rows(),
+                           [&](std::size_t lo, std::size_t hi) {
+                             gemm_rows(a, b, c, lo, hi);
+                           });
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  FEDRA_EXPECTS(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t p = b.cols();
+  for (std::size_t k = 0; k < m; ++k) {
+    const double* arow = a.data() + k * n;
+    const double* brow = b.data() + k * p;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.data() + i * p;
+      for (std::size_t j = 0; j < p; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  FEDRA_EXPECTS(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  const std::size_t n = a.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.data() + i * n;
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.data() + j * n;
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += arow[k] * brow[k];
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c += b;
+  return c;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c -= b;
+  return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.hadamard_inplace(b);
+  return c;
+}
+
+Matrix scale(const Matrix& a, double s) {
+  Matrix c = a;
+  c *= s;
+  return c;
+}
+
+void axpy(double a, const Matrix& x, Matrix& y) {
+  FEDRA_EXPECTS(x.same_shape(y));
+  const double* xd = x.data();
+  double* yd = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) yd[i] += a * xd[i];
+}
+
+Matrix apply(const Matrix& a, const std::function<double(double)>& f) {
+  Matrix c = a;
+  apply_inplace(c, f);
+  return c;
+}
+
+void apply_inplace(Matrix& a, const std::function<double(double)>& f) {
+  for (auto& x : a.flat()) x = f(x);
+}
+
+void add_row_broadcast(Matrix& a, const Matrix& bias) {
+  FEDRA_EXPECTS(bias.rows() == 1 && bias.cols() == a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) row[j] += bias[j];
+  }
+}
+
+Matrix col_sum(const Matrix& a) {
+  Matrix s(1, a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) s[j] += row[j];
+  }
+  return s;
+}
+
+Matrix row_sum(const Matrix& a) {
+  Matrix s(a.rows(), 1);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    const double* row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j];
+    s[i] = acc;
+  }
+  return s;
+}
+
+double sum(const Matrix& a) {
+  double acc = 0.0;
+  for (double x : a.flat()) acc += x;
+  return acc;
+}
+
+double frobenius_norm(const Matrix& a) {
+  double acc = 0.0;
+  for (double x : a.flat()) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double dot(const Matrix& a, const Matrix& b) {
+  FEDRA_EXPECTS(a.size() == b.size());
+  double acc = 0.0;
+  const double* ad = a.data();
+  const double* bd = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) acc += ad[i] * bd[i];
+  return acc;
+}
+
+std::size_t argmax_row(const Matrix& a, std::size_t r) {
+  FEDRA_EXPECTS(r < a.rows() && a.cols() > 0);
+  auto row = a.row(r);
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < row.size(); ++j) {
+    if (row[j] > row[best]) best = j;
+  }
+  return best;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  FEDRA_EXPECTS(a.same_shape(b));
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+void clip_inplace(Matrix& a, double lo, double hi) {
+  FEDRA_EXPECTS(lo <= hi);
+  for (auto& x : a.flat()) x = std::clamp(x, lo, hi);
+}
+
+}  // namespace fedra

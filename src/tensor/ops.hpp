@@ -1,0 +1,69 @@
+// Matrix kernels: blocked/parallel GEMM, transposed products, elementwise
+// maps, broadcast helpers and reductions. Parallel variants split work
+// across the global thread pool by output rows, so chunks write disjoint
+// memory (no synchronization needed inside a kernel — CP.2/CP.3).
+#pragma once
+
+#include <functional>
+
+#include "tensor/matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fedra {
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A * B using the given pool (rows of C parallelized).
+Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool);
+
+/// C = A^T * B without materializing A^T.
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T without materializing B^T.
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+Matrix transpose(const Matrix& a);
+
+// Elementwise binary ops (shapes must match).
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix sub(const Matrix& a, const Matrix& b);
+Matrix hadamard(const Matrix& a, const Matrix& b);
+Matrix scale(const Matrix& a, double s);
+
+/// y = a*x + y (in place on y), the axpy BLAS idiom used by optimizers.
+void axpy(double a, const Matrix& x, Matrix& y);
+
+/// Applies f to every element, returning a new matrix.
+Matrix apply(const Matrix& a, const std::function<double(double)>& f);
+
+/// Applies f in place.
+void apply_inplace(Matrix& a, const std::function<double(double)>& f);
+
+/// Adds row vector `bias` (1 x cols) to every row of `a` in place.
+void add_row_broadcast(Matrix& a, const Matrix& bias);
+
+/// Column-wise sum producing a 1 x cols row vector.
+Matrix col_sum(const Matrix& a);
+
+/// Row-wise sum producing a rows x 1 column vector.
+Matrix row_sum(const Matrix& a);
+
+double sum(const Matrix& a);
+
+/// Frobenius norm.
+double frobenius_norm(const Matrix& a);
+
+/// Dot product of two same-shaped matrices viewed as flat vectors.
+double dot(const Matrix& a, const Matrix& b);
+
+/// Index of the maximum element in row r.
+std::size_t argmax_row(const Matrix& a, std::size_t r);
+
+/// Max absolute difference between two same-shaped matrices.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Clips every element to [lo, hi] in place.
+void clip_inplace(Matrix& a, double lo, double hi);
+
+}  // namespace fedra

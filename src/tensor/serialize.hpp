@@ -1,0 +1,27 @@
+// Binary matrix (de)serialization for model checkpointing. The format is
+// a small magic header, dimensions as u64 little-endian, then raw doubles.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace fedra {
+
+/// Writes one matrix to a binary stream. Throws std::runtime_error on I/O
+/// failure.
+void write_matrix(std::ostream& out, const Matrix& m);
+
+/// Reads one matrix written by write_matrix. Throws std::runtime_error on
+/// malformed input.
+Matrix read_matrix(std::istream& in);
+
+/// Saves a sequence of matrices (e.g. all parameters of a model) to a file.
+void save_matrices(const std::string& path, const std::vector<Matrix>& ms);
+
+/// Loads a sequence of matrices saved by save_matrices.
+std::vector<Matrix> load_matrices(const std::string& path);
+
+}  // namespace fedra

@@ -1,0 +1,104 @@
+#include "trace/bandwidth_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedra {
+
+BandwidthTrace::BandwidthTrace(std::vector<double> samples, double dt)
+    : samples_(std::move(samples)), dt_(dt) {
+  FEDRA_EXPECTS(!samples_.empty());
+  FEDRA_EXPECTS(dt_ > 0.0);
+  prefix_.resize(samples_.size() + 1, 0.0);
+  for (std::size_t j = 0; j < samples_.size(); ++j) {
+    FEDRA_EXPECTS(samples_[j] >= 0.0);
+    prefix_[j + 1] = prefix_[j] + samples_[j] * dt_;
+  }
+  // A trace that can never move a byte would make uploads take forever.
+  FEDRA_EXPECTS(prefix_.back() > 0.0);
+}
+
+double BandwidthTrace::bandwidth_at(double t) const {
+  FEDRA_EXPECTS(t >= 0.0);
+  const double period = duration();
+  double local = std::fmod(t, period);
+  auto j = static_cast<std::size_t>(local / dt_);
+  if (j >= samples_.size()) j = samples_.size() - 1;  // fp edge at period end
+  return samples_[j];
+}
+
+double BandwidthTrace::cumulative_in_period(double t) const {
+  const auto j = std::min(static_cast<std::size_t>(t / dt_),
+                          samples_.size() - 1);
+  const double within = t - static_cast<double>(j) * dt_;
+  return prefix_[j] + samples_[j] * within;
+}
+
+double BandwidthTrace::cumulative_bytes(double t) const {
+  FEDRA_EXPECTS(t >= 0.0);
+  const double period = duration();
+  const double full_periods = std::floor(t / period);
+  const double local = t - full_periods * period;
+  return full_periods * prefix_.back() + cumulative_in_period(local);
+}
+
+double BandwidthTrace::average_bandwidth(double t0, double t1) const {
+  FEDRA_EXPECTS(t1 > t0 && t0 >= 0.0);
+  return (cumulative_bytes(t1) - cumulative_bytes(t0)) / (t1 - t0);
+}
+
+double BandwidthTrace::upload_finish_time(double start, double bytes) const {
+  FEDRA_EXPECTS(start >= 0.0);
+  FEDRA_EXPECTS(bytes >= 0.0);
+  if (bytes == 0.0) return start;
+  const double period = duration();
+  const double per_period = prefix_.back();
+
+  double target = cumulative_bytes(start) + bytes;
+  // Skip whole periods first, then binary-search within one period.
+  const double periods = std::floor(target / per_period);
+  double remaining = target - periods * per_period;
+  // remaining in [0, per_period); find smallest local t with
+  // cumulative_in_period(t) >= remaining.
+  const auto it = std::lower_bound(prefix_.begin(), prefix_.end(), remaining);
+  double local;
+  if (it == prefix_.begin()) {
+    local = 0.0;
+  } else {
+    const auto j = static_cast<std::size_t>(it - prefix_.begin()) - 1;
+    const double into = remaining - prefix_[j];
+    // samples_[j] can be 0 only if into == 0 (prefix flat over the bin);
+    // lower_bound then lands at the bin start, so the division is safe.
+    local = static_cast<double>(j) * dt_ +
+            (samples_[j] > 0.0 ? into / samples_[j] : 0.0);
+  }
+  double finish = periods * period + local;
+  // Guard against fp round-off making finish slightly precede start.
+  return std::max(finish, start);
+}
+
+double BandwidthTrace::slot_average(long long slot, double h) const {
+  FEDRA_EXPECTS(h > 0.0);
+  const double period = duration();
+  // Wrap negative slots into one period's worth of slots.
+  const auto slots_per_period =
+      static_cast<long long>(std::ceil(period / h));
+  long long wrapped = slot % slots_per_period;
+  if (wrapped < 0) wrapped += slots_per_period;
+  const double t0 = static_cast<double>(wrapped) * h;
+  return average_bandwidth(t0, t0 + h);
+}
+
+double BandwidthTrace::mean_bandwidth() const {
+  return prefix_.back() / duration();
+}
+
+double BandwidthTrace::min_bandwidth() const {
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double BandwidthTrace::max_bandwidth() const {
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+}  // namespace fedra

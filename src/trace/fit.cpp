@@ -1,0 +1,154 @@
+#include "trace/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+namespace {
+
+// Lloyd's algorithm in 1-D. Returns sorted centers.
+std::vector<double> kmeans_1d(const std::vector<double>& xs, std::size_t k,
+                              std::size_t iterations, Rng& rng) {
+  // Initialize with quantile-spread picks (deterministic given the seed's
+  // tiebreak); quantile seeding converges far faster than random in 1-D.
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> centers(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double q = (static_cast<double>(c) + 0.5) / static_cast<double>(k);
+    centers[c] = sorted[static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1))];
+  }
+  // Degenerate duplicates: nudge with random data points.
+  for (std::size_t c = 1; c < k; ++c) {
+    while (centers[c] <= centers[c - 1]) {
+      centers[c] = xs[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(xs.size()) - 1))];
+      std::sort(centers.begin(), centers.end());
+    }
+  }
+
+  std::vector<std::size_t> assign(xs.size());
+  for (std::size_t it = 0; it < iterations; ++it) {
+    bool changed = false;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = std::abs(xs[i] - centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    std::vector<double> sums(k, 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      sums[assign[i]] += xs[i];
+      ++counts[assign[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) centers[c] = sums[c] / static_cast<double>(counts[c]);
+    }
+    if (!changed && it > 0) break;
+  }
+  std::sort(centers.begin(), centers.end());
+  return centers;
+}
+
+}  // namespace
+
+FitResult fit_trace_model(const BandwidthTrace& trace,
+                          const FitOptions& options) {
+  FEDRA_EXPECTS(options.regimes >= 1);
+  FEDRA_EXPECTS(options.kmeans_iterations >= 1);
+  const auto& xs = trace.samples();
+  FEDRA_EXPECTS(xs.size() >= 2 * options.regimes);
+
+  Rng rng(options.seed);
+  FitResult result;
+  result.model.regime_means =
+      kmeans_1d(xs, options.regimes, options.kmeans_iterations, rng);
+
+  // Label samples by the nearest regime.
+  result.labels.resize(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < result.model.regime_means.size(); ++c) {
+      const double d = std::abs(xs[i] - result.model.regime_means[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    result.labels[i] = best;
+  }
+
+  // Occupancy and self-transition probability (persistence).
+  result.occupancy.assign(options.regimes, 0.0);
+  for (auto l : result.labels) result.occupancy[l] += 1.0;
+  for (auto& o : result.occupancy) o /= static_cast<double>(xs.size());
+
+  std::size_t stays = 0;
+  for (std::size_t i = 0; i + 1 < result.labels.size(); ++i) {
+    if (result.labels[i] == result.labels[i + 1]) ++stays;
+  }
+  result.model.persistence =
+      std::clamp(static_cast<double>(stays) /
+                     static_cast<double>(result.labels.size() - 1),
+                 0.0, 0.9999);
+
+  // Within-regime residuals: AR(1) coefficient + relative noise scale.
+  std::vector<double> residual(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    residual[i] = xs[i] - result.model.regime_means[result.labels[i]];
+  }
+  double num = 0.0;
+  double den = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    if (result.labels[i] != result.labels[i + 1]) continue;  // same regime
+    num += residual[i] * residual[i + 1];
+    den += residual[i] * residual[i];
+    ++pairs;
+  }
+  result.model.ar_coeff =
+      (pairs > 1 && den > 0.0) ? std::clamp(num / den, 0.0, 0.99) : 0.0;
+
+  // Relative residual scale, averaged over regimes weighted by occupancy.
+  double frac_acc = 0.0;
+  double weight_acc = 0.0;
+  for (std::size_t c = 0; c < options.regimes; ++c) {
+    double var = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (result.labels[i] != c) continue;
+      var += residual[i] * residual[i];
+      ++n;
+    }
+    if (n < 2 || result.model.regime_means[c] <= 0.0) continue;
+    const double sd = std::sqrt(var / static_cast<double>(n - 1));
+    frac_acc += result.occupancy[c] * sd / result.model.regime_means[c];
+    weight_acc += result.occupancy[c];
+  }
+  result.residual_frac = weight_acc > 0.0 ? frac_acc / weight_acc : 0.0;
+  result.model.noise_frac = std::max(result.residual_frac, 1e-3);
+
+  result.model.min_bw = trace.min_bandwidth();
+  result.model.max_bw = trace.max_bandwidth();
+  result.model.dt = trace.resolution();
+  result.model.level_jitter = 0.0;  // a fit describes ONE trace's level
+  return result;
+}
+
+}  // namespace fedra

@@ -1,0 +1,48 @@
+// Fitting the Markov-AR trace model to measured data.
+//
+// Given a real bandwidth trace (e.g. loaded from the Ghent 4G CSVs), this
+// estimates the TraceModel parameters the synthetic generator needs:
+//   * regime means via 1-D k-means (Lloyd's algorithm) over the samples;
+//   * regime persistence from the empirical self-transition frequency of
+//     the nearest-regime labeling;
+//   * AR(1) coefficient from the lag-1 autocorrelation of within-regime
+//     residuals;
+//   * noise fraction from the residual std relative to the regime mean.
+//
+// The round trip (measured trace -> fit -> generate) produces synthetic
+// traces with matched first/second-order statistics, so experiments can
+// be scaled beyond the duration of the measured data.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/bandwidth_trace.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+struct FitOptions {
+  std::size_t regimes = 3;
+  std::size_t kmeans_iterations = 50;
+  /// Seed for k-means initialization.
+  std::uint64_t seed = 1;
+};
+
+/// Diagnostics accompanying a fit.
+struct FitResult {
+  TraceModel model;
+  /// Nearest-regime label per sample.
+  std::vector<std::size_t> labels;
+  /// Fraction of samples per regime.
+  std::vector<double> occupancy;
+  /// Mean within-regime residual std, relative to the regime mean.
+  double residual_frac = 0.0;
+};
+
+/// Fits a TraceModel to a measured trace. Requires at least
+/// options.regimes distinct sample values.
+FitResult fit_trace_model(const BandwidthTrace& trace,
+                          const FitOptions& options = {});
+
+}  // namespace fedra

@@ -1,0 +1,105 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedra {
+
+TraceModel lte_walking_model() {
+  TraceModel m;
+  const double mb = 1e6;
+  m.regime_means = {0.7 * mb, 3.5 * mb, 7.5 * mb};
+  m.noise_frac = 0.25;
+  m.ar_coeff = 0.85;
+  m.persistence = 0.995;  // mean regime dwell ~200 s at dt = 1 s (Fig. 2a)
+  m.min_bw = 0.1 * mb;
+  m.max_bw = 9.0 * mb;
+  m.dt = 1.0;
+  m.level_jitter = 0.4;  // each walking route has its own signal level
+  return m;
+}
+
+TraceModel hsdpa_bus_model() {
+  TraceModel m;
+  const double kb = 1e3;
+  m.regime_means = {60.0 * kb, 250.0 * kb, 600.0 * kb};
+  m.noise_frac = 0.4;
+  m.ar_coeff = 0.7;
+  m.persistence = 0.94;  // buses change conditions faster than walkers
+  m.min_bw = 5.0 * kb;
+  m.max_bw = 800.0 * kb;
+  m.dt = 1.0;
+  m.level_jitter = 0.4;
+  return m;
+}
+
+BandwidthTrace generate_trace(const TraceModel& model,
+                              std::size_t num_samples, Rng& rng) {
+  FEDRA_EXPECTS(num_samples > 0);
+  FEDRA_EXPECTS(!model.regime_means.empty());
+  FEDRA_EXPECTS(model.persistence >= 0.0 && model.persistence <= 1.0);
+  FEDRA_EXPECTS(model.ar_coeff >= 0.0 && model.ar_coeff < 1.0);
+  FEDRA_EXPECTS(model.min_bw >= 0.0 && model.min_bw <= model.max_bw);
+
+  const std::size_t regimes = model.regime_means.size();
+  std::size_t regime =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(regimes) - 1));
+  double fluctuation = 0.0;  // AR(1) state, relative to regime mean
+
+  std::vector<double> samples(num_samples);
+  for (std::size_t j = 0; j < num_samples; ++j) {
+    if (!rng.bernoulli(model.persistence) && regimes > 1) {
+      // Jump to a uniformly random *different* regime.
+      std::size_t next;
+      do {
+        next = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(regimes) - 1));
+      } while (next == regime);
+      regime = next;
+    }
+    const double mean_bw = model.regime_means[regime];
+    const double sigma = model.noise_frac * mean_bw *
+                         std::sqrt(1.0 - model.ar_coeff * model.ar_coeff);
+    fluctuation = model.ar_coeff * fluctuation + rng.gaussian(0.0, sigma);
+    samples[j] = std::clamp(mean_bw + fluctuation, model.min_bw, model.max_bw);
+  }
+  return BandwidthTrace(std::move(samples), model.dt);
+}
+
+BandwidthTrace constant_trace(double bandwidth, std::size_t num_samples,
+                              double dt) {
+  FEDRA_EXPECTS(bandwidth > 0.0);
+  return BandwidthTrace(std::vector<double>(num_samples, bandwidth), dt);
+}
+
+std::vector<BandwidthTrace> generate_trace_set(const std::string& preset,
+                                               std::size_t count,
+                                               std::size_t num_samples,
+                                               Rng& rng) {
+  TraceModel model;
+  if (preset == "lte_walking") {
+    model = lte_walking_model();
+  } else if (preset == "hsdpa_bus") {
+    model = hsdpa_bus_model();
+  } else {
+    throw std::invalid_argument("unknown trace preset: " + preset);
+  }
+  std::vector<BandwidthTrace> traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng child = rng.split();
+    TraceModel scaled = model;
+    if (model.level_jitter > 0.0) {
+      const double f = child.uniform(1.0 - model.level_jitter,
+                                     1.0 + model.level_jitter);
+      for (auto& mean : scaled.regime_means) mean *= f;
+      scaled.min_bw *= f;
+      scaled.max_bw *= f;
+    }
+    traces.push_back(generate_trace(scaled, num_samples, child));
+  }
+  return traces;
+}
+
+}  // namespace fedra

@@ -1,0 +1,70 @@
+// Synthetic bandwidth-trace generation.
+//
+// The paper evaluates against two measured datasets we cannot redistribute:
+// the Ghent 4G/LTE traces [26] (walking scenario, roughly 0.1-9 MB/s with
+// regime shifts over tens of seconds — see paper Fig. 2a) and the Norwegian
+// HSDPA bus traces [12] (0-800 KB/s, highly volatile — Fig. 2b). The
+// generator reproduces those processes with a 3-state Markov regime chain
+// (poor / medium / good) plus within-regime AR(1) fluctuation, which
+// captures the two statistics the DRL agent actually exploits: regime
+// persistence over the slot timescale h, and heavy short-term variation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/bandwidth_trace.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+/// Parameters of the Markov-regime AR(1) bandwidth process.
+struct TraceModel {
+  /// Mean bandwidth (bytes/s) of each regime.
+  std::vector<double> regime_means;
+  /// Relative AR(1) noise scale per regime (std of fluctuation as a
+  /// fraction of the regime mean).
+  double noise_frac = 0.25;
+  /// AR(1) coefficient in (0, 1): higher = smoother within a regime.
+  double ar_coeff = 0.85;
+  /// Probability of staying in the current regime per sample.
+  double persistence = 0.98;
+  /// Hard bounds on instantaneous bandwidth (bytes/s).
+  double min_bw = 1.0;
+  double max_bw = 1e9;
+  /// Sample spacing in seconds.
+  double dt = 1.0;
+  /// Per-trace level diversity used by generate_trace_set: each trace's
+  /// regime means and bounds are scaled by a factor drawn uniformly from
+  /// [1 - level_jitter, 1 + level_jitter]. Models the paper's setup where
+  /// each device replays a DIFFERENT measured walking dataset with its own
+  /// characteristic signal level. 0 disables it.
+  double level_jitter = 0.0;
+};
+
+/// Ghent-like 4G/LTE walking scenario: regimes ~ {0.7, 3.5, 7.5} MB/s,
+/// bounded to [0.1, 9] MB/s, regime dwell ~ tens of seconds.
+TraceModel lte_walking_model();
+
+/// HSDPA-bus-like scenario: regimes ~ {60, 250, 600} KB/s, bounded to
+/// [5, 800] KB/s, more volatile than walking.
+TraceModel hsdpa_bus_model();
+
+/// Generates one trace of `num_samples` samples from `model`.
+BandwidthTrace generate_trace(const TraceModel& model,
+                              std::size_t num_samples, Rng& rng);
+
+/// Constant-bandwidth trace (useful for analytic tests and the Static
+/// baseline's idealized world).
+BandwidthTrace constant_trace(double bandwidth, std::size_t num_samples,
+                              double dt = 1.0);
+
+/// Generates `count` independent traces from the named preset
+/// ("lte_walking" or "hsdpa_bus"), each with its own RNG stream.
+std::vector<BandwidthTrace> generate_trace_set(const std::string& preset,
+                                               std::size_t count,
+                                               std::size_t num_samples,
+                                               Rng& rng);
+
+}  // namespace fedra

@@ -1,0 +1,95 @@
+#include "trace/loader.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace fedra {
+
+namespace {
+
+bool parse_double(const std::string& s, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(s, &pos);
+    // Allow trailing whitespace only.
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+    return pos == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+BandwidthTrace load_trace_csv(const std::string& path,
+                              const TraceLoadOptions& options) {
+  if (options.dt <= 0.0) throw std::invalid_argument("dt must be positive");
+  if (options.scale <= 0.0) {
+    throw std::invalid_argument("scale must be positive");
+  }
+  const auto rows = read_csv(path);
+  if (rows.empty()) throw std::runtime_error("empty trace file: " + path);
+
+  std::size_t first = 0;
+  {
+    // Header row: first cell not numeric.
+    double tmp;
+    if (!parse_double(rows[0][0], tmp)) first = 1;
+  }
+  if (first >= rows.size()) {
+    throw std::runtime_error("trace file has no data rows: " + path);
+  }
+
+  const bool timestamped = rows[first].size() >= 2;
+  if (!timestamped) {
+    std::vector<double> samples;
+    samples.reserve(rows.size() - first);
+    for (std::size_t i = first; i < rows.size(); ++i) {
+      double bw;
+      if (!parse_double(rows[i][0], bw)) {
+        throw std::runtime_error("non-numeric bandwidth in " + path +
+                                 " row " + std::to_string(i + 1));
+      }
+      samples.push_back(bw * options.scale);
+    }
+    return BandwidthTrace(std::move(samples), options.dt);
+  }
+
+  // timestamp,bandwidth: piecewise-constant resample onto a uniform grid.
+  std::vector<double> times;
+  std::vector<double> values;
+  for (std::size_t i = first; i < rows.size(); ++i) {
+    double t, bw;
+    if (rows[i].size() < 2 || !parse_double(rows[i][0], t) ||
+        !parse_double(rows[i][1], bw)) {
+      throw std::runtime_error("malformed row in " + path + " row " +
+                               std::to_string(i + 1));
+    }
+    if (!times.empty() && t <= times.back()) {
+      throw std::runtime_error("timestamps not strictly increasing in " +
+                               path);
+    }
+    times.push_back(t);
+    values.push_back(bw * options.scale);
+  }
+  const double t0 = times.front();
+  const double t1 = times.back();
+  const auto n = static_cast<std::size_t>(
+      std::max(1.0, std::floor((t1 - t0) / options.dt)));
+  std::vector<double> samples(n);
+  std::size_t src = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double t = t0 + (static_cast<double>(j) + 0.5) * options.dt;
+    while (src + 1 < times.size() && times[src + 1] <= t) ++src;
+    samples[j] = values[src];
+  }
+  return BandwidthTrace(std::move(samples), options.dt);
+}
+
+}  // namespace fedra

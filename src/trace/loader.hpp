@@ -1,0 +1,27 @@
+// Loading measured bandwidth traces from CSV, so the real Ghent 4G / HSDPA
+// datasets drop into the pipeline unmodified when available.
+//
+// Accepted layouts (header row optional, auto-detected):
+//   bandwidth                     -- one sample per row, uniform dt
+//   timestamp,bandwidth           -- resampled onto a uniform dt grid
+// Bandwidth unit is bytes/second unless `scale` converts it (e.g. pass
+// 1e6 when the file stores MB/s).
+#pragma once
+
+#include <string>
+
+#include "trace/bandwidth_trace.hpp"
+
+namespace fedra {
+
+struct TraceLoadOptions {
+  double dt = 1.0;     ///< output resolution, seconds
+  double scale = 1.0;  ///< multiply every bandwidth value by this
+};
+
+/// Loads one trace. Throws std::runtime_error on unreadable or malformed
+/// files (non-numeric cells after the optional header, <1 sample, ...).
+BandwidthTrace load_trace_csv(const std::string& path,
+                              const TraceLoadOptions& options = {});
+
+}  // namespace fedra

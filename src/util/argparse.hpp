@@ -1,0 +1,49 @@
+// Minimal command-line argument parser for the fedra tools:
+// `--key value`, `--key=value`, bare `--flag`, and positionals.
+// Typed getters with defaults; unknown-key detection for helpful errors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedra {
+
+class ArgParser {
+ public:
+  /// Parses argv[1..). Throws std::invalid_argument on malformed input
+  /// (e.g. `--key=` with empty value is allowed; a lone `--` ends option
+  /// parsing, everything after is positional).
+  ArgParser(int argc, const char* const* argv);
+  explicit ArgParser(const std::vector<std::string>& args);
+
+  const std::vector<std::string>& positionals() const { return positional_; }
+
+  bool has(const std::string& key) const;
+
+  /// Bare `--flag` or `--flag true/1`. Missing key returns `fallback`.
+  bool flag(const std::string& key, bool fallback = false) const;
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  /// Throws std::invalid_argument if the key is missing.
+  std::string require(const std::string& key) const;
+
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+
+  /// Comma-separated list of doubles: `--bw 1e6,2e6,3e6`.
+  std::vector<double> get_double_list(const std::string& key) const;
+
+  /// Keys that were supplied but are not in `known` (for error messages).
+  std::vector<std::string> unknown_keys(
+      const std::vector<std::string>& known) const;
+
+ private:
+  void parse(const std::vector<std::string>& args);
+
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fedra

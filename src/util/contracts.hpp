@@ -1,0 +1,28 @@
+// Lightweight precondition / postcondition contracts (GSL-style Expects /
+// Ensures). Violations abort with a message; they mark programmer errors,
+// never recoverable runtime conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fedra::detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  std::fprintf(stderr, "fedra: %s violation: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace fedra::detail
+
+#define FEDRA_EXPECTS(cond)                                             \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::fedra::detail::contract_fail("precondition", #cond,       \
+                                           __FILE__, __LINE__))
+
+#define FEDRA_ENSURES(cond)                                             \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::fedra::detail::contract_fail("postcondition", #cond,      \
+                                           __FILE__, __LINE__))

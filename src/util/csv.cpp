@@ -1,0 +1,83 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedra {
+
+CsvRow parse_csv_line(const std::string& line) {
+  CsvRow fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::vector<CsvRow> read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  std::vector<CsvRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    rows.push_back(parse_csv_line(line));
+  }
+  return rows;
+}
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string& path) : impl_(new Impl) {
+  impl_->out.open(path, std::ios::trunc);
+  if (!impl_->out) {
+    delete impl_;
+    throw std::runtime_error("cannot open CSV file for writing: " + path);
+  }
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::write_row(const CsvRow& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) impl_->out << ',';
+    impl_->out << fields[i];
+  }
+  impl_->out << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  std::ostringstream os;
+  os.precision(10);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ',';
+    os << values[i];
+  }
+  impl_->out << os.str() << '\n';
+}
+
+}  // namespace fedra

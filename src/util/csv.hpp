@@ -1,0 +1,38 @@
+// Minimal CSV reading/writing: enough to load real bandwidth traces
+// (timestamp,bandwidth rows) and to dump experiment series for plotting.
+// Quoting is supported on read; fields fedra writes never need quotes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fedra {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parses one CSV line honoring double-quote quoting and escaped quotes.
+CsvRow parse_csv_line(const std::string& line);
+
+/// Reads a whole CSV file. Throws std::runtime_error if the file can't be
+/// opened. Empty lines are skipped.
+std::vector<CsvRow> read_csv(const std::string& path);
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const CsvRow& fields);
+  void write_row(const std::vector<double>& values);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace fedra

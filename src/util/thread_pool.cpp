@@ -1,0 +1,86 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace fedra {
+
+namespace {
+// Set while a thread is executing inside a pool worker loop; lets nested
+// parallel regions degrade to inline execution instead of deadlocking on a
+// queue only this thread could drain.
+thread_local bool t_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  FEDRA_EXPECTS(begin <= end);
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, workers_.size() + 1);
+  if (chunks <= 1 || t_in_worker) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t step = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  std::size_t lo = begin + step;  // first chunk runs on the calling thread
+  while (lo < end) {
+    const std::size_t hi = std::min(lo + step, end);
+    futures.push_back(submit([&body, lo, hi] { body(lo, hi); }));
+    lo = hi;
+  }
+  body(begin, std::min(begin + step, end));
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(begin, end,
+                      [&body](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) body(i);
+                      });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;  // immutable after construction; tasks own state
+  return pool;
+}
+
+}  // namespace fedra

@@ -1,0 +1,88 @@
+// Task-based thread pool (Core Guidelines CP.4: think in terms of tasks).
+//
+// A fixed set of worker threads drains a mutex-protected task queue.
+// Submission returns std::future so callers compose results without sharing
+// mutable state (CP.3). parallel_for is the structured-parallelism helper
+// used by the tensor kernels and the per-device federated training fan-out:
+// it blocks until every chunk completes, so parallel regions have
+// OpenMP-style fork/join scoping.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (defaults to hardware
+  /// concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers. Pending tasks are drained before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Submit a callable; returns a future for its result.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f),
+         ... as = std::forward<Args>(args)]() mutable {
+          return std::invoke(std::move(fn), std::move(as)...);
+        });
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      FEDRA_EXPECTS(!stopping_);
+      tasks_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Fork/join loop: body(i) for i in [begin, end), split into contiguous
+  /// chunks across the pool. Blocks until all chunks finish. The calling
+  /// thread participates, so the pool is usable even with 1 worker and
+  /// never deadlocks on nested use from a worker thread (nested calls run
+  /// inline).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Fork/join over explicit chunk ranges: body(chunk_begin, chunk_end).
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// A process-wide default pool for library internals. Constructed on first
+/// use with hardware concurrency; call-sites that need determinism across
+/// thread counts must not depend on task ordering (fedra kernels don't:
+/// each chunk writes disjoint outputs).
+ThreadPool& global_pool();
+
+}  // namespace fedra

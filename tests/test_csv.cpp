@@ -1,0 +1,114 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace fedra {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(CsvParse, SimpleFields) {
+  auto row = parse_csv_line("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[1], "b");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(CsvParse, EmptyFields) {
+  auto row = parse_csv_line(",x,");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "");
+  EXPECT_EQ(row[1], "x");
+  EXPECT_EQ(row[2], "");
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  auto row = parse_csv_line("\"a,b\",c");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "a,b");
+  EXPECT_EQ(row[1], "c");
+}
+
+TEST(CsvParse, EscapedQuote) {
+  auto row = parse_csv_line("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "say \"hi\"");
+}
+
+TEST(CsvParse, StripsCarriageReturn) {
+  auto row = parse_csv_line("a,b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(CsvParse, SingleField) {
+  auto row = parse_csv_line("alone");
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], "alone");
+}
+
+TEST(CsvIo, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/definitely/not/here.csv"),
+               std::runtime_error);
+}
+
+TEST(CsvIo, WriterOpenFailureThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/out.csv"), std::runtime_error);
+}
+
+TEST(CsvIo, RoundTripStrings) {
+  TempFile tmp("fedra_csv_rt.csv");
+  {
+    CsvWriter w(tmp.path());
+    w.write_row(CsvRow{"time", "bw"});
+    w.write_row(CsvRow{"0", "100"});
+    w.write_row(CsvRow{"1", "200"});
+  }
+  auto rows = read_csv(tmp.path());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][1], "bw");
+  EXPECT_EQ(rows[2][0], "1");
+  EXPECT_EQ(rows[2][1], "200");
+}
+
+TEST(CsvIo, RoundTripDoubles) {
+  TempFile tmp("fedra_csv_dbl.csv");
+  {
+    CsvWriter w(tmp.path());
+    w.write_row(std::vector<double>{1.5, -2.25, 1e6});
+  }
+  auto rows = read_csv(tmp.path());
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][0]), 1.5);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][1]), -2.25);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][2]), 1e6);
+}
+
+TEST(CsvIo, SkipsEmptyLines) {
+  TempFile tmp("fedra_csv_empty.csv");
+  {
+    std::ofstream out(tmp.path());
+    out << "a,b\n\n\nc,d\n";
+  }
+  auto rows = read_csv(tmp.path());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+}  // namespace
+}  // namespace fedra

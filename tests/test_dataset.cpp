@@ -1,0 +1,157 @@
+#include "fl/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fedra {
+namespace {
+
+TEST(Dataset, MixtureShapeAndLabels) {
+  Rng rng(1);
+  auto data = make_gaussian_mixture(200, 5, 4, rng);
+  EXPECT_EQ(data.size(), 200u);
+  EXPECT_EQ(data.dim(), 5u);
+  EXPECT_EQ(data.features.rows(), 200u);
+  std::set<std::size_t> classes(data.labels.begin(), data.labels.end());
+  EXPECT_EQ(classes.size(), 4u);  // all classes represented at 200 samples
+  for (auto c : classes) EXPECT_LT(c, 4u);
+}
+
+TEST(Dataset, MixtureIsLearnableStructure) {
+  // With high separation and low noise, same-class samples must be much
+  // closer to their class centroid than to other centroids.
+  Rng rng(2);
+  auto data = make_gaussian_mixture(300, 8, 3, rng, 5.0, 0.3);
+  // Compute class centroids.
+  Matrix centroids(3, 8);
+  std::vector<double> counts(3, 0.0);
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    counts[data.labels[s]] += 1.0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      centroids(data.labels[s], j) += data.features(s, j);
+    }
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t j = 0; j < 8; ++j) centroids(c, j) /= counts[c];
+  }
+  // Nearest-centroid classification should be near-perfect.
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    double best = 1e18;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < 8; ++j) {
+        const double d = data.features(s, j) - centroids(c, j);
+        d2 += d * d;
+      }
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    if (best_c == data.labels[s]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / 300.0, 0.95);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  Rng rng(3);
+  auto data = make_gaussian_mixture(10, 3, 2, rng);
+  auto sub = data.subset({7, 2, 2});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.labels[0], data.labels[7]);
+  EXPECT_EQ(sub.labels[1], data.labels[2]);
+  EXPECT_EQ(sub.labels[2], data.labels[2]);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(sub.features(0, j), data.features(7, j));
+  }
+}
+
+TEST(Dataset, IidSplitSizesAndCoverage) {
+  Rng rng(4);
+  auto data = make_gaussian_mixture(103, 4, 3, rng);
+  auto shards = split_iid(data, 4, rng);
+  ASSERT_EQ(shards.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& s : shards) {
+    total += s.size();
+    EXPECT_GE(s.size(), 25u);
+    EXPECT_LE(s.size(), 26u);
+  }
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(Dataset, DirichletSplitPreservesTotalAndNonEmpty) {
+  Rng rng(5);
+  auto data = make_gaussian_mixture(500, 4, 5, rng);
+  for (double beta : {0.1, 0.5, 1.0, 10.0}) {
+    auto shards = split_dirichlet(data, 8, beta, rng);
+    ASSERT_EQ(shards.size(), 8u);
+    std::size_t total = 0;
+    for (const auto& s : shards) {
+      EXPECT_GT(s.size(), 0u);
+      total += s.size();
+    }
+    EXPECT_EQ(total, 500u);
+  }
+}
+
+TEST(Dataset, SmallBetaIsMoreSkewedThanLarge) {
+  Rng rng(6);
+  auto data = make_gaussian_mixture(2000, 4, 10, rng);
+  // Measure label skew as the mean (over shards) of the max class share.
+  auto skew = [&](double beta, Rng& r) {
+    auto shards = split_dirichlet(data, 5, beta, r);
+    double acc = 0.0;
+    for (const auto& s : shards) {
+      std::vector<double> counts(10, 0.0);
+      for (auto l : s.labels) counts[l] += 1.0;
+      acc += *std::max_element(counts.begin(), counts.end()) /
+             static_cast<double>(s.size());
+    }
+    return acc / 5.0;
+  };
+  Rng r1(7), r2(7);
+  EXPECT_GT(skew(0.1, r1), skew(100.0, r2));
+}
+
+TEST(Dataset, ProportionalSplitFollowsWeights) {
+  Rng rng(8);
+  auto data = make_gaussian_mixture(1000, 3, 2, rng);
+  auto shards = split_proportional(data, {1.0, 3.0, 6.0}, rng);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].size() + shards[1].size() + shards[2].size(), 1000u);
+  EXPECT_NEAR(static_cast<double>(shards[0].size()), 100.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(shards[1].size()), 300.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(shards[2].size()), 600.0, 10.0);
+}
+
+TEST(Dataset, SplitsAreDisjointByConstruction) {
+  // Feature rows across IID shards must partition the original multiset:
+  // the total sum of features must be preserved.
+  Rng rng(9);
+  auto data = make_gaussian_mixture(50, 2, 2, rng);
+  auto shards = split_iid(data, 3, rng);
+  double orig = 0.0;
+  for (double x : data.features.flat()) orig += x;
+  double shard_sum = 0.0;
+  for (const auto& s : shards) {
+    for (double x : s.features.flat()) shard_sum += x;
+  }
+  EXPECT_NEAR(orig, shard_sum, 1e-9);
+}
+
+TEST(DatasetDeathTest, BadArgsAbort) {
+  Rng rng(10);
+  auto data = make_gaussian_mixture(10, 2, 2, rng);
+  EXPECT_DEATH(split_iid(data, 0, rng), "precondition");
+  EXPECT_DEATH(split_iid(data, 11, rng), "precondition");
+  EXPECT_DEATH(split_dirichlet(data, 2, 0.0, rng), "precondition");
+  EXPECT_DEATH(data.subset({99}), "precondition");
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,171 @@
+#include "sched/deadline_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fedra {
+namespace {
+
+DeviceProfile device_with(double cycles, double max_freq, double alpha = 1e-28,
+                          double tx_power = 1.0) {
+  DeviceProfile d;
+  d.cycles_per_bit = 1.0;
+  d.dataset_bits = cycles;
+  d.capacitance = alpha;
+  d.max_freq_hz = max_freq;
+  d.tx_power_w = tx_power;
+  return d;
+}
+
+TEST(DeadlineSolver, FreqsInvertComputeTime) {
+  std::vector<DeviceProfile> devices{device_with(2e9, 2e9)};
+  // comm takes 1 s; deadline 3 s leaves 2 s of compute -> 1 GHz.
+  auto freqs = freqs_for_deadline(devices, {1.0}, 3.0, 1.0, 0.01);
+  ASSERT_EQ(freqs.size(), 1u);
+  EXPECT_NEAR(freqs[0], 1e9, 1e-3);
+}
+
+TEST(DeadlineSolver, FreqsClampToCap) {
+  std::vector<DeviceProfile> devices{device_with(2e9, 1e9)};
+  // Needs 2 GHz to fit but cap is 1 GHz.
+  auto freqs = freqs_for_deadline(devices, {1.0}, 2.0, 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(freqs[0], 1e9);
+  // Infeasible budget (deadline <= comm) also pegs at cap.
+  auto f2 = freqs_for_deadline(devices, {5.0}, 2.0, 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(f2[0], 1e9);
+}
+
+TEST(DeadlineSolver, FreqsClampToFloor) {
+  std::vector<DeviceProfile> devices{device_with(1e6, 1e9)};
+  // Tiny job, huge deadline: wants ~0 Hz, floor kicks in.
+  auto freqs = freqs_for_deadline(devices, {0.0}, 1e6, 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(freqs[0], 0.01 * 1e9);
+}
+
+TEST(DeadlineSolver, MinMaxDeadlineOrdering) {
+  std::vector<DeviceProfile> devices{device_with(1e9, 1e9),
+                                     device_with(4e9, 2e9)};
+  std::vector<double> comm{1.0, 0.5};
+  const double lo = min_deadline(devices, comm, 1.0);
+  const double hi = max_deadline(devices, comm, 1.0, 0.01);
+  EXPECT_GT(hi, lo);
+  // min deadline = max over devices of fastest completion.
+  EXPECT_DOUBLE_EQ(lo, std::max(1e9 / 1e9 + 1.0, 4e9 / 2e9 + 0.5));
+}
+
+TEST(DeadlineSolver, PredictedCostDecomposition) {
+  std::vector<DeviceProfile> devices{device_with(1e9, 1e9)};
+  CostParams params;
+  params.lambda = 0.5;
+  const std::vector<double> comm{2.0};
+  const std::vector<double> freqs{1e9};
+  // t = 1 + 2 = 3; E = 1e-28*1e9*(1e9)^2 + 1*2 = 0.1 + 2.
+  EXPECT_NEAR(predicted_cost(devices, comm, freqs, params),
+              3.0 + 0.5 * 2.1, 1e-9);
+}
+
+TEST(DeadlineSolver, SingleDeviceAnalyticOptimum) {
+  // For one device and comm time c, E(T) = alpha*K^3/(T-c)^2 with
+  // K = cycles (delta = K/(T-c)), so cost(T) = T + lambda*alpha*K^3/(T-c)^2
+  // + const. The interior optimum satisfies 1 = 2 lambda alpha K^3/(T-c)^3,
+  // i.e. T = c + K * (2 lambda alpha)^(1/3).
+  const double cycles = 1e9;
+  const double lambda = 10.0;  // large lambda -> interior optimum
+  const double alpha = 1e-27;
+  std::vector<DeviceProfile> devices{device_with(cycles, 5e9, alpha)};
+  CostParams params;
+  params.lambda = lambda;
+  const double comm = 1.0;
+  auto sol = solve_deadline(devices, {comm}, params, 1e-4, 1e-8);
+  const double expected_t =
+      comm + cycles * std::cbrt(2.0 * lambda * alpha);
+  EXPECT_NEAR(sol.deadline, expected_t, 1e-3);
+  EXPECT_NEAR(sol.freqs_hz[0], cycles / (expected_t - comm), 1e5);
+}
+
+TEST(DeadlineSolver, TinyLambdaRunsFullSpeed) {
+  // lambda ~ 0: time dominates; every device should run at (or near) cap.
+  std::vector<DeviceProfile> devices{device_with(1e9, 1e9),
+                                     device_with(2e9, 1.5e9)};
+  CostParams params;
+  params.lambda = 1e-12;
+  auto sol = solve_deadline(devices, {0.5, 0.5}, params);
+  // The straggler (device 1: 2e9/1.5e9 = 1.33 s) sets the pace and must be
+  // at its cap; device 0 only needs to match the straggler's finish.
+  EXPECT_NEAR(sol.freqs_hz[1], 1.5e9, 1e6);
+  EXPECT_NEAR(sol.deadline, 2e9 / 1.5e9 + 0.5, 1e-3);
+}
+
+TEST(DeadlineSolver, FasterDevicesThrottleToStraggler) {
+  // The heart of the paper: the non-straggler lowers frequency to just
+  // meet the straggler's finish time, saving energy for free.
+  std::vector<DeviceProfile> devices{device_with(1e9, 2e9),
+                                     device_with(4e9, 1e9)};
+  CostParams params;
+  params.lambda = 0.1;
+  auto sol = solve_deadline(devices, {1.0, 1.0}, params);
+  // Device 1 is the straggler (min completion 5 s); device 0 could finish
+  // in 1.5 s but should stretch compute to ~deadline-comm.
+  EXPECT_LT(sol.freqs_hz[0], 0.5e9);
+  EXPECT_NEAR(sol.freqs_hz[1], 1e9, 1e6);
+  // Both finish (approximately) together: no idle time left.
+  const double t0 = 1e9 / sol.freqs_hz[0] + 1.0;
+  const double t1 = 4e9 / sol.freqs_hz[1] + 1.0;
+  EXPECT_NEAR(t0, t1, 0.01);
+}
+
+class SolverVsGrid : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverVsGrid, GoldenSectionMatchesExhaustiveGrid) {
+  Rng rng(GetParam());
+  // Random fleet + random comm estimates + random lambda.
+  FleetModel fm;
+  auto devices = make_fleet(4, fm, rng);
+  std::vector<double> comm;
+  for (int i = 0; i < 4; ++i) comm.push_back(rng.uniform(0.5, 8.0));
+  CostParams params;
+  params.lambda = rng.uniform(0.01, 2.0);
+
+  auto sol = solve_deadline(devices, comm, params, 0.01, 1e-6);
+
+  const double lo = min_deadline(devices, comm, params.tau);
+  const double hi = max_deadline(devices, comm, params.tau, 0.01);
+  double grid_best = 1e18;
+  for (int g = 0; g <= 20000; ++g) {
+    const double t = lo + (hi - lo) * g / 20000.0;
+    const auto freqs = freqs_for_deadline(devices, comm, t, params.tau, 0.01);
+    grid_best = std::min(grid_best,
+                         predicted_cost(devices, comm, freqs, params));
+  }
+  EXPECT_LE(sol.predicted_cost, grid_best + 1e-4 * grid_best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverVsGrid,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 77u, 1234u,
+                                           9999u));
+
+TEST(DeadlineSolver, SolveWithBandwidthsConvertsCorrectly) {
+  std::vector<DeviceProfile> devices{device_with(1e9, 1e9)};
+  CostParams params;
+  params.model_bytes = 100.0;
+  // Bandwidth 50 B/s -> comm 2 s; same as solving with comm = {2}.
+  auto via_bw = solve_with_bandwidths(devices, {50.0}, params);
+  auto via_comm = solve_deadline(devices, {2.0}, params);
+  EXPECT_NEAR(via_bw.deadline, via_comm.deadline, 1e-6);
+  EXPECT_NEAR(via_bw.predicted_cost, via_comm.predicted_cost, 1e-9);
+}
+
+TEST(DeadlineSolverDeathTest, BadInputsAbort) {
+  std::vector<DeviceProfile> devices{device_with(1e9, 1e9)};
+  CostParams params;
+  EXPECT_DEATH(solve_deadline({}, {}, params), "precondition");
+  EXPECT_DEATH(solve_with_bandwidths(devices, {0.0}, params), "precondition");
+  EXPECT_DEATH(freqs_for_deadline(devices, {1.0, 2.0}, 1.0, 1.0, 0.01),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace fedra

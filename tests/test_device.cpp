@@ -1,0 +1,135 @@
+#include "sim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedra {
+namespace {
+
+DeviceProfile reference_device() {
+  DeviceProfile d;
+  d.cycles_per_bit = 20.0;
+  d.dataset_bits = 6e8;
+  d.capacitance = 2e-28;
+  d.max_freq_hz = 1.5e9;
+  d.tx_power_w = 1.0;
+  return d;
+}
+
+TEST(Device, ComputeTimeEq1) {
+  auto d = reference_device();
+  // t_cmp = tau * c * D / delta = 1 * 20 * 6e8 / 1.5e9 = 8 s.
+  EXPECT_DOUBLE_EQ(d.compute_time(1.5e9, 1.0), 8.0);
+  // Half the frequency doubles the time.
+  EXPECT_DOUBLE_EQ(d.compute_time(0.75e9, 1.0), 16.0);
+  // tau scales linearly.
+  EXPECT_DOUBLE_EQ(d.compute_time(1.5e9, 3.0), 24.0);
+}
+
+TEST(Device, ComputeEnergyEq6Quadratic) {
+  auto d = reference_device();
+  // E_cmp = tau * alpha * c * D * delta^2
+  //       = 2e-28 * 20 * 6e8 * (1.5e9)^2 = 5.4 J.
+  EXPECT_NEAR(d.compute_energy(1.5e9, 1.0), 5.4, 1e-12);
+  // Quadratic in frequency: half freq -> quarter energy.
+  EXPECT_NEAR(d.compute_energy(0.75e9, 1.0), 5.4 / 4.0, 1e-12);
+}
+
+TEST(Device, EnergyTimeTradeoff) {
+  // Lowering frequency must increase time and decrease energy — the
+  // tradeoff the whole paper optimizes.
+  auto d = reference_device();
+  double prev_t = 0.0, prev_e = 1e18;
+  for (double f = 0.1e9; f <= 1.5e9; f += 0.1e9) {
+    const double t = d.compute_time(f, 1.0);
+    const double e = d.compute_energy(f, 1.0);
+    EXPECT_LT(t, prev_t > 0.0 ? prev_t : 1e18);
+    EXPECT_GT(e, prev_e < 1e18 ? prev_e : -1.0);
+    prev_t = t;
+    prev_e = e;
+  }
+}
+
+TEST(Device, CommEnergyLinearInTime) {
+  auto d = reference_device();
+  EXPECT_DOUBLE_EQ(d.comm_energy(4.0), 4.0);
+  d.tx_power_w = 2.5;
+  EXPECT_DOUBLE_EQ(d.comm_energy(4.0), 10.0);
+}
+
+TEST(Device, FreqForComputeTimeIsInverse) {
+  auto d = reference_device();
+  for (double t : {1.0, 5.0, 8.0, 20.0}) {
+    const double f = d.freq_for_compute_time(t, 1.0);
+    EXPECT_NEAR(d.compute_time(f, 1.0), t, 1e-9);
+  }
+}
+
+TEST(Device, MinComputeTimeAtCap) {
+  auto d = reference_device();
+  EXPECT_DOUBLE_EQ(d.min_compute_time(1.0), d.compute_time(d.max_freq_hz, 1.0));
+}
+
+TEST(Device, CyclesPerRound) {
+  auto d = reference_device();
+  EXPECT_DOUBLE_EQ(d.cycles_per_round(1.0), 1.2e10);
+  EXPECT_DOUBLE_EQ(d.cycles_per_round(2.5), 3e10);
+}
+
+class FleetSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FleetSweep, SampledProfilesWithinPaperRanges) {
+  // Section V-A: D ~ U(50,100) MB, c ~ U(10,30) cycles/bit,
+  // delta_max ~ U(1,2) GHz.
+  Rng rng(GetParam());
+  FleetModel model;
+  auto fleet = make_fleet(20, model, rng);
+  ASSERT_EQ(fleet.size(), 20u);
+  for (const auto& d : fleet) {
+    EXPECT_GE(d.dataset_bits, 50.0 * 8e6 * model.processed_fraction);
+    EXPECT_LE(d.dataset_bits, 100.0 * 8e6 * model.processed_fraction);
+    EXPECT_GE(d.cycles_per_bit, 10.0);
+    EXPECT_LE(d.cycles_per_bit, 30.0);
+    EXPECT_GE(d.max_freq_hz, 1.0e9);
+    EXPECT_LE(d.max_freq_hz, 2.0e9);
+    EXPECT_GE(d.tx_power_w, model.tx_power_w_min);
+    EXPECT_LE(d.tx_power_w, model.tx_power_w_max);
+    EXPECT_DOUBLE_EQ(d.capacitance, model.capacitance);
+  }
+}
+
+TEST_P(FleetSweep, FleetIsHeterogeneous) {
+  Rng rng(GetParam());
+  auto fleet = make_fleet(10, FleetModel{}, rng);
+  bool any_diff = false;
+  for (std::size_t i = 1; i < fleet.size(); ++i) {
+    if (fleet[i].dataset_bits != fleet[0].dataset_bits) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FleetSweep,
+                         ::testing::Values(1u, 42u, 777u, 123456u));
+
+TEST(Device, FleetDeterministicBySeed) {
+  Rng a(9), b(9);
+  auto fa = make_fleet(5, FleetModel{}, a);
+  auto fb = make_fleet(5, FleetModel{}, b);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(fa[i].dataset_bits, fb[i].dataset_bits);
+    EXPECT_DOUBLE_EQ(fa[i].max_freq_hz, fb[i].max_freq_hz);
+  }
+}
+
+TEST(DeviceDeathTest, InvalidArgsAbort) {
+  auto d = reference_device();
+  EXPECT_DEATH((void)d.compute_time(0.0, 1.0), "precondition");
+  EXPECT_DEATH((void)d.freq_for_compute_time(0.0, 1.0), "precondition");
+  EXPECT_DEATH((void)d.comm_energy(-1.0), "precondition");
+  Rng rng(1);
+  EXPECT_DEATH(make_fleet(0, FleetModel{}, rng), "precondition");
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,105 @@
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/baselines.hpp"
+#include "sim/experiment_config.hpp"
+
+namespace fedra {
+namespace {
+
+FlSimulator make_sim(std::uint64_t seed = 42) {
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 400;
+  cfg.seed = seed;
+  return build_simulator(cfg);
+}
+
+TEST(Evaluation, SeriesLengthsMatchIterations) {
+  auto sim = make_sim();
+  FullSpeedController c;
+  auto s = run_controller(sim, c, 25);
+  EXPECT_EQ(s.policy, "fullspeed");
+  EXPECT_EQ(s.costs.size(), 25u);
+  EXPECT_EQ(s.times.size(), 25u);
+  EXPECT_EQ(s.compute_energies.size(), 25u);
+  EXPECT_EQ(s.total_energies.size(), 25u);
+  EXPECT_EQ(s.idle_times.size(), 25u);
+}
+
+TEST(Evaluation, OriginalSimulatorUntouched) {
+  auto sim = make_sim();
+  const double t0 = sim.now();
+  FullSpeedController c;
+  run_controller(sim, c, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), t0);
+  EXPECT_EQ(sim.iteration(), 0u);
+}
+
+TEST(Evaluation, DeterministicAcrossRuns) {
+  auto sim = make_sim();
+  FullSpeedController c;
+  auto a = run_controller(sim, c, 15);
+  auto b = run_controller(sim, c, 15);
+  EXPECT_EQ(a.costs, b.costs);
+  EXPECT_EQ(a.times, b.times);
+}
+
+TEST(Evaluation, StartTimeShiftsConditions) {
+  auto sim = make_sim();
+  FullSpeedController c;
+  auto a = run_controller(sim, c, 15, 0.0);
+  auto b = run_controller(sim, c, 15, 250.0);
+  EXPECT_NE(a.costs, b.costs);
+}
+
+TEST(Evaluation, AveragesMatchSeries) {
+  auto sim = make_sim();
+  FullSpeedController c;
+  auto s = run_controller(sim, c, 20);
+  double acc = 0.0;
+  for (double x : s.costs) acc += x;
+  EXPECT_NEAR(s.avg_cost(), acc / 20.0, 1e-12);
+}
+
+TEST(Evaluation, DetailedResultsAreConsistent) {
+  auto sim = make_sim();
+  FullSpeedController c;
+  auto detailed = run_controller_detailed(sim, c, 10);
+  auto series = run_controller(sim, c, 10);
+  ASSERT_EQ(detailed.size(), 10u);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_DOUBLE_EQ(detailed[k].cost, series.costs[k]);
+    EXPECT_DOUBLE_EQ(detailed[k].iteration_time, series.times[k]);
+  }
+  // Iteration start times chain per constraint (11).
+  for (std::size_t k = 1; k < 10; ++k) {
+    EXPECT_NEAR(detailed[k].start_time,
+                detailed[k - 1].start_time + detailed[k - 1].iteration_time,
+                1e-9);
+  }
+}
+
+TEST(Evaluation, ObserveIsCalledEachIteration) {
+  class CountingController final : public Controller {
+   public:
+    std::vector<double> decide(const FlSimulator& sim) override {
+      ++decides;
+      std::vector<double> f;
+      for (const auto& d : sim.devices()) f.push_back(d.max_freq_hz);
+      return f;
+    }
+    void observe(const IterationResult&) override { ++observes; }
+    std::string name() const override { return "counting"; }
+    int decides = 0;
+    int observes = 0;
+  };
+  auto sim = make_sim();
+  CountingController c;
+  run_controller(sim, c, 7);
+  EXPECT_EQ(c.decides, 7);
+  EXPECT_EQ(c.observes, 7);
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,106 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/baselines.hpp"
+
+namespace fedra {
+namespace {
+
+std::vector<PolicySpec> basic_roster() {
+  std::vector<PolicySpec> roster;
+  roster.push_back({"fullspeed", [](const FlSimulator&) {
+                      return std::make_unique<FullSpeedController>();
+                    }});
+  roster.push_back({"heuristic", [](const FlSimulator& sim) {
+                      return std::make_unique<HeuristicController>(sim);
+                    }});
+  roster.push_back({"oracle", [](const FlSimulator&) {
+                      return std::make_unique<OracleController>();
+                    }});
+  return roster;
+}
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 400;
+  return cfg;
+}
+
+TEST(MultiSeed, AggregatesHaveRightShape) {
+  auto result = run_multi_seed(small_config(), basic_roster(), 4, 30);
+  ASSERT_EQ(result.policies.size(), 3u);
+  ASSERT_EQ(result.seeds.size(), 4u);
+  for (const auto& p : result.policies) {
+    EXPECT_EQ(p.cost.samples, 4u);
+    EXPECT_GT(p.cost.mean, 0.0);
+    EXPECT_GE(p.cost.ci95, 0.0);
+    EXPECT_GT(p.time.mean, 0.0);
+    EXPECT_GT(p.compute_energy.mean, 0.0);
+  }
+}
+
+TEST(MultiSeed, SeedsAreConsecutive) {
+  auto cfg = small_config();
+  cfg.seed = 100;
+  auto result = run_multi_seed(cfg, basic_roster(), 3, 10);
+  EXPECT_EQ(result.seeds, (std::vector<std::uint64_t>{100, 101, 102}));
+}
+
+TEST(MultiSeed, WinRatesSumToOne) {
+  auto result = run_multi_seed(small_config(), basic_roster(), 5, 30);
+  double total = 0.0;
+  for (const auto& p : result.policies) total += p.win_rate;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MultiSeed, OracleDominatesOnAverage) {
+  // The oracle is greedy PER ITERATION, so it can lose a whole run to a
+  // lucky baseline on some seed (greedy choices shift later start times);
+  // across seeds it must still win most runs and have the lowest mean.
+  auto result = run_multi_seed(small_config(), basic_roster(), 5, 60);
+  const auto& oracle = result.policies[2];
+  ASSERT_EQ(oracle.policy, "oracle");
+  EXPECT_GE(oracle.win_rate, 0.6);
+  for (const auto& p : result.policies) {
+    EXPECT_LE(oracle.cost.mean, p.cost.mean + 1e-12);
+  }
+}
+
+TEST(MultiSeed, DeterministicAcrossCalls) {
+  auto a = run_multi_seed(small_config(), basic_roster(), 3, 20);
+  auto b = run_multi_seed(small_config(), basic_roster(), 3, 20);
+  for (std::size_t i = 0; i < a.policies.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.policies[i].cost.mean, b.policies[i].cost.mean);
+    EXPECT_DOUBLE_EQ(a.policies[i].win_rate, b.policies[i].win_rate);
+  }
+}
+
+TEST(MultiSeed, CiShrinksWithMoreSeeds) {
+  auto few = run_multi_seed(small_config(), basic_roster(), 3, 20);
+  auto many = run_multi_seed(small_config(), basic_roster(), 12, 20);
+  // Not guaranteed sample-by-sample, but with 4x the seeds the CI of a
+  // well-behaved metric should not grow.
+  EXPECT_LT(many.policies[0].cost.ci95,
+            few.policies[0].cost.ci95 * 1.5 + 1e-9);
+}
+
+TEST(MultiSeed, FormattingProducesReadableRows) {
+  auto result = run_multi_seed(small_config(), basic_roster(), 2, 10);
+  EXPECT_FALSE(aggregate_header().empty());
+  for (const auto& p : result.policies) {
+    const auto row = format_aggregate_row(p);
+    EXPECT_NE(row.find(p.policy), std::string::npos);
+  }
+}
+
+TEST(MultiSeedDeathTest, BadArgsAbort) {
+  EXPECT_DEATH(run_multi_seed(small_config(), {}, 2, 10), "precondition");
+  EXPECT_DEATH(run_multi_seed(small_config(), basic_roster(), 0, 10),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace fedra

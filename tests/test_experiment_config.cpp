@@ -1,0 +1,93 @@
+#include "sim/experiment_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedra {
+namespace {
+
+TEST(ExperimentConfig, TestbedMatchesPaperSetting) {
+  auto c = testbed_config();
+  EXPECT_EQ(c.num_devices, 3u);     // 3-device testbed
+  EXPECT_EQ(c.trace_pool, 3u);      // "randomly select three walking datasets"
+  EXPECT_DOUBLE_EQ(c.cost.lambda, 0.25);  // calibrated; see DESIGN.md
+  EXPECT_EQ(c.trace_preset, "lte_walking");
+}
+
+TEST(ExperimentConfig, ScaleMatchesPaperSetting) {
+  auto c = scale_config();
+  EXPECT_EQ(c.num_devices, 50u);    // 50-device simulation
+  EXPECT_EQ(c.trace_pool, 5u);      // "randomly select five walking datasets"
+  EXPECT_DOUBLE_EQ(c.cost.lambda, 0.1);  // "we set lambda = 0.1"
+}
+
+TEST(ExperimentConfig, BuildSimulatorWiresEverything) {
+  auto c = testbed_config();
+  c.trace_samples = 200;
+  auto sim = build_simulator(c);
+  EXPECT_EQ(sim.num_devices(), 3u);
+  EXPECT_EQ(sim.traces().size(), 3u);
+  EXPECT_DOUBLE_EQ(sim.params().lambda, 0.25);
+  for (const auto& t : sim.traces()) EXPECT_EQ(t.num_samples(), 200u);
+}
+
+TEST(ExperimentConfig, DeterministicBySeed) {
+  auto c = testbed_config();
+  c.trace_samples = 100;
+  auto a = build_simulator(c);
+  auto b = build_simulator(c);
+  for (std::size_t i = 0; i < a.num_devices(); ++i) {
+    EXPECT_DOUBLE_EQ(a.devices()[i].dataset_bits, b.devices()[i].dataset_bits);
+    EXPECT_EQ(a.traces()[i].samples(), b.traces()[i].samples());
+  }
+}
+
+TEST(ExperimentConfig, SeedChangesFleet) {
+  auto c = testbed_config();
+  c.trace_samples = 100;
+  auto a = build_simulator(c);
+  c.seed = 4242;
+  auto b = build_simulator(c);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.num_devices(); ++i) {
+    if (a.devices()[i].dataset_bits != b.devices()[i].dataset_bits) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ExperimentConfig, ZeroPoolGivesPrivateTraces) {
+  ExperimentConfig c;
+  c.num_devices = 4;
+  c.trace_pool = 0;
+  c.trace_samples = 100;
+  auto sim = build_simulator(c);
+  // All four traces distinct (each device gets its own stream).
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_NE(sim.traces()[i].samples(), sim.traces()[j].samples());
+    }
+  }
+}
+
+TEST(ExperimentConfig, SharedPoolReusesTraces) {
+  ExperimentConfig c;
+  c.num_devices = 50;
+  c.trace_pool = 5;
+  c.trace_samples = 50;
+  auto sim = build_simulator(c);
+  // 50 devices over 5 traces: by pigeonhole some trace is shared.
+  bool any_shared = false;
+  for (std::size_t i = 0; i < 50 && !any_shared; ++i) {
+    for (std::size_t j = i + 1; j < 50; ++j) {
+      if (sim.traces()[i].samples() == sim.traces()[j].samples()) {
+        any_shared = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_shared);
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,103 @@
+#include "core/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "sched/baselines.hpp"
+#include "sim/experiment_config.hpp"
+
+namespace fedra {
+namespace {
+
+TEST(Jain, PerfectlyEvenIsOne) {
+  std::vector<double> xs{2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(jain_index(xs), 1.0);
+}
+
+TEST(Jain, SingleCarrierIsOneOverN) {
+  std::vector<double> xs{5.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(xs), 0.2);
+}
+
+TEST(Jain, KnownMixedCase) {
+  std::vector<double> xs{1.0, 3.0};
+  // (1+3)^2 / (2 * (1 + 9)) = 16/20.
+  EXPECT_DOUBLE_EQ(jain_index(xs), 0.8);
+}
+
+TEST(Jain, ScaleInvariant) {
+  std::vector<double> xs{1.0, 2.0, 4.0};
+  std::vector<double> scaled{10.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(jain_index(xs), jain_index(scaled));
+}
+
+TEST(Jain, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{0.0, 0.0}), 1.0);
+}
+
+TEST(Fairness, AccumulateDeviceTotals) {
+  IterationResult r1;
+  r1.iteration_time = 10.0;
+  r1.devices.resize(2);
+  r1.devices[0].energy = 1.0;
+  r1.devices[0].total_time = 10.0;
+  r1.devices[0].idle_time = 0.0;
+  r1.devices[1].energy = 2.0;
+  r1.devices[1].total_time = 4.0;
+  r1.devices[1].idle_time = 6.0;
+  IterationResult r2 = r1;
+  auto totals = accumulate_device_totals({r1, r2});
+  EXPECT_EQ(totals.iterations, 2u);
+  EXPECT_DOUBLE_EQ(totals.energy[0], 2.0);
+  EXPECT_DOUBLE_EQ(totals.energy[1], 4.0);
+  EXPECT_DOUBLE_EQ(totals.idle_time[1], 12.0);
+  EXPECT_DOUBLE_EQ(totals.busy_time[0], 20.0);
+}
+
+TEST(Fairness, ReportIdleFraction) {
+  IterationResult r;
+  r.iteration_time = 10.0;
+  r.devices.resize(2);
+  r.devices[0].total_time = 10.0;
+  r.devices[0].idle_time = 0.0;
+  r.devices[0].energy = 1.0;
+  r.devices[1].total_time = 5.0;
+  r.devices[1].idle_time = 5.0;
+  r.devices[1].energy = 1.0;
+  auto report = fairness_report({r});
+  // 5 idle seconds out of 2 devices * 10 s.
+  EXPECT_DOUBLE_EQ(report.idle_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(report.energy_jain, 1.0);
+  EXPECT_DOUBLE_EQ(report.max_min_energy_ratio, 1.0);
+}
+
+TEST(Fairness, EmptyRunIsNeutral) {
+  auto report = fairness_report({});
+  EXPECT_DOUBLE_EQ(report.energy_jain, 1.0);
+  EXPECT_DOUBLE_EQ(report.idle_fraction, 0.0);
+}
+
+TEST(Fairness, DvfsReducesIdleVersusFullSpeed) {
+  // Throttling the fast devices converts their idle time into slow
+  // compute, so the DVFS policies must show a lower idle fraction.
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 800;
+  auto sim = build_simulator(cfg);
+  FullSpeedController full;
+  HeuristicController heuristic(sim);
+  auto full_report =
+      fairness_report(run_controller_detailed(sim, full, 100));
+  auto heur_report =
+      fairness_report(run_controller_detailed(sim, heuristic, 100));
+  EXPECT_LT(heur_report.idle_fraction, full_report.idle_fraction);
+  EXPECT_GT(heur_report.busy_time_jain, full_report.busy_time_jain);
+}
+
+TEST(FairnessDeathTest, NegativeAllocationAborts) {
+  EXPECT_DEATH((void)jain_index(std::vector<double>{1.0, -0.5}),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,122 @@
+#include "trace/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedra {
+namespace {
+
+TEST(Fit, RecoversRegimeMeansOfCleanThreeLevelTrace) {
+  // A noiseless square-wave trace over three levels.
+  std::vector<double> samples;
+  for (int rep = 0; rep < 5; ++rep) {
+    samples.insert(samples.end(), 100, 1e6);
+    samples.insert(samples.end(), 100, 4e6);
+    samples.insert(samples.end(), 100, 8e6);
+  }
+  BandwidthTrace trace(std::move(samples), 1.0);
+  auto fit = fit_trace_model(trace);
+  ASSERT_EQ(fit.model.regime_means.size(), 3u);
+  EXPECT_NEAR(fit.model.regime_means[0], 1e6, 1e3);
+  EXPECT_NEAR(fit.model.regime_means[1], 4e6, 1e3);
+  EXPECT_NEAR(fit.model.regime_means[2], 8e6, 1e3);
+  // Dwell 100 samples -> persistence ~ 0.99.
+  EXPECT_NEAR(fit.model.persistence, 0.99, 0.005);
+  // Equal occupancy by construction.
+  for (double o : fit.occupancy) EXPECT_NEAR(o, 1.0 / 3.0, 0.01);
+}
+
+TEST(Fit, RoundTripRecoversGeneratorParameters) {
+  // generate -> fit: the fitted model must sit near the generating one.
+  TraceModel truth = lte_walking_model();
+  truth.level_jitter = 0.0;
+  Rng rng(11);
+  auto trace = generate_trace(truth, 20000, rng);
+  auto fit = fit_trace_model(trace);
+
+  ASSERT_EQ(fit.model.regime_means.size(), truth.regime_means.size());
+  for (std::size_t c = 0; c < truth.regime_means.size(); ++c) {
+    EXPECT_NEAR(fit.model.regime_means[c], truth.regime_means[c],
+                0.25 * truth.regime_means[c]);
+  }
+  // Persistence: nearest-regime labeling flips on large AR noise too, so
+  // the estimate is a lower bound; it must still show strong persistence.
+  EXPECT_GT(fit.model.persistence, 0.9);
+  EXPECT_GT(fit.model.ar_coeff, 0.5);
+  EXPECT_LT(fit.model.ar_coeff, 0.99);
+}
+
+TEST(Fit, FittedModelGeneratesSimilarStatistics) {
+  TraceModel truth = lte_walking_model();
+  truth.level_jitter = 0.0;
+  Rng rng(13);
+  auto original = generate_trace(truth, 20000, rng);
+  auto fit = fit_trace_model(original);
+  Rng rng2(17);
+  auto regenerated = generate_trace(fit.model, 20000, rng2);
+  EXPECT_NEAR(regenerated.mean_bandwidth(), original.mean_bandwidth(),
+              0.2 * original.mean_bandwidth());
+  EXPECT_LE(regenerated.max_bandwidth(),
+            original.max_bandwidth() * 1.0 + 1e-9);
+}
+
+TEST(Fit, SingleRegimeTrace) {
+  std::vector<double> samples(500, 5e6);
+  // Add tiny jitter so k-means has distinct values.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] += static_cast<double>(i % 7) * 1e3;
+  }
+  BandwidthTrace trace(std::move(samples), 1.0);
+  FitOptions opt;
+  opt.regimes = 1;
+  auto fit = fit_trace_model(trace, opt);
+  ASSERT_EQ(fit.model.regime_means.size(), 1u);
+  EXPECT_NEAR(fit.model.regime_means[0], 5e6, 5e3);
+  EXPECT_DOUBLE_EQ(fit.occupancy[0], 1.0);
+}
+
+TEST(Fit, LabelsMatchNearestRegime) {
+  std::vector<double> samples{1.0, 1.1, 9.0, 9.1, 1.05, 9.05, 1.0, 9.0};
+  BandwidthTrace trace(std::move(samples), 1.0);
+  FitOptions opt;
+  opt.regimes = 2;
+  auto fit = fit_trace_model(trace, opt);
+  ASSERT_EQ(fit.labels.size(), 8u);
+  EXPECT_EQ(fit.labels[0], fit.labels[1]);
+  EXPECT_EQ(fit.labels[2], fit.labels[3]);
+  EXPECT_NE(fit.labels[0], fit.labels[2]);
+}
+
+TEST(Fit, AlternatingTraceHasLowPersistence) {
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) samples.push_back(i % 2 ? 1e6 : 8e6);
+  BandwidthTrace trace(std::move(samples), 1.0);
+  FitOptions opt;
+  opt.regimes = 2;
+  auto fit = fit_trace_model(trace, opt);
+  EXPECT_LT(fit.model.persistence, 0.05);
+}
+
+TEST(Fit, PreservesResolutionAndBounds) {
+  std::vector<double> samples{2.0, 4.0, 6.0, 8.0, 2.0, 8.0, 4.0, 6.0};
+  BandwidthTrace trace(std::move(samples), 0.5);
+  FitOptions opt;
+  opt.regimes = 2;
+  auto fit = fit_trace_model(trace, opt);
+  EXPECT_DOUBLE_EQ(fit.model.dt, 0.5);
+  EXPECT_DOUBLE_EQ(fit.model.min_bw, 2.0);
+  EXPECT_DOUBLE_EQ(fit.model.max_bw, 8.0);
+  EXPECT_DOUBLE_EQ(fit.model.level_jitter, 0.0);
+}
+
+TEST(FitDeathTest, TooFewSamplesAbort) {
+  BandwidthTrace trace({1.0, 2.0, 3.0}, 1.0);
+  FitOptions opt;
+  opt.regimes = 3;
+  EXPECT_DEATH(fit_trace_model(trace, opt), "precondition");
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,155 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace fedra {
+namespace {
+
+TEST(Generator, LteWalkingWithinPaperBounds) {
+  Rng rng(1);
+  auto t = generate_trace(lte_walking_model(), 2000, rng);
+  EXPECT_EQ(t.num_samples(), 2000u);
+  // Fig. 2(a): walking traces live in roughly [0.1, 9] MB/s.
+  EXPECT_GE(t.min_bandwidth(), 0.1e6);
+  EXPECT_LE(t.max_bandwidth(), 9.0e6);
+}
+
+TEST(Generator, HsdpaBusWithinPaperBounds) {
+  Rng rng(2);
+  auto t = generate_trace(hsdpa_bus_model(), 2000, rng);
+  // Fig. 2(b): HSDPA bus traces live in [0, 800] KB/s.
+  EXPECT_GE(t.min_bandwidth(), 0.0);
+  EXPECT_LE(t.max_bandwidth(), 800.0e3);
+}
+
+TEST(Generator, DeterministicBySeed) {
+  Rng a(42), b(42);
+  auto ta = generate_trace(lte_walking_model(), 500, a);
+  auto tb = generate_trace(lte_walking_model(), 500, b);
+  EXPECT_EQ(ta.samples(), tb.samples());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  auto ta = generate_trace(lte_walking_model(), 500, a);
+  auto tb = generate_trace(lte_walking_model(), 500, b);
+  EXPECT_NE(ta.samples(), tb.samples());
+}
+
+TEST(Generator, TraceActuallyVaries) {
+  Rng rng(3);
+  auto t = generate_trace(lte_walking_model(), 2000, rng);
+  // The whole point of Fig. 2: bandwidth is NOT static. The trace must
+  // visit multiple regimes (span at least a 3x ratio).
+  EXPECT_GT(t.max_bandwidth() / t.min_bandwidth(), 3.0);
+}
+
+TEST(Generator, RegimePersistenceProducesCorrelation) {
+  Rng rng(4);
+  auto t = generate_trace(lte_walking_model(), 5000, rng);
+  const auto& s = t.samples();
+  // Lag-1 autocorrelation should be clearly positive (regimes persist).
+  double mean = 0.0;
+  for (double x : s) mean += x;
+  mean /= static_cast<double>(s.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    num += (s[i] - mean) * (s[i + 1] - mean);
+  }
+  for (double x : s) den += (x - mean) * (x - mean);
+  EXPECT_GT(num / den, 0.5);
+}
+
+TEST(Generator, SingleRegimeModel) {
+  TraceModel m;
+  m.regime_means = {1e6};
+  m.min_bw = 0.5e6;
+  m.max_bw = 1.5e6;
+  Rng rng(5);
+  auto t = generate_trace(m, 200, rng);
+  EXPECT_GE(t.min_bandwidth(), 0.5e6);
+  EXPECT_LE(t.max_bandwidth(), 1.5e6);
+}
+
+TEST(Generator, ConstantTrace) {
+  auto t = constant_trace(123.0, 50, 2.0);
+  EXPECT_DOUBLE_EQ(t.mean_bandwidth(), 123.0);
+  EXPECT_DOUBLE_EQ(t.duration(), 100.0);
+}
+
+TEST(Generator, TraceSetSizesAndIndependence) {
+  Rng rng(6);
+  auto set = generate_trace_set("lte_walking", 5, 300, rng);
+  ASSERT_EQ(set.size(), 5u);
+  for (const auto& t : set) EXPECT_EQ(t.num_samples(), 300u);
+  EXPECT_NE(set[0].samples(), set[1].samples());
+}
+
+TEST(Generator, TraceSetHsdpaPreset) {
+  Rng rng(7);
+  auto set = generate_trace_set("hsdpa_bus", 2, 100, rng);
+  ASSERT_EQ(set.size(), 2u);
+  // Per-trace level jitter scales bounds by at most 1 + level_jitter.
+  const auto model = hsdpa_bus_model();
+  EXPECT_LE(set[0].max_bandwidth(),
+            model.max_bw * (1.0 + model.level_jitter));
+}
+
+TEST(Generator, TraceSetLevelJitterDiversifiesMeans) {
+  Rng rng(20);
+  auto set = generate_trace_set("lte_walking", 6, 2000, rng);
+  // With level jitter on, per-trace long-run means should spread widely
+  // (different walking routes have different characteristic levels).
+  double lo = 1e18, hi = 0.0;
+  for (const auto& t : set) {
+    lo = std::min(lo, t.mean_bandwidth());
+    hi = std::max(hi, t.mean_bandwidth());
+  }
+  EXPECT_GT(hi / lo, 1.2);
+}
+
+TEST(Generator, UnknownPresetThrows) {
+  Rng rng(8);
+  EXPECT_THROW(generate_trace_set("5g_teleport", 1, 10, rng),
+               std::invalid_argument);
+}
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, BoundsHoldForAllSeeds) {
+  Rng rng(GetParam());
+  const auto model = lte_walking_model();
+  auto t = generate_trace(model, 1000, rng);
+  EXPECT_GE(t.min_bandwidth(), model.min_bw);
+  EXPECT_LE(t.max_bandwidth(), model.max_bw);
+}
+
+TEST_P(GeneratorSeedSweep, MeanInPlausibleRegimeRange) {
+  Rng rng(GetParam());
+  const auto model = lte_walking_model();
+  auto t = generate_trace(model, 5000, rng);
+  // Long-run mean must sit strictly between the extreme regime means.
+  EXPECT_GT(t.mean_bandwidth(), model.regime_means.front() * 0.5);
+  EXPECT_LT(t.mean_bandwidth(), model.regime_means.back() * 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1001u, 31337u, 777u));
+
+TEST(GeneratorDeathTest, InvalidModelAborts) {
+  Rng rng(9);
+  TraceModel m = lte_walking_model();
+  m.regime_means.clear();
+  EXPECT_DEATH(generate_trace(m, 10, rng), "precondition");
+  TraceModel m2 = lte_walking_model();
+  m2.ar_coeff = 1.5;
+  EXPECT_DEATH(generate_trace(m2, 10, rng), "precondition");
+  EXPECT_DEATH(generate_trace(lte_walking_model(), 0, rng), "precondition");
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,111 @@
+#include "trace/loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace fedra {
+namespace {
+
+class TempCsv {
+ public:
+  TempCsv(const std::string& name, const std::string& content)
+      : path_(::testing::TempDir() + name) {
+    std::ofstream out(path_);
+    out << content;
+  }
+  ~TempCsv() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Loader, SingleColumnNoHeader) {
+  TempCsv f("t1.csv", "100\n200\n300\n");
+  auto t = load_trace_csv(f.path());
+  ASSERT_EQ(t.num_samples(), 3u);
+  EXPECT_DOUBLE_EQ(t.samples()[0], 100.0);
+  EXPECT_DOUBLE_EQ(t.samples()[2], 300.0);
+}
+
+TEST(Loader, SingleColumnWithHeader) {
+  TempCsv f("t2.csv", "bandwidth\n5.5\n6.5\n");
+  auto t = load_trace_csv(f.path());
+  ASSERT_EQ(t.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(t.samples()[0], 5.5);
+}
+
+TEST(Loader, ScaleConvertsUnits) {
+  TempCsv f("t3.csv", "1.5\n2.5\n");
+  TraceLoadOptions opt;
+  opt.scale = 1e6;  // file in MB/s -> bytes/s
+  auto t = load_trace_csv(f.path(), opt);
+  EXPECT_DOUBLE_EQ(t.samples()[0], 1.5e6);
+}
+
+TEST(Loader, TimestampedResamplesPiecewiseConstant) {
+  // Value 10 holds on [0, 2), 30 on [2, 4).
+  TempCsv f("t4.csv", "time,bw\n0,10\n2,30\n4,50\n");
+  auto t = load_trace_csv(f.path());
+  ASSERT_EQ(t.num_samples(), 4u);
+  EXPECT_DOUBLE_EQ(t.samples()[0], 10.0);
+  EXPECT_DOUBLE_EQ(t.samples()[1], 10.0);
+  EXPECT_DOUBLE_EQ(t.samples()[2], 30.0);
+  EXPECT_DOUBLE_EQ(t.samples()[3], 30.0);
+}
+
+TEST(Loader, TimestampedCustomResolution) {
+  TempCsv f("t5.csv", "0,100\n10,200\n");
+  TraceLoadOptions opt;
+  opt.dt = 2.0;
+  auto t = load_trace_csv(f.path(), opt);
+  EXPECT_EQ(t.num_samples(), 5u);
+  EXPECT_DOUBLE_EQ(t.resolution(), 2.0);
+  EXPECT_DOUBLE_EQ(t.samples()[0], 100.0);
+}
+
+TEST(Loader, NonNumericCellThrows) {
+  TempCsv f("t6.csv", "100\nabc\n");
+  EXPECT_THROW(load_trace_csv(f.path()), std::runtime_error);
+}
+
+TEST(Loader, NonIncreasingTimestampsThrow) {
+  TempCsv f("t7.csv", "0,10\n5,20\n5,30\n");
+  EXPECT_THROW(load_trace_csv(f.path()), std::runtime_error);
+}
+
+TEST(Loader, HeaderOnlyThrows) {
+  TempCsv f("t8.csv", "bandwidth\n");
+  EXPECT_THROW(load_trace_csv(f.path()), std::runtime_error);
+}
+
+TEST(Loader, MissingFileThrows) {
+  EXPECT_THROW(load_trace_csv("/no/such/trace.csv"), std::runtime_error);
+}
+
+TEST(Loader, BadOptionsThrow) {
+  TempCsv f("t9.csv", "1\n2\n");
+  TraceLoadOptions bad_dt;
+  bad_dt.dt = 0.0;
+  EXPECT_THROW(load_trace_csv(f.path(), bad_dt), std::invalid_argument);
+  TraceLoadOptions bad_scale;
+  bad_scale.scale = -1.0;
+  EXPECT_THROW(load_trace_csv(f.path(), bad_scale), std::invalid_argument);
+}
+
+TEST(Loader, MalformedTimestampRowThrows) {
+  TempCsv f("t10.csv", "0,10\n1,\n");
+  EXPECT_THROW(load_trace_csv(f.path()), std::runtime_error);
+}
+
+TEST(Loader, LoadedTraceSupportsUploadQueries) {
+  TempCsv f("t11.csv", "10\n20\n");
+  auto t = load_trace_csv(f.path());
+  EXPECT_DOUBLE_EQ(t.upload_finish_time(0.0, 30.0), 2.0);
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,155 @@
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedra {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_DOUBLE_EQ(m[i], 0.0);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 2, 7.5);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_DOUBLE_EQ(m[i], 7.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(2, 0), 5.0);
+}
+
+TEST(Matrix, RowMajorIndexing) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_DOUBLE_EQ(m[0], 1.0);
+  EXPECT_DOUBLE_EQ(m[3], 4.0);
+  EXPECT_DOUBLE_EQ(m[5], 6.0);
+}
+
+TEST(Matrix, RowSpanViewsAndMutates) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(Matrix, RowAndColVectors) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  auto r = Matrix::row_vector(v);
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  auto c = Matrix::col_vector(v);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(2, 0), 3.0);
+}
+
+TEST(Matrix, Identity) {
+  auto id = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, RandomUniformWithinBounds) {
+  Rng rng(1);
+  auto m = Matrix::random_uniform(10, 10, rng, -0.5, 0.5);
+  for (double x : m.flat()) {
+    EXPECT_GE(x, -0.5);
+    EXPECT_LT(x, 0.5);
+  }
+}
+
+TEST(Matrix, RandomGaussianDeterministicBySeed) {
+  Rng a(7), b(7);
+  auto ma = Matrix::random_gaussian(4, 4, a);
+  auto mb = Matrix::random_gaussian(4, 4, b);
+  EXPECT_EQ(ma, mb);
+}
+
+TEST(Matrix, AddSubInPlace) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{10.0, 20.0}, {30.0, 40.0}};
+  a += b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 44.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+}
+
+TEST(Matrix, ScalarScale) {
+  Matrix a{{1.0, -2.0}};
+  a *= -2.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
+}
+
+TEST(Matrix, HadamardInPlace) {
+  Matrix a{{2.0, 3.0}};
+  Matrix b{{4.0, 5.0}};
+  a.hadamard_inplace(b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 15.0);
+}
+
+TEST(Matrix, Reshape) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  m.reshape(3, 2);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);  // row-major data preserved
+}
+
+TEST(Matrix, SameShape) {
+  Matrix a(2, 3), b(2, 3), c(3, 2);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(Matrix, EqualityIncludesShape) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(3, 2, 1.0);
+  EXPECT_FALSE(a == b);
+  Matrix c(2, 3, 1.0);
+  EXPECT_TRUE(a == c);
+}
+
+TEST(Matrix, FillAndZero) {
+  Matrix m(2, 2, 5.0);
+  m.set_zero();
+  for (double x : m.flat()) EXPECT_DOUBLE_EQ(x, 0.0);
+  m.fill(3.0);
+  for (double x : m.flat()) EXPECT_DOUBLE_EQ(x, 3.0);
+}
+
+using MatrixDeath = Matrix;
+
+TEST(MatrixDeathTest, OutOfBoundsAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH((void)m(2, 0), "precondition");
+  EXPECT_DEATH((void)m(0, 2), "precondition");
+}
+
+TEST(MatrixDeathTest, ShapeMismatchAborts) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_DEATH(a += b, "precondition");
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,80 @@
+#include "env/normalizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fedra {
+namespace {
+
+TEST(Normalizer, IdentityBeforeObservations) {
+  RunningNormalizer n(3);
+  std::vector<double> x{1.0, -2.0, 3.0};
+  auto y = n.normalize(x);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Normalizer, IdentityClipsExtremes) {
+  RunningNormalizer n(1);
+  n.clip = 5.0;
+  auto y = n.normalize({100.0});
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+}
+
+TEST(Normalizer, StandardizesToZeroMeanUnitStd) {
+  RunningNormalizer n(2);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    n.observe({rng.gaussian(10.0, 3.0), rng.gaussian(-5.0, 0.5)});
+  }
+  // Normalizing a sample at the distribution mean gives ~0.
+  auto y = n.normalize({10.0, -5.0});
+  EXPECT_NEAR(y[0], 0.0, 0.05);
+  EXPECT_NEAR(y[1], 0.0, 0.05);
+  // One std above the mean gives ~1.
+  auto y1 = n.normalize({13.0, -4.5});
+  EXPECT_NEAR(y1[0], 1.0, 0.05);
+  EXPECT_NEAR(y1[1], 1.0, 0.05);
+}
+
+TEST(Normalizer, ClipBoundsOutput) {
+  RunningNormalizer n(1);
+  n.clip = 2.0;
+  for (int i = 0; i < 100; ++i) n.observe({static_cast<double>(i % 3)});
+  auto y = n.normalize({1e9});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  auto ylo = n.normalize({-1e9});
+  EXPECT_DOUBLE_EQ(ylo[0], -2.0);
+}
+
+TEST(Normalizer, FreezeStopsUpdates) {
+  RunningNormalizer n(1);
+  n.observe({0.0});
+  n.observe({2.0});
+  const auto before = n.normalize({1.0});
+  n.freeze();
+  EXPECT_TRUE(n.frozen());
+  for (int i = 0; i < 100; ++i) n.observe({1000.0});
+  EXPECT_EQ(n.count(), 2u);
+  EXPECT_EQ(n.normalize({1.0}), before);
+}
+
+TEST(Normalizer, ConstantDimensionDoesNotBlowUp) {
+  RunningNormalizer n(1);
+  for (int i = 0; i < 50; ++i) n.observe({7.0});
+  auto y = n.normalize({7.0});
+  EXPECT_TRUE(std::isfinite(y[0]));
+  EXPECT_NEAR(y[0], 0.0, 1e-6);
+}
+
+TEST(NormalizerDeathTest, DimMismatchAborts) {
+  RunningNormalizer n(2);
+  EXPECT_DEATH(n.observe({1.0}), "precondition");
+  EXPECT_DEATH((void)n.normalize({1.0, 2.0, 3.0}), "precondition");
+  EXPECT_DEATH(RunningNormalizer(0), "precondition");
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,186 @@
+#include "rl/prioritized_replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "rl/ddpg.hpp"
+
+namespace fedra {
+namespace {
+
+OffPolicyTransition make_transition(double reward) {
+  OffPolicyTransition t;
+  t.state = {reward};
+  t.next_state = {reward};
+  t.action = {0.5};
+  t.reward = reward;
+  return t;
+}
+
+TEST(SumTree, TotalTracksLeafUpdates) {
+  SumTree tree(4);
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+  tree.set(0, 1.0);
+  tree.set(2, 3.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 4.0);
+  tree.set(0, 0.5);
+  EXPECT_DOUBLE_EQ(tree.total(), 3.5);
+  EXPECT_DOUBLE_EQ(tree.get(2), 3.0);
+}
+
+TEST(SumTree, NonPowerOfTwoCapacity) {
+  SumTree tree(5);
+  for (std::size_t i = 0; i < 5; ++i) tree.set(i, 1.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 5.0);
+  EXPECT_EQ(tree.find_prefix(4.5), 4u);
+}
+
+TEST(SumTree, FindPrefixSelectsCorrectLeaf) {
+  SumTree tree(4);
+  tree.set(0, 1.0);
+  tree.set(1, 2.0);
+  tree.set(2, 3.0);
+  tree.set(3, 4.0);
+  // Cumulative boundaries: [0,1) -> 0, [1,3) -> 1, [3,6) -> 2, [6,10) -> 3.
+  EXPECT_EQ(tree.find_prefix(0.5), 0u);
+  EXPECT_EQ(tree.find_prefix(1.0), 1u);
+  EXPECT_EQ(tree.find_prefix(2.99), 1u);
+  EXPECT_EQ(tree.find_prefix(3.0), 2u);
+  EXPECT_EQ(tree.find_prefix(9.99), 3u);
+}
+
+TEST(SumTree, SamplingFrequenciesMatchWeights) {
+  SumTree tree(3);
+  tree.set(0, 1.0);
+  tree.set(1, 0.0);
+  tree.set(2, 3.0);
+  Rng rng(1);
+  std::map<std::size_t, int> counts;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    counts[tree.find_prefix(rng.uniform() * tree.total())]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(PrioritizedReplay, NewTransitionsGetSampled) {
+  PrioritizedReplayBuffer buf(8, 0.6, 0.4);
+  buf.push(make_transition(1.0));
+  Rng rng(2);
+  auto b = buf.sample(4, rng);
+  for (double r : b.batch.rewards) EXPECT_DOUBLE_EQ(r, 1.0);
+  for (double w : b.weights) EXPECT_DOUBLE_EQ(w, 1.0);  // single element
+}
+
+TEST(PrioritizedReplay, HighPriorityDominatesSampling) {
+  PrioritizedReplayBuffer buf(2, 1.0, 0.0);  // alpha=1: linear in priority
+  buf.push(make_transition(0.0));
+  buf.push(make_transition(1.0));
+  buf.update_priorities({0, 1}, {0.01, 10.0});
+  Rng rng(3);
+  int high = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    auto b = buf.sample(1, rng);
+    if (b.batch.rewards[0] == 1.0) ++high;
+  }
+  EXPECT_GT(high, static_cast<int>(0.95 * n));
+}
+
+TEST(PrioritizedReplay, AlphaZeroIsUniform) {
+  PrioritizedReplayBuffer buf(2, 0.0, 0.0);
+  buf.push(make_transition(0.0));
+  buf.push(make_transition(1.0));
+  buf.update_priorities({0, 1}, {0.01, 100.0});
+  Rng rng(4);
+  int high = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto b = buf.sample(1, rng);
+    if (b.batch.rewards[0] == 1.0) ++high;
+  }
+  EXPECT_NEAR(high / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(PrioritizedReplay, ImportanceWeightRatioMatchesFormula) {
+  // Weights are normalized by the batch max, so only RATIOS within a
+  // batch are observable: w_i / w_j = (p_j / p_i)^beta. With alpha = 1,
+  // beta = 1 and priorities {1, 3} (+eps), the low-priority transition
+  // must carry ~3x the weight of the high-priority one.
+  PrioritizedReplayBuffer buf(2, 1.0, 1.0);
+  buf.push(make_transition(0.0));
+  buf.push(make_transition(1.0));
+  buf.update_priorities({0, 1}, {1.0, 3.0});
+  Rng rng(5);
+  bool checked = false;
+  for (int i = 0; i < 200 && !checked; ++i) {
+    auto b = buf.sample(2, rng);
+    if (b.indices[0] == b.indices[1]) continue;  // need both transitions
+    const double w_low =
+        b.batch.rewards[0] == 0.0 ? b.weights[0] : b.weights[1];
+    const double w_high =
+        b.batch.rewards[0] == 0.0 ? b.weights[1] : b.weights[0];
+    EXPECT_NEAR(w_low / w_high, 3.0, 0.01);
+    // The batch max must be normalized to exactly 1.
+    EXPECT_DOUBLE_EQ(std::max(b.weights[0], b.weights[1]), 1.0);
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(PrioritizedReplay, RingOverwriteKeepsTreeConsistent) {
+  PrioritizedReplayBuffer buf(2, 0.6, 0.4);
+  for (int i = 0; i < 7; ++i) buf.push(make_transition(i));
+  EXPECT_EQ(buf.size(), 2u);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    auto b = buf.sample(2, rng);
+    for (double r : b.batch.rewards) {
+      EXPECT_TRUE(r == 5.0 || r == 6.0);
+    }
+  }
+}
+
+TEST(PrioritizedReplay, DdpgIntegrationSolvesBandit) {
+  DdpgConfig cfg;
+  cfg.gamma = 0.0;
+  cfg.warmup = 64;
+  cfg.noise_std = 0.2;
+  cfg.prioritized = true;
+  DdpgAgent agent(2, 1, cfg, 11);
+  Rng rng(12);
+  const std::vector<double> state{0.0, 0.0};
+  for (int step = 0; step < 4000; ++step) {
+    const auto action = agent.act_noisy(state, rng);
+    const double d = action[0] - 0.7;
+    OffPolicyTransition t;
+    t.state = state;
+    t.next_state = state;
+    t.action = action;
+    t.reward = -d * d;
+    agent.remember(std::move(t));
+    agent.update(rng);
+  }
+  EXPECT_NEAR(agent.act(state)[0], 0.7, 0.1);
+}
+
+TEST(PrioritizedReplayDeathTest, InvalidUseAborts) {
+  EXPECT_DEATH(PrioritizedReplayBuffer(0), "precondition");
+  EXPECT_DEATH(PrioritizedReplayBuffer(4, 2.0), "precondition");
+  PrioritizedReplayBuffer buf(4);
+  Rng rng(1);
+  EXPECT_DEATH((void)buf.sample(1, rng), "precondition");
+  buf.push(make_transition(1.0));
+  EXPECT_DEATH(buf.update_priorities({5}, {1.0}), "precondition");
+  EXPECT_DEATH(buf.update_priorities({0}, {1.0, 2.0}), "precondition");
+  SumTree tree(2);
+  EXPECT_DEATH(tree.set(2, 1.0), "precondition");
+  EXPECT_DEATH((void)tree.find_prefix(-1.0), "precondition");
+}
+
+}  // namespace
+}  // namespace fedra

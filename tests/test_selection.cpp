@@ -1,0 +1,157 @@
+#include "fl/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/experiment_config.hpp"
+
+namespace fedra {
+namespace {
+
+FlSimulator make_sim(std::size_t devices = 5, std::uint64_t seed = 42) {
+  ExperimentConfig cfg = testbed_config();
+  cfg.num_devices = devices;
+  cfg.trace_pool = 0;
+  cfg.trace_samples = 400;
+  cfg.seed = seed;
+  return build_simulator(cfg);
+}
+
+std::size_t count(const std::vector<bool>& mask) {
+  return static_cast<std::size_t>(
+      std::count(mask.begin(), mask.end(), true));
+}
+
+TEST(AllSelector, SelectsEveryone) {
+  auto sim = make_sim();
+  AllSelector s;
+  auto mask = s.select(sim);
+  EXPECT_EQ(count(mask), sim.num_devices());
+}
+
+TEST(RandomSelector, SelectsExactlyK) {
+  auto sim = make_sim(6);
+  RandomSelector s(3, 1);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_EQ(count(s.select(sim)), 3u);
+  }
+}
+
+TEST(RandomSelector, KLargerThanNSelectsAll) {
+  auto sim = make_sim(3);
+  RandomSelector s(10, 2);
+  EXPECT_EQ(count(s.select(sim)), 3u);
+}
+
+TEST(RandomSelector, RotatesMembership) {
+  auto sim = make_sim(6);
+  RandomSelector s(2, 3);
+  std::vector<std::size_t> hits(6, 0);
+  for (int round = 0; round < 200; ++round) {
+    auto mask = s.select(sim);
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (mask[i]) ++hits[i];
+    }
+  }
+  // Every device participates eventually, with roughly uniform frequency.
+  for (auto h : hits) {
+    EXPECT_GT(h, 30u);
+    EXPECT_LT(h, 110u);
+  }
+}
+
+TEST(DeadlineSelector, LooseDeadlineSelectsAll) {
+  auto sim = make_sim();
+  DeadlineSelector s(sim, 1e6);
+  EXPECT_EQ(count(s.select(sim)), sim.num_devices());
+}
+
+TEST(DeadlineSelector, TightDeadlineStillSelectsSomeone) {
+  auto sim = make_sim();
+  DeadlineSelector s(sim, 1e-3);
+  auto mask = s.select(sim);
+  EXPECT_EQ(count(mask), 1u);  // the single fastest estimate is drafted
+}
+
+TEST(DeadlineSelector, SelectsExactlyTheFittingDevices) {
+  auto sim = make_sim(4, 9);
+  // Pick a deadline between the fastest and slowest estimated completion.
+  DeadlineSelector probe(sim, 1e6);
+  std::vector<double> est;
+  for (std::size_t i = 0; i < 4; ++i) {
+    est.push_back(probe.estimated_completion(sim, i));
+  }
+  auto lo = *std::min_element(est.begin(), est.end());
+  auto hi = *std::max_element(est.begin(), est.end());
+  ASSERT_LT(lo, hi);
+  const double deadline = 0.5 * (lo + hi);
+  DeadlineSelector s(sim, deadline);
+  auto mask = s.select(sim);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(mask[i], est[i] <= deadline) << i;
+  }
+}
+
+TEST(DeadlineSelector, ObserveUpdatesEstimates) {
+  auto sim = make_sim(2, 5);
+  DeadlineSelector s(sim, 1e6);
+  const double before = s.estimated_completion(sim, 0);
+  IterationResult fake;
+  fake.devices.resize(2);
+  fake.devices[0].participated = true;
+  fake.devices[0].avg_bandwidth = 1e3;  // terrible network now
+  fake.devices[1].participated = false;
+  s.observe(fake);
+  EXPECT_GT(s.estimated_completion(sim, 0), before);
+}
+
+TEST(SimulatorParticipation, ExcludedDevicesCostNothing) {
+  auto sim = make_sim(3, 7);
+  std::vector<double> freqs;
+  for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz);
+  auto r = sim.step(freqs, {true, false, true});
+  EXPECT_FALSE(r.devices[1].participated);
+  EXPECT_DOUBLE_EQ(r.devices[1].energy, 0.0);
+  EXPECT_DOUBLE_EQ(r.devices[1].total_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.devices[1].idle_time, 0.0);
+  EXPECT_TRUE(r.devices[0].participated);
+  EXPECT_GT(r.devices[0].energy, 0.0);
+}
+
+TEST(SimulatorParticipation, DroppingStragglerShrinksMakespan) {
+  auto sim = make_sim(3, 11);
+  std::vector<double> freqs;
+  for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz);
+  auto full = sim.preview(freqs, 0.0);
+  // Identify the straggler and rerun without it.
+  std::size_t straggler = 0;
+  for (std::size_t i = 1; i < 3; ++i) {
+    if (full.devices[i].total_time >
+        full.devices[straggler].total_time) {
+      straggler = i;
+    }
+  }
+  std::vector<bool> mask(3, true);
+  mask[straggler] = false;
+  FlSimulator sim2 = sim;
+  auto partial = sim2.step(freqs, mask);
+  EXPECT_LT(partial.iteration_time, full.iteration_time);
+  EXPECT_LT(partial.total_energy, full.total_energy);
+}
+
+TEST(SimulatorParticipationDeathTest, EmptyRoundAborts) {
+  auto sim = make_sim(2, 3);
+  std::vector<double> freqs{1e9, 1e9};
+  EXPECT_DEATH(sim.step(freqs, {false, false}), "precondition");
+  EXPECT_DEATH(sim.step(freqs, {true}), "precondition");
+}
+
+TEST(SelectionDeathTest, BadConfigsAbort) {
+  EXPECT_DEATH(RandomSelector(0, 1), "precondition");
+  auto sim = make_sim(2, 4);
+  EXPECT_DEATH(DeadlineSelector(sim, 0.0), "precondition");
+}
+
+}  // namespace
+}  // namespace fedra

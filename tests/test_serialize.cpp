@@ -1,0 +1,111 @@
+#include "tensor/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace fedra {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Serialize, StreamRoundTrip) {
+  Rng rng(1);
+  auto m = Matrix::random_gaussian(5, 7, rng);
+  std::stringstream ss;
+  write_matrix(ss, m);
+  auto back = read_matrix(ss);
+  EXPECT_EQ(back, m);
+}
+
+TEST(Serialize, EmptyDimsRoundTrip) {
+  Matrix m(0, 0);
+  std::stringstream ss;
+  write_matrix(ss, m);
+  auto back = read_matrix(ss);
+  EXPECT_EQ(back.rows(), 0u);
+  EXPECT_EQ(back.cols(), 0u);
+}
+
+TEST(Serialize, MultipleMatricesSequentially) {
+  Rng rng(2);
+  auto a = Matrix::random_gaussian(2, 3, rng);
+  auto b = Matrix::random_gaussian(1, 1, rng);
+  std::stringstream ss;
+  write_matrix(ss, a);
+  write_matrix(ss, b);
+  EXPECT_EQ(read_matrix(ss), a);
+  EXPECT_EQ(read_matrix(ss), b);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "NOTAMATRIXHEADER.................";
+  EXPECT_THROW(read_matrix(ss), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedDataThrows) {
+  Rng rng(3);
+  auto m = Matrix::random_gaussian(4, 4, rng);
+  std::stringstream ss;
+  write_matrix(ss, m);
+  std::string buf = ss.str();
+  buf.resize(buf.size() / 2);
+  std::stringstream truncated(buf);
+  EXPECT_THROW(read_matrix(truncated), std::runtime_error);
+}
+
+TEST(Serialize, EmptyStreamThrows) {
+  std::stringstream ss;
+  EXPECT_THROW(read_matrix(ss), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTripMultiple) {
+  Rng rng(4);
+  std::vector<Matrix> ms;
+  ms.push_back(Matrix::random_gaussian(3, 3, rng));
+  ms.push_back(Matrix::random_uniform(1, 8, rng));
+  ms.push_back(Matrix(2, 2, 42.0));
+  TempFile tmp("fedra_mats.bin");
+  save_matrices(tmp.path(), ms);
+  auto back = load_matrices(tmp.path());
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(back[i], ms[i]);
+}
+
+TEST(Serialize, EmptyListRoundTrip) {
+  TempFile tmp("fedra_mats_empty.bin");
+  save_matrices(tmp.path(), {});
+  EXPECT_TRUE(load_matrices(tmp.path()).empty());
+}
+
+TEST(Serialize, LoadMissingFileThrows) {
+  EXPECT_THROW(load_matrices("/no/such/fedra/file.bin"), std::runtime_error);
+}
+
+TEST(Serialize, CorruptCountThrows) {
+  TempFile tmp("fedra_mats_bad.bin");
+  {
+    std::ofstream out(tmp.path(), std::ios::binary);
+    // Implausibly huge matrix count.
+    const std::uint64_t n = ~0ULL;
+    out.write(reinterpret_cast<const char*>(&n), 8);
+  }
+  EXPECT_THROW(load_matrices(tmp.path()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fedra

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/drl_controller.hpp"
+#include "core/offline_trainer.hpp"
+#include "env/fl_env.hpp"
+#include "sim/experiment_config.hpp"
+
+namespace fedra {
+namespace {
+
+FlSimulator make_sim(std::size_t devices = 2) {
+  ExperimentConfig cfg = testbed_config();
+  cfg.num_devices = devices;
+  cfg.trace_pool = 0;
+  cfg.trace_samples = 300;
+  return build_simulator(cfg);
+}
+
+TEST(StateFeatures, DimensionGrowsByThreePerDevice) {
+  FlEnvConfig plain;
+  FlEnvConfig augmented;
+  augmented.include_device_features = true;
+  FlEnv env_plain(make_sim(3), plain);
+  FlEnv env_aug(make_sim(3), augmented);
+  EXPECT_EQ(env_plain.state_dim(), 3u * 9u);
+  EXPECT_EQ(env_aug.state_dim(), 3u * 12u);
+  EXPECT_EQ(env_aug.reset_at(0.0).size(), env_aug.state_dim());
+}
+
+TEST(StateFeatures, FeatureValuesMatchDeviceProfiles) {
+  FlEnvConfig cfg;
+  cfg.include_device_features = true;
+  cfg.history_slots = 1;  // 2 bandwidth slots + 3 features per device
+  auto sim = make_sim(2);
+  const auto devices = sim.devices();
+  const double tau = sim.params().tau;
+  FlEnv env(std::move(sim), cfg);
+  auto s = env.reset_at(50.0);
+  ASSERT_EQ(s.size(), 2u * 5u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const std::size_t base = i * 5 + 2;  // skip the 2 bandwidth slots
+    EXPECT_NEAR(s[base + 0], devices[i].cycles_per_round(tau) / 1e10,
+                1e-12);
+    EXPECT_NEAR(s[base + 1], devices[i].max_freq_hz / 2e9, 1e-12);
+    EXPECT_NEAR(s[base + 2], devices[i].tx_power_w, 1e-12);
+  }
+}
+
+TEST(StateFeatures, StaticFeaturesConstantAcrossTime) {
+  FlEnvConfig cfg;
+  cfg.include_device_features = true;
+  FlEnv env(make_sim(2), cfg);
+  auto s1 = env.reset_at(0.0);
+  auto s2 = env.reset_at(199.0);
+  const std::size_t per_device = cfg.history_slots + 1 + 3;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t f = 0; f < 3; ++f) {
+      const std::size_t idx = i * per_device + cfg.history_slots + 1 + f;
+      EXPECT_DOUBLE_EQ(s1[idx], s2[idx]);
+    }
+  }
+}
+
+TEST(StateFeatures, TrainingRunsOnAugmentedState) {
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 300;
+  FlEnvConfig env_cfg;
+  env_cfg.episode_length = 10;
+  env_cfg.include_device_features = true;
+  FlEnv env(build_simulator(cfg), env_cfg);
+  const double bw_ref = env.bandwidth_ref();
+  TrainerConfig tcfg = recommended_trainer_config(5);
+  tcfg.buffer_capacity = 32;
+  OfflineTrainer trainer(std::move(env), tcfg, 1);
+  auto history = trainer.train();
+  EXPECT_EQ(history.size(), 5u);
+  // The controller path must agree on dimensions end to end.
+  auto sim = build_simulator(cfg);
+  DrlController ctrl(trainer.agent(), env_cfg, bw_ref);
+  auto freqs = ctrl.decide(sim);
+  EXPECT_EQ(freqs.size(), sim.num_devices());
+}
+
+}  // namespace
+}  // namespace fedra

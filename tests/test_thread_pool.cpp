@@ -1,0 +1,121 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace fedra {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitForwardsArguments) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([](int a, int b) { return a + b; }, 40, 2);
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForNonZeroBegin) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(20);
+  pool.parallel_for(7, 13, [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 7 && i < 13) ? 1 : 0);
+  }
+}
+
+TEST(ThreadPool, ParallelForChunksDisjointAndComplete) {
+  ThreadPool pool(3);
+  const std::size_t n = 997;  // prime: uneven chunking
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LE(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 100, [&](std::size_t i) {
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(1);  // worst case: nested region on the only worker
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 4, [&](std::size_t) { count++; });
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, ManySubmissionsAllComplete) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([i] { return i; }));
+  }
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 199 * 200 / 2);
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+}
+
+TEST(ThreadPool, ParallelResultMatchesSerial) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<double> out(n);
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  double serial = 0.0;
+  for (std::size_t i = 0; i < n; ++i) serial += static_cast<double>(i) * 0.5;
+  EXPECT_DOUBLE_EQ(std::accumulate(out.begin(), out.end(), 0.0), serial);
+}
+
+}  // namespace
+}  // namespace fedra

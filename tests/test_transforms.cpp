@@ -1,0 +1,100 @@
+#include "trace/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+namespace {
+
+TEST(Transforms, ScaleMultipliesEverySample) {
+  BandwidthTrace t({10.0, 20.0, 30.0}, 1.0);
+  auto scaled = scale_trace(t, 2.5);
+  EXPECT_DOUBLE_EQ(scaled.samples()[0], 25.0);
+  EXPECT_DOUBLE_EQ(scaled.samples()[2], 75.0);
+  EXPECT_DOUBLE_EQ(scaled.resolution(), 1.0);
+  EXPECT_DOUBLE_EQ(scaled.mean_bandwidth(), 2.5 * t.mean_bandwidth());
+}
+
+TEST(Transforms, ConcatJoinsInOrder) {
+  BandwidthTrace a({1.0, 2.0}, 1.0);
+  BandwidthTrace b({3.0}, 1.0);
+  auto joined = concat_traces({a, b, a});
+  EXPECT_EQ(joined.num_samples(), 5u);
+  EXPECT_DOUBLE_EQ(joined.samples()[2], 3.0);
+  EXPECT_DOUBLE_EQ(joined.samples()[4], 2.0);
+}
+
+TEST(Transforms, SliceExtractsWindow) {
+  BandwidthTrace t({1.0, 2.0, 3.0, 4.0, 5.0}, 2.0);
+  auto s = slice_trace(t, 1, 3);
+  EXPECT_EQ(s.num_samples(), 3u);
+  EXPECT_DOUBLE_EQ(s.samples()[0], 2.0);
+  EXPECT_DOUBLE_EQ(s.samples()[2], 4.0);
+  EXPECT_DOUBLE_EQ(s.resolution(), 2.0);
+}
+
+TEST(Transforms, BlendEndpointsAndMidpoint) {
+  BandwidthTrace a({10.0, 10.0}, 1.0);
+  BandwidthTrace b({20.0, 40.0}, 1.0);
+  EXPECT_DOUBLE_EQ(blend_traces(a, b, 0.0).samples()[1], 10.0);
+  EXPECT_DOUBLE_EQ(blend_traces(a, b, 1.0).samples()[1], 40.0);
+  auto mid = blend_traces(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.samples()[0], 15.0);
+  EXPECT_DOUBLE_EQ(mid.samples()[1], 25.0);
+}
+
+TEST(Transforms, StepTraceSegments) {
+  auto t = step_trace({{3.0, 100.0}, {2.0, 50.0}}, 1.0);
+  EXPECT_EQ(t.num_samples(), 5u);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(2.9), 100.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(3.1), 50.0);
+}
+
+TEST(Transforms, StepTraceRoundsToWholeSamples) {
+  auto t = step_trace({{0.3, 10.0}, {1.6, 20.0}}, 1.0);
+  // 0.3 s rounds up to 1 sample; 1.6 s rounds to 2.
+  EXPECT_EQ(t.num_samples(), 3u);
+  EXPECT_DOUBLE_EQ(t.samples()[0], 10.0);
+  EXPECT_DOUBLE_EQ(t.samples()[1], 20.0);
+}
+
+TEST(Transforms, ComposedScenario) {
+  // Build the regime-shift scenario the adaptive-scheduler example uses,
+  // then verify the integral bookkeeping survives the composition.
+  auto shifting = concat_traces({step_trace({{300.0, 7e6}}),
+                                 step_trace({{300.0, 0.5e6}}),
+                                 step_trace({{300.0, 7e6}})});
+  EXPECT_EQ(shifting.num_samples(), 900u);
+  // 10 MB at t=0 (fast phase): ~1.43 s. At t=310 (dead zone): 20 s.
+  EXPECT_NEAR(shifting.upload_duration(0.0, 10e6), 10.0 / 7.0, 1e-9);
+  EXPECT_NEAR(shifting.upload_duration(310.0, 10e6), 20.0, 1e-9);
+}
+
+TEST(Transforms, ScaledGeneratorTraceKeepsShape) {
+  Rng rng(1);
+  auto t = generate_trace(lte_walking_model(), 500, rng);
+  auto scaled = scale_trace(t, 0.5);
+  // Halving the rate is equivalent to doubling the payload: transferring
+  // X bytes on the scaled trace takes as long as 2X on the original.
+  for (double start : {0.0, 100.0, 333.0}) {
+    EXPECT_NEAR(scaled.upload_duration(start, 1e6),
+                t.upload_duration(start, 2e6), 1e-6);
+  }
+}
+
+TEST(TransformsDeathTest, BadArgsAbort) {
+  BandwidthTrace t({1.0, 2.0}, 1.0);
+  EXPECT_DEATH((void)scale_trace(t, 0.0), "precondition");
+  EXPECT_DEATH((void)concat_traces({}), "precondition");
+  EXPECT_DEATH((void)slice_trace(t, 1, 2), "precondition");
+  BandwidthTrace other({1.0}, 1.0);
+  EXPECT_DEATH((void)blend_traces(t, other, 0.5), "precondition");
+  EXPECT_DEATH((void)blend_traces(t, t, 1.5), "precondition");
+  EXPECT_DEATH((void)step_trace({}), "precondition");
+}
+
+}  // namespace
+}  // namespace fedra
