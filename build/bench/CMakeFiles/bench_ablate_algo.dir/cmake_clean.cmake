@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_algo.dir/bench_ablate_algo.cpp.o"
+  "CMakeFiles/bench_ablate_algo.dir/bench_ablate_algo.cpp.o.d"
+  "bench_ablate_algo"
+  "bench_ablate_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_dqn.dir/bench_ablate_dqn.cpp.o"
+  "CMakeFiles/bench_ablate_dqn.dir/bench_ablate_dqn.cpp.o.d"
+  "bench_ablate_dqn"
+  "bench_ablate_dqn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_dqn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_history.dir/bench_ablate_history.cpp.o"
+  "CMakeFiles/bench_ablate_history.dir/bench_ablate_history.cpp.o.d"
+  "bench_ablate_history"
+  "bench_ablate_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

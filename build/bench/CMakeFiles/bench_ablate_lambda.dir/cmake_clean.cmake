@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_lambda.dir/bench_ablate_lambda.cpp.o"
+  "CMakeFiles/bench_ablate_lambda.dir/bench_ablate_lambda.cpp.o.d"
+  "bench_ablate_lambda"
+  "bench_ablate_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_offpolicy.dir/bench_ablate_offpolicy.cpp.o"
+  "CMakeFiles/bench_ablate_offpolicy.dir/bench_ablate_offpolicy.cpp.o.d"
+  "bench_ablate_offpolicy"
+  "bench_ablate_offpolicy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_offpolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

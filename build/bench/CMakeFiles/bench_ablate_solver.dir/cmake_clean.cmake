@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_solver.dir/bench_ablate_solver.cpp.o"
+  "CMakeFiles/bench_ablate_solver.dir/bench_ablate_solver.cpp.o.d"
+  "bench_ablate_solver"
+  "bench_ablate_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_state.dir/bench_ablate_state.cpp.o"
+  "CMakeFiles/bench_ablate_state.dir/bench_ablate_state.cpp.o.d"
+  "bench_ablate_state"
+  "bench_ablate_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_tau.dir/bench_ablate_tau.cpp.o"
+  "CMakeFiles/bench_ablate_tau.dir/bench_ablate_tau.cpp.o.d"
+  "bench_ablate_tau"
+  "bench_ablate_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

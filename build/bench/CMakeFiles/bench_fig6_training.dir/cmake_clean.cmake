@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_training.dir/bench_fig6_training.cpp.o"
+  "CMakeFiles/bench_fig6_training.dir/bench_fig6_training.cpp.o.d"
+  "bench_fig6_training"
+  "bench_fig6_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

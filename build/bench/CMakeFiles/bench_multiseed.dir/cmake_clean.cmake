@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiseed.dir/bench_multiseed.cpp.o"
+  "CMakeFiles/bench_multiseed.dir/bench_multiseed.cpp.o.d"
+  "bench_multiseed"
+  "bench_multiseed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiseed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

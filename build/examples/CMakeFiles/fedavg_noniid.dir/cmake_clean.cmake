@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedavg_noniid.dir/fedavg_noniid.cpp.o"
+  "CMakeFiles/fedavg_noniid.dir/fedavg_noniid.cpp.o.d"
+  "fedavg_noniid"
+  "fedavg_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedavg_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

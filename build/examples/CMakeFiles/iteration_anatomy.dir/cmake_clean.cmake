@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iteration_anatomy.dir/iteration_anatomy.cpp.o"
+  "CMakeFiles/iteration_anatomy.dir/iteration_anatomy.cpp.o.d"
+  "iteration_anatomy"
+  "iteration_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iteration_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

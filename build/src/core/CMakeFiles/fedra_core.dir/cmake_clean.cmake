@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_core.dir/drl_controller.cpp.o"
+  "CMakeFiles/fedra_core.dir/drl_controller.cpp.o.d"
+  "CMakeFiles/fedra_core.dir/evaluation.cpp.o"
+  "CMakeFiles/fedra_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/fedra_core.dir/experiment.cpp.o"
+  "CMakeFiles/fedra_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/fedra_core.dir/fairness.cpp.o"
+  "CMakeFiles/fedra_core.dir/fairness.cpp.o.d"
+  "CMakeFiles/fedra_core.dir/offline_trainer.cpp.o"
+  "CMakeFiles/fedra_core.dir/offline_trainer.cpp.o.d"
+  "CMakeFiles/fedra_core.dir/online_adaptation.cpp.o"
+  "CMakeFiles/fedra_core.dir/online_adaptation.cpp.o.d"
+  "libfedra_core.a"
+  "libfedra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_env.dir/fl_env.cpp.o"
+  "CMakeFiles/fedra_env.dir/fl_env.cpp.o.d"
+  "CMakeFiles/fedra_env.dir/normalizer.cpp.o"
+  "CMakeFiles/fedra_env.dir/normalizer.cpp.o.d"
+  "libfedra_env.a"
+  "libfedra_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

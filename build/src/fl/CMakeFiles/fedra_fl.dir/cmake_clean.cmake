@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_fl.dir/async_fedavg.cpp.o"
+  "CMakeFiles/fedra_fl.dir/async_fedavg.cpp.o.d"
+  "CMakeFiles/fedra_fl.dir/client.cpp.o"
+  "CMakeFiles/fedra_fl.dir/client.cpp.o.d"
+  "CMakeFiles/fedra_fl.dir/compression.cpp.o"
+  "CMakeFiles/fedra_fl.dir/compression.cpp.o.d"
+  "CMakeFiles/fedra_fl.dir/dataset.cpp.o"
+  "CMakeFiles/fedra_fl.dir/dataset.cpp.o.d"
+  "CMakeFiles/fedra_fl.dir/fedavg.cpp.o"
+  "CMakeFiles/fedra_fl.dir/fedavg.cpp.o.d"
+  "CMakeFiles/fedra_fl.dir/selection.cpp.o"
+  "CMakeFiles/fedra_fl.dir/selection.cpp.o.d"
+  "libfedra_fl.a"
+  "libfedra_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

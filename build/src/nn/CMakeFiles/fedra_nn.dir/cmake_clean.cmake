@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_nn.dir/activations.cpp.o"
+  "CMakeFiles/fedra_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/fedra_nn.dir/dense.cpp.o"
+  "CMakeFiles/fedra_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/fedra_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/fedra_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/fedra_nn.dir/layernorm.cpp.o"
+  "CMakeFiles/fedra_nn.dir/layernorm.cpp.o.d"
+  "CMakeFiles/fedra_nn.dir/loss.cpp.o"
+  "CMakeFiles/fedra_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fedra_nn.dir/mlp.cpp.o"
+  "CMakeFiles/fedra_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/fedra_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fedra_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fedra_nn.dir/regularization.cpp.o"
+  "CMakeFiles/fedra_nn.dir/regularization.cpp.o.d"
+  "libfedra_nn.a"
+  "libfedra_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

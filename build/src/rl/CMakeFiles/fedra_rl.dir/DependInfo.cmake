@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/a2c.cpp" "src/rl/CMakeFiles/fedra_rl.dir/a2c.cpp.o" "gcc" "src/rl/CMakeFiles/fedra_rl.dir/a2c.cpp.o.d"
+  "/root/repo/src/rl/ddpg.cpp" "src/rl/CMakeFiles/fedra_rl.dir/ddpg.cpp.o" "gcc" "src/rl/CMakeFiles/fedra_rl.dir/ddpg.cpp.o.d"
+  "/root/repo/src/rl/dqn.cpp" "src/rl/CMakeFiles/fedra_rl.dir/dqn.cpp.o" "gcc" "src/rl/CMakeFiles/fedra_rl.dir/dqn.cpp.o.d"
+  "/root/repo/src/rl/gae.cpp" "src/rl/CMakeFiles/fedra_rl.dir/gae.cpp.o" "gcc" "src/rl/CMakeFiles/fedra_rl.dir/gae.cpp.o.d"
+  "/root/repo/src/rl/policy.cpp" "src/rl/CMakeFiles/fedra_rl.dir/policy.cpp.o" "gcc" "src/rl/CMakeFiles/fedra_rl.dir/policy.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "src/rl/CMakeFiles/fedra_rl.dir/ppo.cpp.o" "gcc" "src/rl/CMakeFiles/fedra_rl.dir/ppo.cpp.o.d"
+  "/root/repo/src/rl/prioritized_replay.cpp" "src/rl/CMakeFiles/fedra_rl.dir/prioritized_replay.cpp.o" "gcc" "src/rl/CMakeFiles/fedra_rl.dir/prioritized_replay.cpp.o.d"
+  "/root/repo/src/rl/replay.cpp" "src/rl/CMakeFiles/fedra_rl.dir/replay.cpp.o" "gcc" "src/rl/CMakeFiles/fedra_rl.dir/replay.cpp.o.d"
+  "/root/repo/src/rl/rollout.cpp" "src/rl/CMakeFiles/fedra_rl.dir/rollout.cpp.o" "gcc" "src/rl/CMakeFiles/fedra_rl.dir/rollout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fedra_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedra_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

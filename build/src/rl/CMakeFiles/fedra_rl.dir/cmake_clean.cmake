@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_rl.dir/a2c.cpp.o"
+  "CMakeFiles/fedra_rl.dir/a2c.cpp.o.d"
+  "CMakeFiles/fedra_rl.dir/ddpg.cpp.o"
+  "CMakeFiles/fedra_rl.dir/ddpg.cpp.o.d"
+  "CMakeFiles/fedra_rl.dir/dqn.cpp.o"
+  "CMakeFiles/fedra_rl.dir/dqn.cpp.o.d"
+  "CMakeFiles/fedra_rl.dir/gae.cpp.o"
+  "CMakeFiles/fedra_rl.dir/gae.cpp.o.d"
+  "CMakeFiles/fedra_rl.dir/policy.cpp.o"
+  "CMakeFiles/fedra_rl.dir/policy.cpp.o.d"
+  "CMakeFiles/fedra_rl.dir/ppo.cpp.o"
+  "CMakeFiles/fedra_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/fedra_rl.dir/prioritized_replay.cpp.o"
+  "CMakeFiles/fedra_rl.dir/prioritized_replay.cpp.o.d"
+  "CMakeFiles/fedra_rl.dir/replay.cpp.o"
+  "CMakeFiles/fedra_rl.dir/replay.cpp.o.d"
+  "CMakeFiles/fedra_rl.dir/rollout.cpp.o"
+  "CMakeFiles/fedra_rl.dir/rollout.cpp.o.d"
+  "libfedra_rl.a"
+  "libfedra_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_sched.dir/baselines.cpp.o"
+  "CMakeFiles/fedra_sched.dir/baselines.cpp.o.d"
+  "CMakeFiles/fedra_sched.dir/deadline_solver.cpp.o"
+  "CMakeFiles/fedra_sched.dir/deadline_solver.cpp.o.d"
+  "CMakeFiles/fedra_sched.dir/predictive.cpp.o"
+  "CMakeFiles/fedra_sched.dir/predictive.cpp.o.d"
+  "libfedra_sched.a"
+  "libfedra_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/async_simulator.cpp" "src/sim/CMakeFiles/fedra_sim.dir/async_simulator.cpp.o" "gcc" "src/sim/CMakeFiles/fedra_sim.dir/async_simulator.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/fedra_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/fedra_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/fedra_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/fedra_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/experiment_config.cpp" "src/sim/CMakeFiles/fedra_sim.dir/experiment_config.cpp.o" "gcc" "src/sim/CMakeFiles/fedra_sim.dir/experiment_config.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/fedra_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/fedra_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/fedra_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

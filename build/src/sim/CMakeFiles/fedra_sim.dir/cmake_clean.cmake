@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_sim.dir/async_simulator.cpp.o"
+  "CMakeFiles/fedra_sim.dir/async_simulator.cpp.o.d"
+  "CMakeFiles/fedra_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/fedra_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/fedra_sim.dir/device.cpp.o"
+  "CMakeFiles/fedra_sim.dir/device.cpp.o.d"
+  "CMakeFiles/fedra_sim.dir/experiment_config.cpp.o"
+  "CMakeFiles/fedra_sim.dir/experiment_config.cpp.o.d"
+  "CMakeFiles/fedra_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fedra_sim.dir/simulator.cpp.o.d"
+  "libfedra_sim.a"
+  "libfedra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

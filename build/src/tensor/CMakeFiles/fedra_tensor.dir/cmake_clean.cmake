@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/fedra_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/fedra_tensor.dir/ops.cpp.o"
+  "CMakeFiles/fedra_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/fedra_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/fedra_tensor.dir/serialize.cpp.o.d"
+  "libfedra_tensor.a"
+  "libfedra_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

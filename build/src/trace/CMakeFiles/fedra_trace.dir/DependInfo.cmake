@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/bandwidth_trace.cpp" "src/trace/CMakeFiles/fedra_trace.dir/bandwidth_trace.cpp.o" "gcc" "src/trace/CMakeFiles/fedra_trace.dir/bandwidth_trace.cpp.o.d"
+  "/root/repo/src/trace/fit.cpp" "src/trace/CMakeFiles/fedra_trace.dir/fit.cpp.o" "gcc" "src/trace/CMakeFiles/fedra_trace.dir/fit.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/fedra_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/fedra_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/loader.cpp" "src/trace/CMakeFiles/fedra_trace.dir/loader.cpp.o" "gcc" "src/trace/CMakeFiles/fedra_trace.dir/loader.cpp.o.d"
+  "/root/repo/src/trace/transforms.cpp" "src/trace/CMakeFiles/fedra_trace.dir/transforms.cpp.o" "gcc" "src/trace/CMakeFiles/fedra_trace.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fedra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

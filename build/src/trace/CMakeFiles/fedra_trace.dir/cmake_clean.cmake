@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_trace.dir/bandwidth_trace.cpp.o"
+  "CMakeFiles/fedra_trace.dir/bandwidth_trace.cpp.o.d"
+  "CMakeFiles/fedra_trace.dir/fit.cpp.o"
+  "CMakeFiles/fedra_trace.dir/fit.cpp.o.d"
+  "CMakeFiles/fedra_trace.dir/generator.cpp.o"
+  "CMakeFiles/fedra_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/fedra_trace.dir/loader.cpp.o"
+  "CMakeFiles/fedra_trace.dir/loader.cpp.o.d"
+  "CMakeFiles/fedra_trace.dir/transforms.cpp.o"
+  "CMakeFiles/fedra_trace.dir/transforms.cpp.o.d"
+  "libfedra_trace.a"
+  "libfedra_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

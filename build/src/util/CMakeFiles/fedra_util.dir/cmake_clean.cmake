@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_util.dir/argparse.cpp.o"
+  "CMakeFiles/fedra_util.dir/argparse.cpp.o.d"
+  "CMakeFiles/fedra_util.dir/csv.cpp.o"
+  "CMakeFiles/fedra_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fedra_util.dir/logging.cpp.o"
+  "CMakeFiles/fedra_util.dir/logging.cpp.o.d"
+  "CMakeFiles/fedra_util.dir/rng.cpp.o"
+  "CMakeFiles/fedra_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fedra_util.dir/stats.cpp.o"
+  "CMakeFiles/fedra_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fedra_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fedra_util.dir/thread_pool.cpp.o.d"
+  "libfedra_util.a"
+  "libfedra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_argparse.dir/test_argparse.cpp.o"
+  "CMakeFiles/test_argparse.dir/test_argparse.cpp.o.d"
+  "test_argparse"
+  "test_argparse.pdb"
+  "test_argparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_argparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandwidth_trace.dir/test_bandwidth_trace.cpp.o"
+  "CMakeFiles/test_bandwidth_trace.dir/test_bandwidth_trace.cpp.o.d"
+  "test_bandwidth_trace"
+  "test_bandwidth_trace.pdb"
+  "test_bandwidth_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandwidth_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddpg.dir/test_ddpg.cpp.o"
+  "CMakeFiles/test_ddpg.dir/test_ddpg.cpp.o.d"
+  "test_ddpg"
+  "test_ddpg.pdb"
+  "test_ddpg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadline_solver.dir/test_deadline_solver.cpp.o"
+  "CMakeFiles/test_deadline_solver.dir/test_deadline_solver.cpp.o.d"
+  "test_deadline_solver"
+  "test_deadline_solver.pdb"
+  "test_deadline_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadline_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

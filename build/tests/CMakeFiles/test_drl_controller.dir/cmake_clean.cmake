@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drl_controller.dir/test_drl_controller.cpp.o"
+  "CMakeFiles/test_drl_controller.dir/test_drl_controller.cpp.o.d"
+  "test_drl_controller"
+  "test_drl_controller.pdb"
+  "test_drl_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drl_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

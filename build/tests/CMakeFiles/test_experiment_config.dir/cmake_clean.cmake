@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment_config.dir/test_experiment_config.cpp.o"
+  "CMakeFiles/test_experiment_config.dir/test_experiment_config.cpp.o.d"
+  "test_experiment_config"
+  "test_experiment_config.pdb"
+  "test_experiment_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

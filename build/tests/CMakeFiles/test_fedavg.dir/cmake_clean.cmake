@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fedavg.dir/test_fedavg.cpp.o"
+  "CMakeFiles/test_fedavg.dir/test_fedavg.cpp.o.d"
+  "test_fedavg"
+  "test_fedavg.pdb"
+  "test_fedavg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fedavg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

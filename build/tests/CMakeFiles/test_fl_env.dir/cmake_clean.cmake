@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl_env.dir/test_fl_env.cpp.o"
+  "CMakeFiles/test_fl_env.dir/test_fl_env.cpp.o.d"
+  "test_fl_env"
+  "test_fl_env.pdb"
+  "test_fl_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

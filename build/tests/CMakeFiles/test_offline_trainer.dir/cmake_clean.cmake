@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offline_trainer.dir/test_offline_trainer.cpp.o"
+  "CMakeFiles/test_offline_trainer.dir/test_offline_trainer.cpp.o.d"
+  "test_offline_trainer"
+  "test_offline_trainer.pdb"
+  "test_offline_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offline_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

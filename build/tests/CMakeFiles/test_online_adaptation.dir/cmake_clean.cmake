@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_adaptation.dir/test_online_adaptation.cpp.o"
+  "CMakeFiles/test_online_adaptation.dir/test_online_adaptation.cpp.o.d"
+  "test_online_adaptation"
+  "test_online_adaptation.pdb"
+  "test_online_adaptation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regularization.dir/test_regularization.cpp.o"
+  "CMakeFiles/test_regularization.dir/test_regularization.cpp.o.d"
+  "test_regularization"
+  "test_regularization.pdb"
+  "test_regularization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regularization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_features.dir/test_state_features.cpp.o"
+  "CMakeFiles/test_state_features.dir/test_state_features.cpp.o.d"
+  "test_state_features"
+  "test_state_features.pdb"
+  "test_state_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedra_cli.dir/fedra_cli.cpp.o"
+  "CMakeFiles/fedra_cli.dir/fedra_cli.cpp.o.d"
+  "fedra_cli"
+  "fedra_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedra_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
