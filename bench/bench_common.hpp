@@ -13,9 +13,39 @@
 #include "core/offline_trainer.hpp"
 #include "sched/baselines.hpp"
 #include "sim/experiment_config.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 
 namespace fedra::bench {
+
+/// Scans argv for `--telemetry-out <prefix>` (or `--telemetry-out=prefix`)
+/// and, when present, enables telemetry writing `<prefix>.jsonl` and
+/// `<prefix>.trace.json` (flushed at exit). The flag is REMOVED from
+/// argc/argv so downstream parsers (google-benchmark rejects unknown
+/// flags) never see it. Returns true when telemetry was enabled.
+inline bool init_telemetry_from_args(int& argc, char** argv) {
+  std::string prefix;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--telemetry-out" && i + 1 < argc) {
+      prefix = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--telemetry-out=", 0) == 0) {
+      prefix = arg.substr(std::string("--telemetry-out=").size());
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  if (prefix.empty()) return false;
+  telemetry::TelemetryConfig cfg;
+  cfg.jsonl_path = prefix + ".jsonl";
+  cfg.chrome_trace_path = prefix + ".trace.json";
+  telemetry::Telemetry::enable(cfg);
+  return true;
+}
 
 /// A trained agent plus everything needed to rebuild matching simulators.
 struct TrainedAgent {

@@ -1,9 +1,16 @@
 // Microbenchmarks (google-benchmark) for the hot kernels: GEMM, NN
 // forward/backward, trace-integral upload queries, simulator steps and
 // policy inference.
+//
+// Pass `--telemetry-out <prefix>` to emit `<prefix>.jsonl` +
+// `<prefix>.trace.json` for tools/telemetry_report; without the flag
+// telemetry stays disabled and every instrumented call site is a no-op,
+// so the numbers here double as the regression check for that claim.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "env/fl_env.hpp"
+#include "fl/fedavg.hpp"
 #include "nn/loss.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optimizer.hpp"
@@ -127,6 +134,52 @@ void BM_EnvEpisode(benchmark::State& state) {
 }
 BENCHMARK(BM_EnvEpisode);
 
+void BM_FedAvgRound(benchmark::State& state) {
+  Rng rng(9);
+  Dataset data = make_gaussian_mixture(512, 16, 4, rng);
+  auto shards = split_iid(data, 4, rng);
+  ModelSpec spec;
+  spec.sizes = {16, 32, 4};
+  std::vector<FlClient> clients;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    clients.emplace_back(std::move(shards[i]), spec, 100 + i);
+  }
+  FedAvgServer server(std::move(clients), spec, 5);
+  LocalTrainConfig ltc;
+  ltc.tau = 0.25;
+  ThreadPool pool(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.run_round(ltc, pool));
+  }
+}
+BENCHMARK(BM_FedAvgRound);
+
+void BM_OfflineTrainerEpisode(benchmark::State& state) {
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 2000;
+  FlEnvConfig env_cfg;
+  env_cfg.episode_length = 20;
+  TrainerConfig tcfg = recommended_trainer_config(1);
+  tcfg.buffer_capacity = 64;  // force PPO updates inside the benchmark
+  OfflineTrainer trainer(FlEnv(build_simulator(cfg), env_cfg), tcfg, 11);
+  std::size_t episode = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.run_episode(episode++));
+  }
+}
+BENCHMARK(BM_OfflineTrainerEpisode);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN expanded so the fedra --telemetry-out flag can be
+// stripped before google-benchmark (which rejects unknown flags) parses
+// the command line.
+int main(int argc, char** argv) {
+  fedra::bench::init_telemetry_from_args(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fedra::telemetry::Telemetry::flush();
+  return 0;
+}

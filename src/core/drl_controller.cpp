@@ -1,5 +1,6 @@
 #include "core/drl_controller.hpp"
 
+#include "telemetry/telemetry.hpp"
 #include "util/contracts.hpp"
 
 namespace fedra {
@@ -11,6 +12,16 @@ DrlController::DrlController(PpoAgent& agent, FlEnvConfig env_config,
 }
 
 std::vector<double> DrlController::decide(const FlSimulator& sim) {
+  // Online action-selection latency: this is the paper's deployed
+  // decision path, the one place inference speed matters in production.
+  namespace tel = fedra::telemetry;
+  tel::Histogram decide_hist;
+  FEDRA_TELEMETRY_IF {
+    static const auto h =
+        tel::Telemetry::metrics().histogram("ctl.decide_us");
+    decide_hist = h;
+  }
+  tel::ScopedTimer timer(decide_hist);
   const auto state =
       bandwidth_history_state(sim, sim.now(), env_config_, bandwidth_ref_);
   const auto fractions = agent_.mean_action(state);

@@ -1,8 +1,30 @@
 #include "core/offline_trainer.hpp"
 
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace fedra {
+
+namespace {
+namespace tel = fedra::telemetry;
+
+struct TrainerMetrics {
+  tel::Counter episodes = tel::Telemetry::metrics().counter("rl.episodes");
+  tel::Counter env_steps = tel::Telemetry::metrics().counter("rl.env_steps");
+  /// Raw Eq. (9) per-step cost (positive; the reward is its negation).
+  tel::Histogram step_cost = tel::Telemetry::metrics().histogram(
+      "rl.step_cost", tel::exponential_bounds(1e-4, 2.0, 36));
+  tel::Gauge episode_avg_cost =
+      tel::Telemetry::metrics().gauge("rl.episode_avg_cost");
+  tel::Gauge episode_avg_reward =
+      tel::Telemetry::metrics().gauge("rl.episode_avg_reward");
+};
+
+TrainerMetrics& trainer_metrics() {
+  static TrainerMetrics m;
+  return m;
+}
+}  // namespace
 
 TrainerConfig recommended_trainer_config(std::size_t episodes) {
   TrainerConfig cfg;
@@ -34,6 +56,11 @@ OfflineTrainer::OfflineTrainer(FlEnv env, const TrainerConfig& config,
 EpisodeStats OfflineTrainer::run_episode(std::size_t episode_index) {
   EpisodeStats stats;
   stats.episode = episode_index;
+
+  // The whole act/step/store loop is the paper's experience-collection
+  // phase; PPO updates nested inside get their own "ppo_update" spans, so
+  // the report can subtract them from the rollout share.
+  FEDRA_TRACE_SPAN("rollout");
 
   // Lines 6-10: random start time, initial bandwidth-history state.
   std::vector<double> state = env_.reset(rng_);
@@ -70,6 +97,11 @@ EpisodeStats OfflineTrainer::run_episode(std::size_t episode_index) {
     time_acc += step.info.iteration_time;
     energy_acc += step.info.total_energy;
     ++steps;
+    FEDRA_TELEMETRY_IF {
+      auto& m = trainer_metrics();
+      m.env_steps.add();
+      m.step_cost.record(step.info.cost);
+    }
 
     // Lines 17-23: buffer full -> M PPO epochs + critic fit, sync
     // theta_old, clear the buffer.
@@ -93,6 +125,12 @@ EpisodeStats OfflineTrainer::run_episode(std::size_t episode_index) {
     stats.policy_loss = last_update_.policy_loss;
     stats.value_loss = last_update_.value_loss;
     stats.entropy = last_update_.entropy;
+  }
+  FEDRA_TELEMETRY_IF {
+    auto& m = trainer_metrics();
+    m.episodes.add();
+    m.episode_avg_cost.set(stats.avg_cost);
+    m.episode_avg_reward.set(stats.avg_reward);
   }
   return stats;
 }

@@ -4,6 +4,7 @@
 
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fedra {
 
@@ -25,6 +26,16 @@ ClientUpdate FlClient::train_round(const std::vector<Matrix>& global_params,
                                    std::size_t round_index) {
   FEDRA_EXPECTS(config.tau > 0.0);
   FEDRA_EXPECTS(config.batch_size > 0);
+  namespace tel = fedra::telemetry;
+  // Histogram-only (runs on pool workers at per-client frequency; a span
+  // per client would swamp the buffer on large rosters).
+  tel::Histogram train_hist;
+  FEDRA_TELEMETRY_IF {
+    static const auto h =
+        tel::Telemetry::metrics().histogram("fl.client_train_us");
+    train_hist = h;
+  }
+  tel::ScopedTimer round_timer(train_hist);
   model_.set_param_values(global_params);
   Sgd opt(model_, config.learning_rate);
 

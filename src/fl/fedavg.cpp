@@ -1,6 +1,7 @@
 #include "fl/fedavg.hpp"
 
 #include "nn/loss.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fedra {
 
@@ -45,11 +46,15 @@ RoundMetrics FedAvgServer::run_round(
   std::vector<ClientUpdate> updates(n);
   // Per-device local training is embarrassingly parallel: each client owns
   // its model replica and dataset; `updates` slots are disjoint.
-  pool.parallel_for(0, n, [&](std::size_t i) {
-    updates[i] =
-        clients_[roster[i]].train_round(global_params_, config, round_);
-  });
+  {
+    FEDRA_TRACE_SPAN("local_train");
+    pool.parallel_for(0, n, [&](std::size_t i) {
+      updates[i] =
+          clients_[roster[i]].train_round(global_params_, config, round_);
+    });
+  }
 
+  FEDRA_TRACE_SPAN("aggregate");
   // Weighted average: w <- sum_i (D_i / D) w_i (Eq. 8 weighting).
   double total_samples = 0.0;
   for (const auto& u : updates) {

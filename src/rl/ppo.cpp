@@ -4,11 +4,34 @@
 #include <cmath>
 
 #include "rl/gae.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/contracts.hpp"
 
 namespace fedra {
 
 namespace {
+
+namespace tel = fedra::telemetry;
+
+struct PpoMetrics {
+  tel::Counter updates = tel::Telemetry::metrics().counter("ppo.updates");
+  tel::Counter minibatches =
+      tel::Telemetry::metrics().counter("ppo.minibatches");
+  tel::Histogram actor_step_us =
+      tel::Telemetry::metrics().histogram("ppo.actor_minibatch_us");
+  tel::Histogram critic_step_us =
+      tel::Telemetry::metrics().histogram("ppo.critic_minibatch_us");
+  tel::Gauge last_kl = tel::Telemetry::metrics().gauge("ppo.approx_kl");
+  tel::Gauge last_clip_fraction =
+      tel::Telemetry::metrics().gauge("ppo.clip_fraction");
+  tel::Gauge last_total_loss =
+      tel::Telemetry::metrics().gauge("ppo.total_loss");
+};
+
+PpoMetrics& ppo_metrics() {
+  static PpoMetrics m;
+  return m;
+}
 
 std::vector<std::size_t> critic_sizes(std::size_t state_dim,
                                       const std::vector<std::size_t>& hidden) {
@@ -70,6 +93,7 @@ double PpoAgent::value(const std::vector<double>& state) {
 
 UpdateStats PpoAgent::update(const RolloutBuffer& buffer, Rng& rng) {
   FEDRA_EXPECTS(buffer.size() > 0);
+  FEDRA_TRACE_SPAN("ppo_update");
   const std::size_t n = buffer.size();
 
   const Matrix states = buffer.states_matrix();
@@ -111,56 +135,66 @@ UpdateStats PpoAgent::update(const RolloutBuffer& buffer, Rng& rng) {
       Matrix mb_states = gather_rows(states, idx);
       Matrix mb_actions = gather_rows(actions_u, idx);
 
-      // ---- Actor: clipped surrogate ----
-      std::vector<double> logp_new =
-          policy_.forward_log_probs(mb_states, mb_actions);
-      std::vector<double> coeff(idx.size(), 0.0);
       double mb_policy_loss = 0.0;
-      for (std::size_t b = 0; b < idx.size(); ++b) {
-        const double adv = gae.advantages[idx[b]];
-        const double ratio = std::exp(logp_new[b] - logp_old[idx[b]]);
-        const double clipped = std::clamp(ratio, 1.0 - config_.clip_epsilon,
-                                          1.0 + config_.clip_epsilon);
-        const double surr = std::min(ratio * adv, clipped * adv);
-        mb_policy_loss += -surr * inv_b;
-        const bool clip_active =
-            (adv > 0.0 && ratio > 1.0 + config_.clip_epsilon) ||
-            (adv < 0.0 && ratio < 1.0 - config_.clip_epsilon);
-        if (clip_active) {
-          clip_count += 1.0;
-        } else {
-          // d(-surr)/d logp = -adv * ratio (per sample, averaged).
-          coeff[b] = -adv * ratio * inv_b;
-        }
-      }
-      policy_.zero_grad();
-      // Entropy bonus folded into the same backward pass: the loss
-      // includes -entropy_coef * H(pi).
-      policy_.backward_log_probs(mb_states, mb_actions, coeff,
-                                 config_.entropy_coef);
-      actor_opt_.clip_grad_norm(config_.max_grad_norm);
-      actor_opt_.step();
-      policy_.clamp_log_std();
-
-      // ---- Critic: TD residual fit (squared or Huber) ----
-      critic_.zero_grad();
-      Matrix v = critic_.forward(mb_states);
-      Matrix grad_v(v.rows(), 1);
       double mb_value_loss = 0.0;
-      const double delta = config_.critic_huber_delta;
-      for (std::size_t b = 0; b < idx.size(); ++b) {
-        const double err = v(b, 0) - td_target[idx[b]];
-        if (delta > 0.0 && std::abs(err) > delta) {
-          mb_value_loss += delta * (std::abs(err) - 0.5 * delta) * inv_b;
-          grad_v(b, 0) = (err > 0.0 ? delta : -delta) * inv_b;
-        } else {
-          mb_value_loss += err * err * inv_b;
-          grad_v(b, 0) = 2.0 * err * inv_b;
+      const bool timed = tel::Telemetry::enabled();
+
+      {
+        // ---- Actor: clipped surrogate ----
+        tel::ScopedTimer actor_timer(timed ? ppo_metrics().actor_step_us
+                                           : tel::Histogram{});
+        std::vector<double> logp_new =
+            policy_.forward_log_probs(mb_states, mb_actions);
+        std::vector<double> coeff(idx.size(), 0.0);
+        for (std::size_t b = 0; b < idx.size(); ++b) {
+          const double adv = gae.advantages[idx[b]];
+          const double ratio = std::exp(logp_new[b] - logp_old[idx[b]]);
+          const double clipped = std::clamp(ratio, 1.0 - config_.clip_epsilon,
+                                            1.0 + config_.clip_epsilon);
+          const double surr = std::min(ratio * adv, clipped * adv);
+          mb_policy_loss += -surr * inv_b;
+          const bool clip_active =
+              (adv > 0.0 && ratio > 1.0 + config_.clip_epsilon) ||
+              (adv < 0.0 && ratio < 1.0 - config_.clip_epsilon);
+          if (clip_active) {
+            clip_count += 1.0;
+          } else {
+            // d(-surr)/d logp = -adv * ratio (per sample, averaged).
+            coeff[b] = -adv * ratio * inv_b;
+          }
         }
+        policy_.zero_grad();
+        // Entropy bonus folded into the same backward pass: the loss
+        // includes -entropy_coef * H(pi).
+        policy_.backward_log_probs(mb_states, mb_actions, coeff,
+                                   config_.entropy_coef);
+        actor_opt_.clip_grad_norm(config_.max_grad_norm);
+        actor_opt_.step();
+        policy_.clamp_log_std();
       }
-      critic_.backward(grad_v);
-      critic_opt_.clip_grad_norm(config_.max_grad_norm);
-      critic_opt_.step();
+
+      {
+        // ---- Critic: TD residual fit (squared or Huber) ----
+        tel::ScopedTimer critic_timer(timed ? ppo_metrics().critic_step_us
+                                            : tel::Histogram{});
+        critic_.zero_grad();
+        Matrix v = critic_.forward(mb_states);
+        Matrix grad_v(v.rows(), 1);
+        const double delta = config_.critic_huber_delta;
+        for (std::size_t b = 0; b < idx.size(); ++b) {
+          const double err = v(b, 0) - td_target[idx[b]];
+          if (delta > 0.0 && std::abs(err) > delta) {
+            mb_value_loss += delta * (std::abs(err) - 0.5 * delta) * inv_b;
+            grad_v(b, 0) = (err > 0.0 ? delta : -delta) * inv_b;
+          } else {
+            mb_value_loss += err * err * inv_b;
+            grad_v(b, 0) = 2.0 * err * inv_b;
+          }
+        }
+        critic_.backward(grad_v);
+        critic_opt_.clip_grad_norm(config_.max_grad_norm);
+        critic_opt_.step();
+      }
 
       policy_loss_acc += mb_policy_loss;
       value_loss_acc += mb_value_loss;
@@ -189,6 +223,15 @@ UpdateStats PpoAgent::update(const RolloutBuffer& buffer, Rng& rng) {
 
   // Algorithm 1 line 22: theta_a^old <- theta_a.
   policy_old_.copy_params_from(policy_);
+
+  FEDRA_TELEMETRY_IF {
+    auto& m = ppo_metrics();
+    m.updates.add();
+    m.minibatches.add(minibatches);
+    m.last_kl.set(stats.approx_kl);
+    m.last_clip_fraction.set(stats.clip_fraction);
+    m.last_total_loss.set(stats.total_loss);
+  }
   return stats;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "telemetry/telemetry.hpp"
 #include "util/contracts.hpp"
 
 namespace fedra {
@@ -29,6 +30,7 @@ AsyncRunResult AsyncFlSimulator::run(const std::vector<double>& freqs_hz,
                                      double horizon) const {
   FEDRA_EXPECTS(freqs_hz.size() == devices_.size());
   FEDRA_EXPECTS(horizon > 0.0);
+  FEDRA_TRACE_SPAN("async_run");
 
   struct Pending {
     double finish;
@@ -98,6 +100,17 @@ AsyncRunResult AsyncFlSimulator::run(const std::vector<double>& freqs_hz,
             [](const AsyncUpdateEvent& a, const AsyncUpdateEvent& b) {
               return a.time < b.time;
             });
+  FEDRA_TELEMETRY_IF {
+    namespace tel = fedra::telemetry;
+    static auto updates =
+        tel::Telemetry::metrics().counter("sim.async_updates");
+    static auto staleness = tel::Telemetry::metrics().histogram(
+        "sim.async_staleness", tel::exponential_bounds(1.0, 2.0, 16));
+    updates.add(result.events.size());
+    for (const auto& e : result.events) {
+      staleness.record(static_cast<double>(e.staleness));
+    }
+  }
   return result;
 }
 

@@ -2,7 +2,55 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace fedra {
+
+namespace {
+namespace tel = fedra::telemetry;
+
+// Simulated quantities (seconds / joules), not wall-clock: geometric
+// buckets from 1ms-equivalent up so both the 0.1s testbed iterations and
+// multi-minute straggler rounds resolve.
+std::vector<double> sim_bounds() {
+  return tel::exponential_bounds(1e-3, 2.0, 36);
+}
+
+struct SimMetrics {
+  tel::Counter iterations =
+      tel::Telemetry::metrics().counter("sim.iterations");
+  tel::Histogram iter_time_s =
+      tel::Telemetry::metrics().histogram("sim.iter_time_s", sim_bounds());
+  tel::Histogram compute_time_s = tel::Telemetry::metrics().histogram(
+      "sim.device_compute_time_s", sim_bounds());
+  tel::Histogram comm_time_s = tel::Telemetry::metrics().histogram(
+      "sim.device_comm_time_s", sim_bounds());
+  tel::Histogram iter_energy_j = tel::Telemetry::metrics().histogram(
+      "sim.iter_energy_j", sim_bounds());
+  tel::Histogram device_energy_j = tel::Telemetry::metrics().histogram(
+      "sim.device_energy_j", sim_bounds());
+  tel::Histogram step_us =
+      tel::Telemetry::metrics().histogram("sim.step_us");
+};
+
+SimMetrics& sim_metrics() {
+  static SimMetrics m;
+  return m;
+}
+
+void record_iteration(const IterationResult& result) {
+  auto& m = sim_metrics();
+  m.iterations.add();
+  m.iter_time_s.record(result.iteration_time);
+  m.iter_energy_j.record(result.total_energy);
+  for (const auto& out : result.devices) {
+    if (!out.participated) continue;
+    m.compute_time_s.record(out.compute_time);
+    m.comm_time_s.record(out.comm_time);
+    m.device_energy_j.record(out.energy);
+  }
+}
+}  // namespace
 
 FlSimulator::FlSimulator(std::vector<DeviceProfile> devices,
                          std::vector<BandwidthTrace> traces, CostParams params,
@@ -78,18 +126,24 @@ IterationResult FlSimulator::run_iteration(
 }
 
 IterationResult FlSimulator::step(const std::vector<double>& freqs_hz) {
+  tel::ScopedTimer timer(tel::Telemetry::enabled() ? sim_metrics().step_us
+                                                   : tel::Histogram{});
   IterationResult result = run_iteration(freqs_hz, nullptr, now_);
   // Constraint (11): t^{k+1} = t^k + T^k.
   now_ += result.iteration_time;
   ++iteration_;
+  FEDRA_TELEMETRY_IF record_iteration(result);
   return result;
 }
 
 IterationResult FlSimulator::step(const std::vector<double>& freqs_hz,
                                   const std::vector<bool>& participating) {
+  tel::ScopedTimer timer(tel::Telemetry::enabled() ? sim_metrics().step_us
+                                                   : tel::Histogram{});
   IterationResult result = run_iteration(freqs_hz, &participating, now_);
   now_ += result.iteration_time;
   ++iteration_;
+  FEDRA_TELEMETRY_IF record_iteration(result);
   return result;
 }
 

@@ -1,0 +1,183 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace fedra::telemetry {
+
+namespace detail {
+
+namespace {
+
+// Relaxed CAS loop for atomic min/max of doubles. The first recorded
+// sample initializes both extrema (signalled by count == 0 before the
+// caller's increment), handled by record() below.
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void HistogramCell::record(double v) {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds.begin());
+  counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  // Seed extrema on the first sample. Racy first-sample seeding can lose
+  // one competing extreme; the subsequent min/max CAS repairs it because
+  // every recorder also runs the CAS below.
+  if (count.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_v.store(v, std::memory_order_relaxed);
+    max_v.store(v, std::memory_order_relaxed);
+  }
+  atomic_min(min_v, v);
+  atomic_max(max_v, v);
+  sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t n) {
+  FEDRA_EXPECTS(start > 0.0 && factor > 1.0 && n > 0);
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double b = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& default_duration_bounds_us() {
+  static const std::vector<double> bounds =
+      exponential_bounds(1.0, 2.0, 33);  // 1us .. ~2.4 hours
+  return bounds;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  const double target = q / 100.0 * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double lo_seen = static_cast<double>(seen);
+    seen += counts[i];
+    if (static_cast<double>(seen) < target) continue;
+    // Interpolate inside bucket i between its lower and upper bound,
+    // clamped to the observed extrema (the overflow bucket has no upper
+    // bound; the underflow interpolation starts at min).
+    const double lo = i == 0 ? min : bounds[i - 1];
+    const double hi = i < bounds.size() ? std::min(bounds[i], max) : max;
+    const double frac =
+        counts[i] > 0
+            ? (target - lo_seen) / static_cast<double>(counts[i])
+            : 0.0;
+    return std::clamp(lo + frac * (hi - lo), min, max);
+  }
+  return max;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counter_cells_.emplace_back();
+    counter_cells_.back().name = name;
+    it = counters_.emplace(name, &counter_cells_.back()).first;
+  }
+  return Counter(it->second);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauge_cells_.emplace_back();
+    gauge_cells_.back().name = name;
+    it = gauges_.emplace(name, &gauge_cells_.back()).first;
+  }
+  return Gauge(it->second);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = default_duration_bounds_us();
+    FEDRA_EXPECTS(std::is_sorted(bounds.begin(), bounds.end()));
+    histogram_cells_.emplace_back();
+    auto& cell = histogram_cells_.back();
+    cell.name = name;
+    cell.bounds = std::move(bounds);
+    cell.counts = std::make_unique<std::atomic<std::uint64_t>[]>(
+        cell.bounds.size() + 1);
+    for (std::size_t i = 0; i <= cell.bounds.size(); ++i) {
+      cell.counts[i].store(0, std::memory_order_relaxed);
+    }
+    it = histograms_.emplace(name, &cell).first;
+  }
+  return Histogram(it->second);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, cell] : counters_) {
+    snap.counters.emplace_back(name,
+                               cell->value.load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges.emplace_back(name,
+                             cell->value.load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, cell] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = cell->bounds;
+    h.counts.resize(cell->bounds.size() + 1);
+    for (std::size_t i = 0; i <= cell->bounds.size(); ++i) {
+      h.counts[i] = cell->counts[i].load(std::memory_order_relaxed);
+    }
+    h.count = cell->count.load(std::memory_order_relaxed);
+    h.sum = cell->sum.load(std::memory_order_relaxed);
+    h.min = cell->min_v.load(std::memory_order_relaxed);
+    h.max = cell->max_v.load(std::memory_order_relaxed);
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& cell : counter_cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& cell : gauge_cells_) {
+    cell.value.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& cell : histogram_cells_) {
+    for (std::size_t i = 0; i <= cell.bounds.size(); ++i) {
+      cell.counts[i].store(0, std::memory_order_relaxed);
+    }
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum.store(0.0, std::memory_order_relaxed);
+    cell.min_v.store(0.0, std::memory_order_relaxed);
+    cell.max_v.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace fedra::telemetry

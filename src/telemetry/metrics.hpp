@@ -1,0 +1,174 @@
+// Thread-safe metrics primitives: counters, gauges, and fixed-bucket
+// histograms, all registered once in a MetricsRegistry and then accessed
+// through cheap value-type handles. Registration takes a mutex and a map
+// lookup; every hot-path update afterwards is a handful of relaxed atomic
+// ops on cells whose addresses are stable for the registry's lifetime
+// (cells live in deques, which never relocate elements).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fedra::telemetry {
+
+namespace detail {
+
+struct CounterCell {
+  std::string name;
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct GaugeCell {
+  std::string name;
+  std::atomic<double> value{0.0};
+};
+
+struct HistogramCell {
+  std::string name;
+  /// Ascending upper bounds; values > bounds.back() land in the overflow
+  /// bucket, so counts.size() == bounds.size() + 1.
+  std::vector<double> bounds;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min_v{0.0};
+  std::atomic<double> max_v{0.0};
+
+  void record(double v);
+};
+
+}  // namespace detail
+
+/// Monotonically increasing integer metric. Handles are null until bound
+/// to a registry cell; operations on a null handle are no-ops, so a
+/// default-constructed handle is a safe "telemetry off" placeholder.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) {
+    if (cell_) cell_->value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return cell_ ? cell_->value.load(std::memory_order_relaxed) : 0;
+  }
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterCell* cell) : cell_(cell) {}
+  detail::CounterCell* cell_ = nullptr;
+};
+
+/// Last-write-wins scalar (queue depths, learning-rate-style knobs).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) {
+    if (cell_) cell_->value.store(v, std::memory_order_relaxed);
+  }
+  void add(double d) {
+    if (cell_) cell_->value.fetch_add(d, std::memory_order_relaxed);
+  }
+  double value() const {
+    return cell_ ? cell_->value.load(std::memory_order_relaxed) : 0.0;
+  }
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeCell* cell) : cell_(cell) {}
+  detail::GaugeCell* cell_ = nullptr;
+};
+
+/// Fixed-bucket histogram. record() is lock-free: one bucket increment
+/// plus count/sum/min/max updates, all relaxed.
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(double v) {
+    if (cell_) cell_->record(v);
+  }
+  std::uint64_t count() const {
+    return cell_ ? cell_->count.load(std::memory_order_relaxed) : 0;
+  }
+  double sum() const {
+    return cell_ ? cell_->sum.load(std::memory_order_relaxed) : 0.0;
+  }
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramCell* cell) : cell_(cell) {}
+  detail::HistogramCell* cell_ = nullptr;
+};
+
+/// Geometric bucket upper bounds: start, start*factor, ... (n values).
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t n);
+
+/// Default duration buckets in microseconds: 1us .. ~2.3 hours.
+const std::vector<double>& default_duration_bounds_us();
+
+/// Read-only copy of one histogram's state, used by sinks and tests.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Percentile estimate by linear interpolation within the owning
+  /// bucket (q in [0, 100]).
+  double percentile(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent: the same name always returns a handle to the same cell.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  /// `bounds` must be ascending; empty means default duration buckets.
+  /// Bounds are fixed at first registration; later calls with the same
+  /// name ignore the argument.
+  Histogram histogram(const std::string& name,
+                      std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric value but keeps all cells registered, so
+  /// previously handed-out handles remain valid.
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<detail::CounterCell> counter_cells_;
+  std::deque<detail::GaugeCell> gauge_cells_;
+  std::deque<detail::HistogramCell> histogram_cells_;
+  std::map<std::string, detail::CounterCell*> counters_;
+  std::map<std::string, detail::GaugeCell*> gauges_;
+  std::map<std::string, detail::HistogramCell*> histograms_;
+};
+
+}  // namespace fedra::telemetry

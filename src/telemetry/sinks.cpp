@@ -1,0 +1,178 @@
+#include "telemetry/sinks.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace fedra::telemetry {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct SpanAgg {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+};
+
+std::map<std::string, SpanAgg> aggregate_spans(
+    const std::vector<SpanRecord>& spans) {
+  std::map<std::string, SpanAgg> agg;
+  for (const auto& s : spans) {
+    auto& a = agg[s.name];
+    if (a.count == 0) {
+      a.min_us = s.dur_us;
+      a.max_us = s.dur_us;
+    } else {
+      a.min_us = std::min(a.min_us, s.dur_us);
+      a.max_us = std::max(a.max_us, s.dur_us);
+    }
+    ++a.count;
+    a.total_us += s.dur_us;
+  }
+  return agg;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_jsonl(std::ostream& os, const MetricsSnapshot& metrics,
+                 const std::vector<SpanRecord>& spans) {
+  for (const auto& [name, value] : metrics.counters) {
+    os << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
+       << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    os << "{\"type\":\"gauge\",\"name\":\"" << json_escape(name)
+       << "\",\"value\":" << fmt_double(value) << "}\n";
+  }
+  for (const auto& h : metrics.histograms) {
+    os << "{\"type\":\"histogram\",\"name\":\"" << json_escape(h.name)
+       << "\",\"count\":" << h.count << ",\"sum\":" << fmt_double(h.sum)
+       << ",\"min\":" << fmt_double(h.min)
+       << ",\"max\":" << fmt_double(h.max)
+       << ",\"mean\":" << fmt_double(h.mean())
+       << ",\"p50\":" << fmt_double(h.percentile(50.0))
+       << ",\"p90\":" << fmt_double(h.percentile(90.0))
+       << ",\"p99\":" << fmt_double(h.percentile(99.0)) << ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) os << ',';
+      os << fmt_double(h.bounds[i]);
+    }
+    os << "],\"bucket_counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) os << ',';
+      os << h.counts[i];
+    }
+    os << "]}\n";
+  }
+  for (const auto& s : spans) {
+    os << "{\"type\":\"span\",\"name\":\"" << json_escape(s.name)
+       << "\",\"ts_us\":" << fmt_double(s.start_us)
+       << ",\"dur_us\":" << fmt_double(s.dur_us) << ",\"tid\":" << s.tid
+       << "}\n";
+  }
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<SpanRecord>& spans) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& s : spans) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(s.name)
+       << "\",\"cat\":\"fedra\",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid
+       << ",\"ts\":" << fmt_double(s.start_us)
+       << ",\"dur\":" << fmt_double(s.dur_us) << "}";
+  }
+  os << "]}\n";
+}
+
+std::string format_text_summary(const MetricsSnapshot& metrics,
+                                const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  char line[256];
+
+  if (!metrics.counters.empty()) {
+    out << "== counters ==\n";
+    for (const auto& [name, value] : metrics.counters) {
+      std::snprintf(line, sizeof(line), "  %-32s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out << line;
+    }
+  }
+  if (!metrics.gauges.empty()) {
+    out << "== gauges ==\n";
+    for (const auto& [name, value] : metrics.gauges) {
+      std::snprintf(line, sizeof(line), "  %-32s %.6g\n", name.c_str(),
+                    value);
+      out << line;
+    }
+  }
+  if (!metrics.histograms.empty()) {
+    out << "== histograms ==\n";
+    std::snprintf(line, sizeof(line), "  %-32s %10s %12s %12s %12s %12s\n",
+                  "name", "count", "mean", "p50", "p99", "max");
+    out << line;
+    for (const auto& h : metrics.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-32s %10llu %12.3f %12.3f %12.3f %12.3f\n",
+                    h.name.c_str(),
+                    static_cast<unsigned long long>(h.count), h.mean(),
+                    h.percentile(50.0), h.percentile(99.0), h.max);
+      out << line;
+    }
+  }
+  const auto agg = aggregate_spans(spans);
+  if (!agg.empty()) {
+    double grand_total = 0.0;
+    for (const auto& [name, a] : agg) grand_total += a.total_us;
+    out << "== spans ==\n";
+    std::snprintf(line, sizeof(line),
+                  "  %-24s %8s %12s %12s %12s %7s\n", "phase", "count",
+                  "total_ms", "mean_ms", "max_ms", "share");
+    out << line;
+    for (const auto& [name, a] : agg) {
+      std::snprintf(
+          line, sizeof(line),
+          "  %-24s %8llu %12.3f %12.3f %12.3f %6.1f%%\n", name.c_str(),
+          static_cast<unsigned long long>(a.count), a.total_us / 1e3,
+          a.total_us / 1e3 / static_cast<double>(a.count), a.max_us / 1e3,
+          grand_total > 0.0 ? 100.0 * a.total_us / grand_total : 0.0);
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace fedra::telemetry

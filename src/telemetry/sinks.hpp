@@ -1,0 +1,37 @@
+// Pluggable telemetry exporters. All three consume the same immutable
+// snapshot types (MetricsSnapshot + a vector of SpanRecords), so sinks
+// never touch live atomics and a flush is a consistent-enough point-in-
+// time view.
+//
+//   - write_jsonl: one JSON object per line — counters, gauges,
+//     histograms (with bucket arrays and percentile estimates), then one
+//     line per span. This is the machine-readable format
+//     tools/telemetry_report consumes.
+//   - write_chrome_trace: the Chrome trace-event format ("X" complete
+//     events); load the file at chrome://tracing or ui.perfetto.dev.
+//   - format_text_summary: fixed-width human-readable dump used by
+//     Telemetry::summary().
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace fedra::telemetry {
+
+void write_jsonl(std::ostream& os, const MetricsSnapshot& metrics,
+                 const std::vector<SpanRecord>& spans);
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<SpanRecord>& spans);
+
+std::string format_text_summary(const MetricsSnapshot& metrics,
+                                const std::vector<SpanRecord>& spans);
+
+/// Escapes `"` `\` and control characters for embedding in JSON strings.
+std::string json_escape(const std::string& s);
+
+}  // namespace fedra::telemetry

@@ -1,0 +1,51 @@
+#include "telemetry/span.hpp"
+
+#include <atomic>
+
+namespace fedra::telemetry {
+
+double now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - epoch)
+      .count();
+}
+
+std::uint32_t current_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void SpanBuffer::push(const SpanRecord& record) {
+  std::lock_guard lock(mutex_);
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(record);
+}
+
+std::vector<SpanRecord> SpanBuffer::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+std::size_t SpanBuffer::size() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+std::uint64_t SpanBuffer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void SpanBuffer::clear() {
+  std::lock_guard lock(mutex_);
+  records_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace fedra::telemetry

@@ -10,6 +10,21 @@ namespace {
 // parallel regions degrade to inline execution instead of deadlocking on a
 // queue only this thread could drain.
 thread_local bool t_in_worker = false;
+
+namespace tel = fedra::telemetry;
+
+struct PoolMetrics {
+  tel::Counter tasks = tel::Telemetry::metrics().counter("pool.tasks");
+  tel::Gauge queue_depth = tel::Telemetry::metrics().gauge("pool.queue_depth");
+  tel::Histogram queue_wait_us =
+      tel::Telemetry::metrics().histogram("pool.queue_wait_us");
+  tel::Histogram task_us = tel::Telemetry::metrics().histogram("pool.task_us");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -20,6 +35,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  FEDRA_ENSURES(!workers_.empty());
 }
 
 ThreadPool::~ThreadPool() {
@@ -31,18 +47,51 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::enqueue(std::function<void()> fn) {
+  Task t;
+  t.fn = std::move(fn);
+  const bool timed = telemetry::Telemetry::enabled();
+  if (timed) {
+    t.enqueued = std::chrono::steady_clock::now();
+    t.timed = true;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    FEDRA_EXPECTS(!stopping_);
+    tasks_.push(std::move(t));
+    if (timed) pool_metrics().queue_depth.set(
+        static_cast<double>(tasks_.size()));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   t_in_worker = true;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping and drained
       task = std::move(tasks_.front());
       tasks_.pop();
+      if (task.timed) pool_metrics().queue_depth.set(
+          static_cast<double>(tasks_.size()));
     }
-    task();
+    if (task.timed && telemetry::Telemetry::enabled()) {
+      auto& m = pool_metrics();
+      const auto start = std::chrono::steady_clock::now();
+      m.queue_wait_us.record(
+          std::chrono::duration<double, std::micro>(start - task.enqueued)
+              .count());
+      task.fn();
+      m.task_us.record(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+      m.tasks.add();
+    } else {
+      task.fn();
+    }
   }
 }
 

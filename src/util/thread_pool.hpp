@@ -8,6 +8,7 @@
 // OpenMP-style fork/join scoping.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -18,6 +19,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/contracts.hpp"
 
 namespace fedra {
@@ -36,6 +38,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker (telemetry gauge
+  /// and back-pressure probe; racy by nature, exact under the lock).
+  std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return tasks_.size();
+  }
+
   /// Submit a callable; returns a future for its result.
   template <typename F, typename... Args>
   auto submit(F&& f, Args&&... args)
@@ -47,12 +56,7 @@ class ThreadPool {
           return std::invoke(std::move(fn), std::move(as)...);
         });
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard lock(mutex_);
-      FEDRA_EXPECTS(!stopping_);
-      tasks_.emplace([task]() { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task]() { (*task)(); });
     return fut;
   }
 
@@ -70,11 +74,20 @@ class ThreadPool {
       const std::function<void(std::size_t, std::size_t)>& body);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    /// Set at submit time when telemetry is enabled (default-constructed
+    /// otherwise); lets workers report queue-wait latency.
+    std::chrono::steady_clock::time_point enqueued{};
+    bool timed = false;
+  };
+
+  void enqueue(std::function<void()> fn);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  std::queue<Task> tasks_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };

@@ -1,0 +1,292 @@
+// Telemetry subsystem: metric semantics, thread-safety under the pool,
+// disabled-mode no-op guarantees, and sink round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fedra::telemetry {
+namespace {
+
+// Every test starts from a known state; the facade is process-global.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Telemetry::enable();  // no sink paths: in-memory only
+    Telemetry::reset();
+  }
+  void TearDown() override {
+    Telemetry::reset();
+    Telemetry::disable();
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(TelemetryTest, CounterAccumulatesAndIsIdempotentlyNamed) {
+  Counter a = Telemetry::metrics().counter("test.counter");
+  Counter b = Telemetry::metrics().counter("test.counter");
+  a.add();
+  b.add(41);
+  EXPECT_EQ(a.value(), 42u);  // same cell through both handles
+  EXPECT_EQ(b.value(), 42u);
+}
+
+TEST_F(TelemetryTest, DefaultConstructedHandlesAreInertNoOps) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.add();
+  g.set(3.0);
+  h.record(1.0);
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(TelemetryTest, GaugeSetAndAdd) {
+  Gauge g = Telemetry::metrics().gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsCountSumExtremaPercentiles) {
+  Histogram h = Telemetry::metrics().histogram(
+      "test.hist", std::vector<double>{1.0, 10.0, 100.0});
+  h.record(0.5);    // bucket 0 (<= 1)
+  h.record(5.0);    // bucket 1
+  h.record(50.0);   // bucket 2
+  h.record(500.0);  // overflow bucket
+  const auto snap = Telemetry::metrics().snapshot();
+  const HistogramSnapshot* hs = nullptr;
+  for (const auto& row : snap.histograms) {
+    if (row.name == "test.hist") hs = &row;
+  }
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 4u);
+  EXPECT_DOUBLE_EQ(hs->sum, 555.5);
+  EXPECT_DOUBLE_EQ(hs->min, 0.5);
+  EXPECT_DOUBLE_EQ(hs->max, 500.0);
+  ASSERT_EQ(hs->counts.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(hs->counts[i], 1u);
+  // Percentiles are bucket-interpolated estimates: monotone and bounded.
+  const double p25 = hs->percentile(25.0);
+  const double p75 = hs->percentile(75.0);
+  EXPECT_LE(hs->min, p25);
+  EXPECT_LE(p25, p75);
+  EXPECT_LE(p75, hs->max);
+}
+
+TEST_F(TelemetryTest, HistogramValuesOnBucketBoundaryGoToLowerBucket) {
+  Histogram h = Telemetry::metrics().histogram(
+      "test.hist_edge", std::vector<double>{1.0, 2.0});
+  h.record(1.0);
+  const auto snap = Telemetry::metrics().snapshot();
+  for (const auto& row : snap.histograms) {
+    if (row.name != "test.hist_edge") continue;
+    EXPECT_EQ(row.counts[0], 1u);
+    EXPECT_EQ(row.counts[1], 0u);
+  }
+}
+
+TEST_F(TelemetryTest, ConcurrentIncrementsFromPoolWorkersAreExact) {
+  Counter c = Telemetry::metrics().counter("test.concurrent");
+  Histogram h = Telemetry::metrics().histogram("test.concurrent_hist");
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.pending(), 0u);
+  constexpr std::size_t kIters = 20000;
+  pool.parallel_for(0, kIters, [&](std::size_t i) {
+    c.add();
+    h.record(static_cast<double>(i % 64));
+  });
+  EXPECT_EQ(c.value(), kIters);
+  EXPECT_EQ(h.count(), kIters);
+  // The pool itself was instrumented while telemetry was on.
+  const auto snap = Telemetry::metrics().snapshot();
+  bool saw_task_hist = false;
+  for (const auto& row : snap.histograms) {
+    if (row.name == "pool.task_us") saw_task_hist = row.count > 0;
+  }
+  EXPECT_TRUE(saw_task_hist);
+}
+
+TEST_F(TelemetryTest, SpanBufferBoundedAndCountsDrops) {
+  SpanBuffer buf(2);
+  SpanRecord r;
+  r.name = "x";
+  buf.push(r);
+  buf.push(r);
+  buf.push(r);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.dropped(), 1u);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST_F(TelemetryTest, TraceSpanRecordsIntoBufferAndHistogram) {
+  {
+    FEDRA_TRACE_SPAN("unit_phase");
+  }
+  const auto spans = Telemetry::spans().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "unit_phase");
+  EXPECT_GE(spans[0].dur_us, 0.0);
+  // Mirrored histogram carries the same count.
+  bool found = false;
+  for (const auto& row : Telemetry::metrics().snapshot().histograms) {
+    if (row.name == "unit_phase") found = row.count == 1;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TelemetryTest, ScopedTimerRecordsDuration) {
+  Histogram h = Telemetry::metrics().histogram("test.timer");
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST_F(TelemetryTest, DisabledModeRecordsNothing) {
+  Telemetry::disable();
+  ASSERT_FALSE(Telemetry::enabled());
+  {
+    FEDRA_TRACE_SPAN("disabled_phase");
+    Histogram h = Telemetry::metrics().histogram("test.disabled_timer");
+    ScopedTimer t(h);
+  }
+  bool guarded_ran = false;
+  FEDRA_TELEMETRY_IF { guarded_ran = true; }
+  EXPECT_FALSE(guarded_ran);
+  EXPECT_EQ(Telemetry::spans().size(), 0u);
+  for (const auto& row : Telemetry::metrics().snapshot().histograms) {
+    if (row.name == "test.disabled_timer") {
+      EXPECT_EQ(row.count, 0u);
+    }
+  }
+  // Instrumented library code is also a no-op while disabled.
+  ThreadPool pool(2);
+  pool.parallel_for(0, 100, [](std::size_t) {});
+  bool saw_pool_counter = false;
+  for (const auto& [name, v] : Telemetry::metrics().snapshot().counters) {
+    if (name == "pool.tasks") saw_pool_counter = v > 0;
+  }
+  EXPECT_FALSE(saw_pool_counter);
+}
+
+TEST_F(TelemetryTest, ResetZeroesValuesButKeepsHandlesValid) {
+  Counter c = Telemetry::metrics().counter("test.reset");
+  c.add(7);
+  Telemetry::reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);  // handle still bound to the same live cell
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST_F(TelemetryTest, JsonlSinkRoundTrip) {
+  const std::string path = ::testing::TempDir() + "fedra_telemetry.jsonl";
+  TelemetryConfig cfg;
+  cfg.jsonl_path = path;
+  Telemetry::enable(cfg);
+  Telemetry::reset();
+
+  Telemetry::metrics().counter("rt.counter").add(3);
+  Telemetry::metrics().gauge("rt.gauge").set(1.25);
+  Telemetry::metrics()
+      .histogram("rt.hist", std::vector<double>{1.0, 2.0})
+      .record(1.5);
+  { FEDRA_TRACE_SPAN("rt_phase"); }
+  Telemetry::flush();
+
+  const std::string content = read_file(path);
+  EXPECT_NE(content.find("{\"type\":\"counter\",\"name\":\"rt.counter\","
+                         "\"value\":3}"),
+            std::string::npos);
+  EXPECT_NE(content.find("\"type\":\"gauge\",\"name\":\"rt.gauge\""),
+            std::string::npos);
+  EXPECT_NE(content.find("\"type\":\"histogram\",\"name\":\"rt.hist\""),
+            std::string::npos);
+  EXPECT_NE(content.find("\"bucket_counts\":[0,1,0]"), std::string::npos);
+  EXPECT_NE(content.find("\"type\":\"span\",\"name\":\"rt_phase\""),
+            std::string::npos);
+  // One JSON object per line, every line brace-delimited.
+  std::istringstream lines(content);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++n;
+  }
+  EXPECT_GE(n, 4u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, ChromeTraceSinkRoundTrip) {
+  const std::string path = ::testing::TempDir() + "fedra_telemetry.trace.json";
+  TelemetryConfig cfg;
+  cfg.chrome_trace_path = path;
+  Telemetry::enable(cfg);
+  Telemetry::reset();
+
+  { FEDRA_TRACE_SPAN("chrome_phase"); }
+  { FEDRA_TRACE_SPAN("chrome_phase"); }
+  Telemetry::flush();
+
+  const std::string content = read_file(path);
+  EXPECT_NE(content.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+  std::size_t events = 0;
+  for (std::size_t pos = content.find("\"name\":\"chrome_phase\"");
+       pos != std::string::npos;
+       pos = content.find("\"name\":\"chrome_phase\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 2u);
+  // Balanced braces/brackets => structurally sound JSON for this subset.
+  long depth = 0;
+  for (char ch : content) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, SummaryListsPhasesAndMetrics) {
+  Telemetry::metrics().counter("sum.counter").add(5);
+  { FEDRA_TRACE_SPAN("sum_phase"); }
+  const std::string text = Telemetry::summary();
+  EXPECT_NE(text.find("sum.counter"), std::string::npos);
+  EXPECT_NE(text.find("sum_phase"), std::string::npos);
+  EXPECT_NE(text.find("share"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, JsonEscapeHandlesQuotesAndControlChars) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST_F(TelemetryTest, ExponentialBoundsAreGeometricAndSorted) {
+  const auto b = exponential_bounds(1.0, 2.0, 5);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_DOUBLE_EQ(b.back(), 16.0);
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+}
+
+}  // namespace
+}  // namespace fedra::telemetry

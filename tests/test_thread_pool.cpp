@@ -105,6 +105,16 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&global_pool(), &global_pool());
 }
 
+TEST(ThreadPool, PendingDrainsToZero) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 16; ++i) {
+    futs.push_back(pool.submit([i] { return i; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
 TEST(ThreadPool, ParallelResultMatchesSerial) {
   ThreadPool pool(4);
   const std::size_t n = 10000;

@@ -1,0 +1,209 @@
+// telemetry_report — reads a telemetry JSONL file (the Telemetry facade's
+// jsonl_path sink) and prints a per-phase wall-clock breakdown plus the
+// metric tables. Usage:
+//
+//   telemetry_report <run.jsonl> [--top N] [--no-metrics]
+//
+// The JSONL is produced by fedra itself (telemetry/sinks.cpp), so the
+// parser is a deliberately small line-oriented key extractor, not a
+// general JSON parser.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/argparse.hpp"
+
+namespace {
+
+// Extracts the raw token following `"key":` in a single-line JSON object.
+// Returns false when the key is absent.
+bool extract_token(const std::string& line, const std::string& key,
+                   std::string& out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t start = pos + needle.size();
+  if (start >= line.size()) return false;
+  if (line[start] == '"') {
+    ++start;
+    std::string value;
+    for (std::size_t i = start; i < line.size(); ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        value += line[i + 1];
+        ++i;
+        continue;
+      }
+      if (line[i] == '"') break;
+      value += line[i];
+    }
+    out = value;
+    return true;
+  }
+  std::size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}' &&
+         line[end] != ']') {
+    ++end;
+  }
+  out = line.substr(start, end - start);
+  return true;
+}
+
+bool extract_double(const std::string& line, const std::string& key,
+                    double& out) {
+  std::string token;
+  if (!extract_token(line, key, token)) return false;
+  try {
+    out = std::stod(token);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+struct PhaseAgg {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct HistRow {
+  std::string name;
+  double count = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fedra::ArgParser args(argc, argv);
+  const bool show_metrics = !args.flag("no-metrics");
+  const auto top = static_cast<std::size_t>(args.get_int("top", 0));
+  if (args.positionals().empty()) {
+    std::fprintf(stderr,
+                 "usage: telemetry_report <run.jsonl> [--top N] "
+                 "[--no-metrics]\n");
+    return 2;
+  }
+  const std::string path = args.positionals().front();
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "telemetry_report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  std::map<std::string, PhaseAgg> phases;
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistRow> histograms;
+  std::size_t bad_lines = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string type;
+    if (!extract_token(line, "type", type)) {
+      ++bad_lines;
+      continue;
+    }
+    std::string name;
+    if (!extract_token(line, "name", name)) {
+      ++bad_lines;
+      continue;
+    }
+    if (type == "span") {
+      double dur = 0.0;
+      if (!extract_double(line, "dur_us", dur)) {
+        ++bad_lines;
+        continue;
+      }
+      auto& agg = phases[name];
+      ++agg.count;
+      agg.total_us += dur;
+      agg.max_us = std::max(agg.max_us, dur);
+    } else if (type == "counter") {
+      double v = 0.0;
+      extract_double(line, "value", v);
+      counters.emplace_back(name, v);
+    } else if (type == "gauge") {
+      double v = 0.0;
+      extract_double(line, "value", v);
+      gauges.emplace_back(name, v);
+    } else if (type == "histogram") {
+      HistRow row;
+      row.name = name;
+      extract_double(line, "count", row.count);
+      extract_double(line, "mean", row.mean);
+      extract_double(line, "p50", row.p50);
+      extract_double(line, "p90", row.p90);
+      extract_double(line, "p99", row.p99);
+      extract_double(line, "max", row.max);
+      histograms.push_back(std::move(row));
+    } else {
+      ++bad_lines;
+    }
+  }
+
+  if (!phases.empty()) {
+    double grand_total = 0.0;
+    for (const auto& [name, agg] : phases) grand_total += agg.total_us;
+    std::vector<std::pair<std::string, PhaseAgg>> sorted(phases.begin(),
+                                                         phases.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                return a.second.total_us > b.second.total_us;
+              });
+    if (top > 0 && sorted.size() > top) sorted.resize(top);
+    std::printf("== per-phase wall-clock breakdown (%s) ==\n", path.c_str());
+    std::printf("%-24s %10s %14s %12s %12s %7s\n", "phase", "count",
+                "total_ms", "mean_ms", "max_ms", "share");
+    for (const auto& [name, agg] : sorted) {
+      std::printf("%-24s %10llu %14.3f %12.3f %12.3f %6.1f%%\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(agg.count),
+                  agg.total_us / 1e3,
+                  agg.total_us / 1e3 / static_cast<double>(agg.count),
+                  agg.max_us / 1e3,
+                  grand_total > 0.0 ? 100.0 * agg.total_us / grand_total
+                                    : 0.0);
+    }
+  } else {
+    std::printf("no span records in %s\n", path.c_str());
+  }
+
+  if (show_metrics) {
+    if (!histograms.empty()) {
+      std::printf("\n== histograms ==\n");
+      std::printf("%-28s %10s %12s %12s %12s %12s %12s\n", "name", "count",
+                  "mean", "p50", "p90", "p99", "max");
+      for (const auto& h : histograms) {
+        std::printf("%-28s %10.0f %12.4g %12.4g %12.4g %12.4g %12.4g\n",
+                    h.name.c_str(), h.count, h.mean, h.p50, h.p90, h.p99,
+                    h.max);
+      }
+    }
+    if (!counters.empty()) {
+      std::printf("\n== counters ==\n");
+      for (const auto& [name, v] : counters) {
+        std::printf("%-28s %14.0f\n", name.c_str(), v);
+      }
+    }
+    if (!gauges.empty()) {
+      std::printf("\n== gauges ==\n");
+      for (const auto& [name, v] : gauges) {
+        std::printf("%-28s %14.6g\n", name.c_str(), v);
+      }
+    }
+  }
+  if (bad_lines > 0) {
+    std::fprintf(stderr, "telemetry_report: skipped %zu unparseable lines\n",
+                 bad_lines);
+  }
+  return 0;
+}
