@@ -95,7 +95,7 @@ int main() {
    public:
     A2cController(A2cAgent& agent, FlEnvConfig cfg, double bw_ref)
         : agent_(agent), cfg_(cfg), bw_ref_(bw_ref) {}
-    std::vector<double> decide(const FlSimulator& sim_ref) override {
+    std::vector<double> decide(const SimulatorBase& sim_ref) override {
       auto state =
           bandwidth_history_state(sim_ref, sim_ref.now(), cfg_, bw_ref_);
       auto fractions = agent_.mean_action(state);

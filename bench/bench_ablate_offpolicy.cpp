@@ -16,7 +16,7 @@ class DdpgController final : public Controller {
  public:
   DdpgController(DdpgAgent& agent, FlEnvConfig cfg, double bw_ref)
       : agent_(agent), cfg_(cfg), bw_ref_(bw_ref) {}
-  std::vector<double> decide(const FlSimulator& sim) override {
+  std::vector<double> decide(const SimulatorBase& sim) override {
     auto state = bandwidth_history_state(sim, sim.now(), cfg_, bw_ref_);
     auto fractions = agent_.act(state);
     std::vector<double> freqs(fractions.size());

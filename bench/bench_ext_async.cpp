@@ -61,7 +61,7 @@ int main() {
     double wall = 0.0, energy = 0.0, loss = 1e9;
     std::size_t rounds = 0;
     while (loss >= epsilon && rounds < 200) {
-      auto r = sim.step(full_freqs);
+      auto r = sim.step(full_freqs, {});
       loss = server.run_round(ltc, pool).global_loss;
       wall += r.iteration_time;
       energy += r.total_energy;

@@ -1,0 +1,122 @@
+// Extension E3 — fault robustness of DRL vs model-based allocation.
+//
+// The paper's evaluation assumes every device finishes every round. Real
+// fleets churn: devices crash and rejoin, drop out mid-round, straggle,
+// lose radio coverage, and fail uploads. This bench grades each policy
+// under increasing failure intensity: a PPO agent trained WITH fault
+// injection (fault-aware state + dropout penalty) against the paper's
+// model-based baselines (Heuristic, Static) and the FullSpeed calibration
+// point, all facing the identical seeded fault sequence per intensity.
+//
+// Reported per (intensity, policy): avg Eq. (9) cost, avg iteration time,
+// avg energy, and the fraction of scheduled updates lost. Fully
+// deterministic: fixed seeds for training, evaluation, and fault draws.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/offline_trainer.hpp"
+#include "fault/fault_model.hpp"
+
+namespace {
+
+using namespace fedra;
+
+/// Moderate mixed churn at intensity 1.0; the sweep rescales the
+/// probabilities (magnitudes stay put).
+fault::FaultConfig base_faults() {
+  fault::FaultConfig cfg;
+  cfg.dropout_prob = 0.06;
+  cfg.straggler_prob = 0.15;
+  cfg.min_slowdown = 1.5;
+  cfg.max_slowdown = 3.0;
+  cfg.crash_prob = 0.03;
+  cfg.rejoin_prob = 0.35;
+  cfg.blackout_prob = 0.08;
+  cfg.blackout_duration_s = 20.0;
+  cfg.blackout_max_offset_s = 15.0;
+  cfg.upload_failure_prob = 0.12;
+  cfg.max_retries = 2;
+  cfg.retry_backoff_s = 2.0;
+  return cfg;
+}
+
+/// Trains the agent inside the faulty environment: fault features in the
+/// state, lost updates penalized in the reward, the round deadline live.
+bench::TrainedAgent train_fault_aware(const ExperimentConfig& cfg,
+                                      std::size_t episodes, double deadline,
+                                      const fault::FaultConfig& faults) {
+  bench::TrainedAgent out;
+  out.cfg = cfg;
+  out.env_cfg = bench::env_config_for(cfg);
+  out.env_cfg.fault_aware_state = true;
+  out.env_cfg.round_deadline = deadline;
+  out.env_cfg.dropout_penalty = 2.0;
+  FlEnv env(build_simulator(cfg), out.env_cfg);
+  env.set_fault_model(fault::FaultModel(faults, 99));
+  out.bandwidth_ref = env.bandwidth_ref();
+  TrainerConfig tcfg = recommended_trainer_config(episodes);
+  out.trainer = std::make_unique<OfflineTrainer>(std::move(env), tcfg, 7);
+  out.history = out.trainer->train();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init_telemetry_from_args(argc, argv);
+  std::printf("Extension E3: resource allocation under device faults\n");
+
+  ExperimentConfig cfg = testbed_config();
+  auto sim = build_simulator(cfg);
+
+  // Round deadline: 3x the fault-free full-speed makespan — generous for
+  // a healthy round, binding once stragglers/blackouts stretch it.
+  std::vector<double> full_freqs(sim.num_devices());
+  for (std::size_t i = 0; i < sim.num_devices(); ++i) {
+    full_freqs[i] = sim.devices()[i].max_freq_hz;
+  }
+  const double deadline =
+      3.0 * sim.preview(full_freqs, StepOptions::dry_run(0.0)).iteration_time;
+  std::printf("devices=%zu  round deadline=%.1f s\n", sim.num_devices(),
+              deadline);
+
+  const auto faults = base_faults();
+  auto agent = train_fault_aware(cfg, 80, deadline, faults);
+  std::printf("trained fault-aware PPO agent: %zu episodes\n",
+              agent.history.size());
+
+  const std::size_t iterations = 150;
+  const double intensities[] = {0.0, 0.5, 1.0, 2.0};
+
+  std::printf("\n%-10s %-12s %12s %12s %12s %10s\n", "intensity", "policy",
+              "avg_cost", "avg_time_s", "avg_energy", "lost");
+  for (double intensity : intensities) {
+    const auto scaled = faults.scaled(intensity);
+
+    DrlController drl(agent.trainer->agent(), agent.env_cfg,
+                      agent.bandwidth_ref);
+    HeuristicController heuristic(sim);
+    Rng rng(3);
+    StaticController st(sim, 10, rng);
+    FullSpeedController full;
+    Controller* roster[] = {&drl, &heuristic, &st, &full};
+
+    for (Controller* controller : roster) {
+      // One fault model per run (run_controller resets it), same seed for
+      // every policy: identical fault draws, fair comparison.
+      fault::FaultModel fm(scaled, 555);
+      EvalOptions opts;
+      opts.deadline = deadline;
+      opts.fault_model = &fm;
+      auto series = run_controller(sim, *controller, iterations, opts);
+      std::printf("%-10.2f %-12s %12.3f %12.3f %12.3f %9.2f%%\n", intensity,
+                  series.policy.c_str(), series.avg_cost(),
+                  series.avg_time(), series.avg_total_energy(),
+                  100.0 * series.failure_rate(sim.num_devices()));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

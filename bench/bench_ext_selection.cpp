@@ -51,7 +51,7 @@ Outcome run(ClientSelector& selector, const ExperimentConfig& cfg,
   while (loss >= epsilon && out.rounds < max_rounds) {
     auto mask = selector.select(sim);
     auto freqs = controller.decide(sim);
-    auto iter = sim.step(freqs, mask);
+    auto iter = sim.step(freqs, StepOptions::with_participants(mask));
     controller.observe(iter);
     selector.observe(iter);
 

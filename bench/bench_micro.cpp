@@ -99,7 +99,7 @@ void BM_SimulatorStep(benchmark::State& state) {
   std::vector<double> freqs;
   for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz * 0.8);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.step(freqs));
+    benchmark::DoNotOptimize(sim.step(freqs, {}));
     if (sim.now() > 1e7) sim.reset(0.0);
   }
 }

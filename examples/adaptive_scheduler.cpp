@@ -84,7 +84,7 @@ int main() {
     row.t = sims[0].now();
     for (std::size_t c = 0; c < roster.size(); ++c) {
       auto freqs = roster[c]->decide(sims[c]);
-      auto r = sims[c].step(freqs);
+      auto r = sims[c].step(freqs, {});
       roster[c]->observe(r);
       row.frac[c] = r.devices[0].freq_hz / sims[c].devices()[0].max_freq_hz;
       row.cost[c] = r.cost;

@@ -62,7 +62,7 @@ RunResult run(Controller& controller, const ExperimentConfig& cfg,
   double loss = 1e9;
   while (loss >= epsilon && result.rounds < 60) {
     auto freqs = controller.decide(sim);
-    auto iter = sim.step(freqs);
+    auto iter = sim.step(freqs, {});
     controller.observe(iter);
     auto metrics = server.run_round(ltc, pool);
     loss = metrics.global_loss;

@@ -35,7 +35,7 @@ void print_timeline(const IterationResult& r) {
 }
 
 void print_breakdown(const char* title, const IterationResult& r,
-                     const FlSimulator& sim) {
+                     const SimulatorBase& sim) {
   std::printf("\n== %s ==\n", title);
   std::printf("%-8s %10s %10s %10s %10s %10s %10s\n", "device", "freq(GHz)",
               "t_cmp(s)", "t_com(s)", "idle(s)", "E_cmp(J)", "E_com(J)");
@@ -63,12 +63,12 @@ int main() {
   auto sim = build_simulator(cfg);
 
   FullSpeedController full;
-  auto r_full = sim.preview(full.decide(sim), 0.0);
+  auto r_full = sim.preview(full.decide(sim), StepOptions::dry_run(0.0));
   print_breakdown("full speed: fast devices idle at the barrier", r_full,
                   sim);
 
   OracleController oracle;
-  auto r_oracle = sim.preview(oracle.decide(sim), 0.0);
+  auto r_oracle = sim.preview(oracle.decide(sim), StepOptions::dry_run(0.0));
   print_breakdown("oracle DVFS: everyone lands on the straggler's finish",
                   r_oracle, sim);
 

@@ -11,7 +11,7 @@ DrlController::DrlController(PpoAgent& agent, FlEnvConfig env_config,
   FEDRA_EXPECTS(bandwidth_ref > 0.0);
 }
 
-std::vector<double> DrlController::decide(const FlSimulator& sim) {
+std::vector<double> DrlController::decide(const SimulatorBase& sim) {
   // Online action-selection latency: this is the paper's deployed
   // decision path, the one place inference speed matters in production.
   namespace tel = fedra::telemetry;
@@ -22,8 +22,9 @@ std::vector<double> DrlController::decide(const FlSimulator& sim) {
     decide_hist = h;
   }
   tel::ScopedTimer timer(decide_hist);
-  const auto state =
-      bandwidth_history_state(sim, sim.now(), env_config_, bandwidth_ref_);
+  const auto state = bandwidth_history_state(
+      sim, sim.now(), env_config_, bandwidth_ref_,
+      last_result_ ? &*last_result_ : nullptr);
   const auto fractions = agent_.mean_action(state);
   FEDRA_ENSURES(fractions.size() == sim.num_devices());
   std::vector<double> freqs(fractions.size());
@@ -31,6 +32,10 @@ std::vector<double> DrlController::decide(const FlSimulator& sim) {
     freqs[i] = fractions[i] * sim.devices()[i].max_freq_hz;
   }
   return freqs;
+}
+
+void DrlController::observe(const IterationResult& result) {
+  if (env_config_.fault_aware_state) last_result_ = result;
 }
 
 }  // namespace fedra

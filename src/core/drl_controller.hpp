@@ -2,7 +2,14 @@
 // build the bandwidth-history state from the simulator clock, feed it to
 // the actor network, and emit the mean action as per-device frequencies.
 // Only the actor is consulted — the critic exists solely for training.
+//
+// With a fault-aware env config, the controller also remembers the last
+// observed IterationResult so the per-device fault features (delivery
+// flag, retry load) match what the agent saw in training; before the
+// first observation they take their neutral defaults.
 #pragma once
+
+#include <optional>
 
 #include "env/fl_env.hpp"
 #include "rl/ppo.hpp"
@@ -18,13 +25,15 @@ class DrlController final : public Controller {
   DrlController(PpoAgent& agent, FlEnvConfig env_config,
                 double bandwidth_ref);
 
-  std::vector<double> decide(const FlSimulator& sim) override;
+  std::vector<double> decide(const SimulatorBase& sim) override;
+  void observe(const IterationResult& result) override;
   std::string name() const override { return "drl"; }
 
  private:
   PpoAgent& agent_;
   FlEnvConfig env_config_;
   double bandwidth_ref_;
+  std::optional<IterationResult> last_result_;
 };
 
 }  // namespace fedra

@@ -11,33 +11,24 @@ double EvalSeries::avg_compute_energy() const {
 }
 double EvalSeries::avg_total_energy() const { return mean(total_energies); }
 
-std::vector<IterationResult> run_controller_detailed(
-    const FlSimulator& sim, Controller& controller, std::size_t iterations,
-    double start_time) {
-  FlSimulator run = sim;  // value copy: identical conditions per controller
-  run.reset(start_time);
-  std::vector<IterationResult> results;
-  results.reserve(iterations);
-  for (std::size_t k = 0; k < iterations; ++k) {
-    const auto freqs = controller.decide(run);
-    IterationResult r = run.step(freqs);
-    controller.observe(r);
-    results.push_back(std::move(r));
-  }
-  return results;
+double EvalSeries::failure_rate(std::size_t num_devices) const {
+  if (failed_devices.empty() || num_devices == 0) return 0.0;
+  std::size_t failed = 0;
+  for (std::size_t f : failed_devices) failed += f;
+  return static_cast<double>(failed) /
+         static_cast<double>(failed_devices.size() * num_devices);
 }
 
-EvalSeries run_controller(const FlSimulator& sim, Controller& controller,
-                          std::size_t iterations, double start_time) {
+EvalSeries fold_eval_series(std::string policy,
+                            const std::vector<IterationResult>& results) {
   EvalSeries series;
-  series.policy = controller.name();
-  const auto results =
-      run_controller_detailed(sim, controller, iterations, start_time);
-  series.costs.reserve(iterations);
-  series.times.reserve(iterations);
-  series.compute_energies.reserve(iterations);
-  series.total_energies.reserve(iterations);
-  series.idle_times.reserve(iterations);
+  series.policy = std::move(policy);
+  series.costs.reserve(results.size());
+  series.times.reserve(results.size());
+  series.compute_energies.reserve(results.size());
+  series.total_energies.reserve(results.size());
+  series.idle_times.reserve(results.size());
+  series.failed_devices.reserve(results.size());
   for (const auto& r : results) {
     series.costs.push_back(r.cost);
     series.times.push_back(r.iteration_time);
@@ -46,6 +37,7 @@ EvalSeries run_controller(const FlSimulator& sim, Controller& controller,
     double idle = 0.0;
     for (const auto& d : r.devices) idle += d.idle_time;
     series.idle_times.push_back(idle);
+    series.failed_devices.push_back(r.num_failed());
   }
   return series;
 }

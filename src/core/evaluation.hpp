@@ -2,13 +2,22 @@
 // fixed number of iterations (the paper's "experimental results after 400
 // iterations", Section V-B2) and collects the per-iteration series behind
 // Figures 7 and 8.
+//
+// The harness is templated over the SteppableSimulator concept, so the
+// same loop evaluates a controller against FlSimulator (synchronized
+// barrier) or AsyncFlSimulator (no barrier) — and EvalOptions carries the
+// round conditions (deadline, fault model) shared by every controller in
+// a comparison.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "fault/fault_model.hpp"
 #include "sched/controller.hpp"
-#include "sim/simulator.hpp"
+#include "sim/simulator_base.hpp"
+#include "sim/step_options.hpp"
 
 namespace fedra {
 
@@ -20,21 +29,67 @@ struct EvalSeries {
   std::vector<double> compute_energies; ///< sum_i computation energy
   std::vector<double> total_energies;   ///< sum_i E_i
   std::vector<double> idle_times;       ///< sum_i idle per iteration
+  std::vector<std::size_t> failed_devices;  ///< updates lost per iteration
 
   double avg_cost() const;
   double avg_time() const;
   double avg_compute_energy() const;
   double avg_total_energy() const;
+  /// Fraction of scheduled updates lost across the run (0 fault-free).
+  double failure_rate(std::size_t num_devices) const;
 };
 
-/// Runs `controller` for `iterations` iterations from `start_time` on a
-/// COPY of the simulator (every controller sees identical conditions).
-EvalSeries run_controller(const FlSimulator& sim, Controller& controller,
-                          std::size_t iterations, double start_time = 0.0);
+/// Shared run conditions for one evaluation. Implicitly constructible from
+/// a double so legacy run_controller(sim, c, iters, start_time) calls keep
+/// compiling.
+struct EvalOptions {
+  double start_time = 0.0;
+  /// Round deadline forwarded to every step (<= 0 = none).
+  double deadline = 0.0;
+  /// Fault model forwarded to every step; reset() at the start of the run
+  /// so each controller faces the identical fault sequence. Non-owning.
+  fault::FaultModel* fault_model = nullptr;
+
+  EvalOptions() = default;
+  EvalOptions(double start) : start_time(start) {}  // NOLINT(runtime/explicit)
+};
+
+/// Internal: folds detailed results into the plotted series.
+EvalSeries fold_eval_series(std::string policy,
+                            const std::vector<IterationResult>& results);
 
 /// Full per-iteration results (when callers need device-level detail).
+/// Runs on a COPY of the simulator: every controller sees identical
+/// conditions, including the fault sequence.
+template <SteppableSimulator Sim>
 std::vector<IterationResult> run_controller_detailed(
-    const FlSimulator& sim, Controller& controller, std::size_t iterations,
-    double start_time = 0.0);
+    const Sim& sim, Controller& controller, std::size_t iterations,
+    EvalOptions options = {}) {
+  Sim run = sim;  // value copy: identical conditions per controller
+  run.reset(options.start_time);
+  if (options.fault_model != nullptr) options.fault_model->reset();
+  StepOptions step_options;
+  step_options.deadline = options.deadline;
+  step_options.fault_model = options.fault_model;
+  std::vector<IterationResult> results;
+  results.reserve(iterations);
+  for (std::size_t k = 0; k < iterations; ++k) {
+    const auto freqs = controller.decide(run);
+    IterationResult r = run.step(freqs, step_options);
+    controller.observe(r);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+/// Runs `controller` for `iterations` iterations under `options` and folds
+/// the per-iteration results into the plotted series.
+template <SteppableSimulator Sim>
+EvalSeries run_controller(const Sim& sim, Controller& controller,
+                          std::size_t iterations, EvalOptions options = {}) {
+  return fold_eval_series(
+      controller.name(),
+      run_controller_detailed(sim, controller, iterations, options));
+}
 
 }  // namespace fedra

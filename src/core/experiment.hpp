@@ -19,7 +19,7 @@ namespace fedra {
 /// given simulator (controllers are stateful, so each seed needs its own).
 struct PolicySpec {
   std::string name;
-  std::function<std::unique_ptr<Controller>(const FlSimulator&)> make;
+  std::function<std::unique_ptr<Controller>(const SimulatorBase&)> make;
 };
 
 struct MetricCI {

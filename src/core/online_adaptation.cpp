@@ -17,7 +17,7 @@ OnlineAdaptiveController::OnlineAdaptiveController(
   FEDRA_EXPECTS(config.reward_scale > 0.0);
 }
 
-std::vector<double> OnlineAdaptiveController::decide(const FlSimulator& sim) {
+std::vector<double> OnlineAdaptiveController::decide(const SimulatorBase& sim) {
   const auto state =
       bandwidth_history_state(sim, sim.now(), env_config_, bandwidth_ref_);
 

@@ -39,7 +39,7 @@ class OnlineAdaptiveController final : public Controller {
                            double bandwidth_ref,
                            OnlineAdaptationConfig config, std::uint64_t seed);
 
-  std::vector<double> decide(const FlSimulator& sim) override;
+  std::vector<double> decide(const SimulatorBase& sim) override;
   void observe(const IterationResult& result) override;
   std::string name() const override { return "drl-online"; }
 

@@ -5,17 +5,23 @@
 
 namespace fedra {
 
-std::vector<double> bandwidth_history_state(const FlSimulator& sim,
-                                            double now,
-                                            const FlEnvConfig& config,
-                                            double bandwidth_ref) {
+std::size_t state_features_per_device(const FlEnvConfig& config) {
+  return config.history_slots + 1 +
+         (config.include_device_features ? 3 : 0) +
+         (config.fault_aware_state ? 2 : 0);
+}
+
+std::vector<double> bandwidth_history_state(
+    const SimulatorBase& sim, double now, const FlEnvConfig& config,
+    double bandwidth_ref, const IterationResult* last_result) {
   FEDRA_EXPECTS(bandwidth_ref > 0.0);
+  if (last_result != nullptr) {
+    FEDRA_EXPECTS(last_result->devices.size() == sim.num_devices());
+  }
   const auto now_slot =
       static_cast<long long>(std::floor(now / config.slot_seconds));
   std::vector<double> state;
-  state.reserve(sim.num_devices() *
-                (config.history_slots + 1 +
-                 (config.include_device_features ? 3 : 0)));
+  state.reserve(sim.num_devices() * state_features_per_device(config));
   for (std::size_t i = 0; i < sim.num_devices(); ++i) {
     const auto& trace = sim.traces()[i];
     for (std::size_t j = 0; j <= config.history_slots; ++j) {
@@ -32,6 +38,20 @@ std::vector<double> bandwidth_history_state(const FlSimulator& sim,
       state.push_back(dev.max_freq_hz / 2e9);
       state.push_back(dev.tx_power_w);
     }
+    if (config.fault_aware_state) {
+      // Delivery flag and retry load from the previous round. Neutral
+      // defaults (delivered, no retries) before the first round and for
+      // devices that sat the round out.
+      double delivered = 1.0;
+      double retry_load = 0.0;
+      if (last_result != nullptr && last_result->devices[i].participated) {
+        const auto& d = last_result->devices[i];
+        delivered = d.completed ? 1.0 : 0.0;
+        retry_load = std::min(1.0, static_cast<double>(d.retries) / 3.0);
+      }
+      state.push_back(delivered);
+      state.push_back(retry_load);
+    }
   }
   return state;
 }
@@ -41,6 +61,7 @@ FlEnv::FlEnv(FlSimulator simulator, FlEnvConfig config)
   FEDRA_EXPECTS(config_.slot_seconds > 0.0);
   FEDRA_EXPECTS(config_.episode_length > 0);
   FEDRA_EXPECTS(config_.reward_scale > 0.0);
+  FEDRA_EXPECTS(config_.dropout_penalty >= 0.0);
   if (config_.bandwidth_ref > 0.0) {
     bandwidth_ref_ = config_.bandwidth_ref;
   } else {
@@ -62,14 +83,17 @@ std::vector<double> FlEnv::reset(Rng& rng) {
 
 std::vector<double> FlEnv::reset_at(double start_time) {
   sim_.reset(start_time);
+  fault_model_.reset();
   steps_in_episode_ = 0;
+  has_result_ = false;
   return observe();
 }
 
 std::vector<double> FlEnv::observe() const {
   // s_k: per device, slot averages at slots floor(t/h), ..., floor(t/h)-H
   // (paper Section IV-B1), most recent first.
-  return bandwidth_history_state(sim_, sim_.now(), config_, bandwidth_ref_);
+  return bandwidth_history_state(sim_, sim_.now(), config_, bandwidth_ref_,
+                                 has_result_ ? &last_result_ : nullptr);
 }
 
 StepResult FlEnv::step(const std::vector<double>& action) {
@@ -80,9 +104,19 @@ StepResult FlEnv::step(const std::vector<double>& action) {
     // Fraction -> Hz; the simulator applies its own floor/cap clamping.
     freqs[i] = action[i] * caps[i];
   }
+  StepOptions options;
+  options.deadline = config_.round_deadline;
+  options.fault_model = fault_model_.enabled() ? &fault_model_ : nullptr;
   StepResult r;
-  r.info = sim_.step(freqs);
-  r.reward = r.info.reward * config_.reward_scale;
+  r.info = sim_.step(freqs, options);
+  double reward = r.info.reward;
+  if (config_.dropout_penalty > 0.0) {
+    reward -= config_.dropout_penalty *
+              static_cast<double>(r.info.num_failed());
+  }
+  r.reward = reward * config_.reward_scale;
+  last_result_ = r.info;
+  has_result_ = true;
   ++steps_in_episode_;
   r.done = steps_in_episode_ >= config_.episode_length;
   r.state = observe();

@@ -1,0 +1,128 @@
+#include "fault/fault_model.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace fedra::fault {
+
+namespace {
+
+/// Order-free hash combine: the per-(iteration, device) stream seed must
+/// not depend on draw order or device count, only on the identifiers.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  SplitMix64 sm(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+  return sm.next();
+}
+
+double clamp_prob(double p) { return std::clamp(p, 0.0, 1.0); }
+
+}  // namespace
+
+bool FaultConfig::any_enabled() const {
+  return dropout_prob > 0.0 || straggler_prob > 0.0 || crash_prob > 0.0 ||
+         blackout_prob > 0.0 || upload_failure_prob > 0.0;
+}
+
+FaultConfig FaultConfig::scaled(double factor) const {
+  FEDRA_EXPECTS(factor >= 0.0);
+  FaultConfig out = *this;
+  out.dropout_prob = clamp_prob(dropout_prob * factor);
+  out.straggler_prob = clamp_prob(straggler_prob * factor);
+  out.crash_prob = clamp_prob(crash_prob * factor);
+  out.blackout_prob = clamp_prob(blackout_prob * factor);
+  out.upload_failure_prob = clamp_prob(upload_failure_prob * factor);
+  return out;
+}
+
+FaultModel::FaultModel(FaultConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed), enabled_(true) {
+  FEDRA_EXPECTS(config.dropout_prob >= 0.0 && config.dropout_prob <= 1.0);
+  FEDRA_EXPECTS(config.straggler_prob >= 0.0 && config.straggler_prob <= 1.0);
+  FEDRA_EXPECTS(config.crash_prob >= 0.0 && config.crash_prob <= 1.0);
+  FEDRA_EXPECTS(config.rejoin_prob >= 0.0 && config.rejoin_prob <= 1.0);
+  FEDRA_EXPECTS(config.blackout_prob >= 0.0 && config.blackout_prob <= 1.0);
+  FEDRA_EXPECTS(config.upload_failure_prob >= 0.0 &&
+                config.upload_failure_prob <= 1.0);
+  FEDRA_EXPECTS(config.min_slowdown >= 1.0);
+  FEDRA_EXPECTS(config.max_slowdown >= config.min_slowdown);
+  FEDRA_EXPECTS(config.blackout_duration_s >= 0.0);
+  FEDRA_EXPECTS(config.blackout_max_offset_s >= 0.0);
+  FEDRA_EXPECTS(config.retry_backoff_s >= 0.0);
+}
+
+DeviceFault FaultModel::draw_device(std::size_t iteration, std::size_t device,
+                                    bool was_crashed,
+                                    bool* now_crashed) const {
+  Rng rng(mix(mix(seed_, iteration), device));
+  DeviceFault f;
+  f.retry_backoff_s = config_.retry_backoff_s;
+
+  // Crash chain first: a down device draws nothing else this round.
+  const bool crashed_now = was_crashed ? !rng.bernoulli(config_.rejoin_prob)
+                                       : rng.bernoulli(config_.crash_prob);
+  *now_crashed = crashed_now;
+  if (crashed_now) {
+    f.crashed = true;
+    return f;
+  }
+
+  if (config_.dropout_prob > 0.0 && rng.bernoulli(config_.dropout_prob)) {
+    f.dropout = true;
+    // Not too close to either end: a vanish at 0 is a crash, at 1 a no-op.
+    f.dropout_frac = rng.uniform(0.05, 0.95);
+  }
+  if (config_.straggler_prob > 0.0 && rng.bernoulli(config_.straggler_prob)) {
+    f.compute_slowdown =
+        rng.uniform(config_.min_slowdown, config_.max_slowdown);
+    f.upload_slowdown =
+        rng.uniform(config_.min_slowdown, config_.max_slowdown);
+  }
+  if (config_.blackout_prob > 0.0 && rng.bernoulli(config_.blackout_prob)) {
+    f.blackout_offset = rng.uniform(0.0, config_.blackout_max_offset_s);
+    f.blackout_duration = config_.blackout_duration_s * rng.uniform(0.5, 1.5);
+  }
+  if (config_.upload_failure_prob > 0.0) {
+    while (f.failed_uploads <= config_.max_retries &&
+           rng.bernoulli(config_.upload_failure_prob)) {
+      ++f.failed_uploads;
+    }
+    f.upload_exhausted = f.failed_uploads > config_.max_retries;
+  }
+  return f;
+}
+
+RoundFaults FaultModel::draw_round(std::size_t iteration,
+                                   std::size_t num_devices,
+                                   std::vector<bool>* crash_state) const {
+  RoundFaults round;
+  round.devices.resize(num_devices);
+  if (!enabled()) return round;
+  for (std::size_t i = 0; i < num_devices; ++i) {
+    const bool was_crashed = i < crashed_.size() && crashed_[i];
+    bool now_crashed = false;
+    round.devices[i] = draw_device(iteration, i, was_crashed, &now_crashed);
+    if (crash_state != nullptr) {
+      if (crash_state->size() < num_devices) crash_state->resize(num_devices);
+      (*crash_state)[i] = now_crashed;
+    }
+  }
+  return round;
+}
+
+RoundFaults FaultModel::peek(std::size_t iteration,
+                             std::size_t num_devices) const {
+  return draw_round(iteration, num_devices, nullptr);
+}
+
+RoundFaults FaultModel::advance(std::size_t iteration,
+                                std::size_t num_devices) {
+  return draw_round(iteration, num_devices, &crashed_);
+}
+
+std::size_t FaultModel::num_crashed() const {
+  return static_cast<std::size_t>(
+      std::count(crashed_.begin(), crashed_.end(), true));
+}
+
+}  // namespace fedra::fault

@@ -1,0 +1,152 @@
+// Fault injection for federated iterations (fedra::fault).
+//
+// Real mobile FL deployments are dominated by client churn: devices drop
+// off mid-round, background load turns them into stragglers, radios lose
+// coverage, uploads fail and must be retried. The paper's synchronized
+// iteration (Eq. 5) is gated by the slowest device, so these failure
+// modes are exactly what a resource-allocation policy must be robust to
+// — yet a fault-free simulator never shows them to the learner.
+//
+// FaultModel draws a per-device fault assignment for every iteration:
+//
+//   dropout        — the device vanishes mid-round at a random fraction of
+//                    its timeline; its update is lost, the energy it spent
+//                    up to that point is still charged;
+//   straggler      — multiplicative compute/upload degradation for one
+//                    round (background load, thermal throttling);
+//   crash + rejoin — a two-state Markov chain per device: a crashed device
+//                    sits out whole rounds until it rejoins;
+//   blackout       — a bandwidth blackout window (radio outage) applied to
+//                    the device's trace for this round;
+//   upload failure — each upload attempt fails independently; failures are
+//                    retried with exponential backoff up to `max_retries`
+//                    times, after which the update is lost.
+//
+// Determinism: every draw comes from an Rng seeded by a hash of
+// (model seed, iteration, device), so the fault sequence is a pure
+// function of the seed and the crash-state history — independent of how
+// many devices exist elsewhere, of call interleaving, and of platform.
+// Same seed + same config => bit-identical fault sequences.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fedra::fault {
+
+/// Per-round, per-device fault probabilities and magnitudes. All
+/// probabilities are evaluated independently each round; 0 disables the
+/// corresponding fault class.
+struct FaultConfig {
+  /// P(device vanishes mid-round). The vanish point is uniform over the
+  /// device's round timeline.
+  double dropout_prob = 0.0;
+  /// P(device is a straggler this round); slowdown factors are drawn
+  /// uniformly from [min_slowdown, max_slowdown] for compute and upload
+  /// independently.
+  double straggler_prob = 0.0;
+  double min_slowdown = 1.5;
+  double max_slowdown = 4.0;
+  /// Crash-and-rejoin Markov chain: healthy -> crashed with crash_prob,
+  /// crashed -> healthy with rejoin_prob, evaluated once per round.
+  double crash_prob = 0.0;
+  double rejoin_prob = 0.25;
+  /// P(a bandwidth blackout window hits this device's round). The window
+  /// starts uniformly in [0, blackout_max_offset_s] after the round start
+  /// and lasts blackout_duration_s * U(0.5, 1.5).
+  double blackout_prob = 0.0;
+  double blackout_duration_s = 30.0;
+  double blackout_max_offset_s = 30.0;
+  /// P(one upload attempt fails). Failed attempts back off
+  /// retry_backoff_s * 2^k before attempt k+1; after max_retries retries
+  /// the update is abandoned.
+  double upload_failure_prob = 0.0;
+  std::size_t max_retries = 2;
+  double retry_backoff_s = 1.0;
+
+  /// True when any fault class has non-zero probability.
+  bool any_enabled() const;
+
+  /// Copy with every probability multiplied by `factor` (clamped to 1);
+  /// the knob the fault bench sweeps to grade failure intensity.
+  FaultConfig scaled(double factor) const;
+};
+
+/// Fault assignment of one device in one round. Default-constructed =
+/// healthy (no fault).
+struct DeviceFault {
+  bool crashed = false;       ///< out for the whole round
+  bool dropout = false;       ///< vanishes mid-round
+  double dropout_frac = 1.0;  ///< fraction of its timeline completed at vanish
+  double compute_slowdown = 1.0;
+  double upload_slowdown = 1.0;
+  double blackout_offset = 0.0;    ///< seconds after round start
+  double blackout_duration = 0.0;  ///< 0 = no blackout
+  std::size_t failed_uploads = 0;  ///< failed attempts before success/abandon
+  bool upload_exhausted = false;   ///< all retries failed; update lost
+  double retry_backoff_s = 1.0;    ///< base of the exponential backoff
+
+  /// True when this assignment perturbs the device's round in any way.
+  bool faulty() const {
+    return crashed || dropout || compute_slowdown != 1.0 ||
+           upload_slowdown != 1.0 || blackout_duration > 0.0 ||
+           failed_uploads > 0 || upload_exhausted;
+  }
+};
+
+/// Fault assignment of one full round.
+struct RoundFaults {
+  std::vector<DeviceFault> devices;
+
+  bool any() const {
+    for (const auto& d : devices) {
+      if (d.faulty()) return true;
+    }
+    return false;
+  }
+};
+
+class FaultModel {
+ public:
+  /// Disabled model: never injects anything. This is the default fault
+  /// context of StepOptions, so `step(freqs, {})` is fault-free.
+  FaultModel() = default;
+
+  FaultModel(FaultConfig config, std::uint64_t seed);
+
+  /// False for default-constructed models and configs with every
+  /// probability zero.
+  bool enabled() const { return enabled_ && config_.any_enabled(); }
+  const FaultConfig& config() const { return config_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Draws the fault assignment for `iteration` WITHOUT evolving the
+  /// crash chain (used by previews / dry runs).
+  RoundFaults peek(std::size_t iteration, std::size_t num_devices) const;
+
+  /// Draws the fault assignment for `iteration` and advances the crash
+  /// chain. Call once per real simulator step, in iteration order.
+  RoundFaults advance(std::size_t iteration, std::size_t num_devices);
+
+  /// Clears the crash chain (all devices healthy), e.g. at episode reset.
+  void reset() { crashed_.clear(); }
+
+  /// Devices currently down (crash chain state).
+  std::size_t num_crashed() const;
+
+ private:
+  DeviceFault draw_device(std::size_t iteration, std::size_t device,
+                          bool was_crashed, bool* now_crashed) const;
+  RoundFaults draw_round(std::size_t iteration, std::size_t num_devices,
+                         std::vector<bool>* crash_state) const;
+
+  FaultConfig config_;
+  std::uint64_t seed_ = 0;
+  bool enabled_ = false;
+  std::vector<bool> crashed_;  ///< crash-chain state, lazily sized
+};
+
+}  // namespace fedra::fault

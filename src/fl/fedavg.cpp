@@ -29,6 +29,13 @@ RoundMetrics FedAvgServer::run_round(const LocalTrainConfig& config,
 RoundMetrics FedAvgServer::run_round(
     const LocalTrainConfig& config, ThreadPool& pool,
     const std::vector<std::size_t>& participants) {
+  return run_round(config, pool, participants, participants);
+}
+
+RoundMetrics FedAvgServer::run_round(
+    const LocalTrainConfig& config, ThreadPool& pool,
+    const std::vector<std::size_t>& participants,
+    const std::vector<std::size_t>& delivered) {
   // De-duplicate while preserving validity checks.
   std::vector<std::size_t> roster;
   roster.reserve(participants.size());
@@ -42,10 +49,21 @@ RoundMetrics FedAvgServer::run_round(
   }
   FEDRA_EXPECTS(!roster.empty());
 
+  // Delivery mask over client indices: every delivered client must have
+  // trained (a device cannot upload an update it never computed).
+  std::vector<bool> arrived(clients_.size(), false);
+  for (std::size_t idx : delivered) {
+    FEDRA_EXPECTS(idx < clients_.size());
+    FEDRA_EXPECTS(seen[idx]);
+    arrived[idx] = true;
+  }
+
   const std::size_t n = roster.size();
   std::vector<ClientUpdate> updates(n);
   // Per-device local training is embarrassingly parallel: each client owns
-  // its model replica and dataset; `updates` slots are disjoint.
+  // its model replica and dataset; `updates` slots are disjoint. Clients
+  // whose upload will be lost still train — that compute is the waste the
+  // fault bench measures.
   {
     FEDRA_TRACE_SPAN("local_train");
     pool.parallel_for(0, n, [&](std::size_t i) {
@@ -55,30 +73,56 @@ RoundMetrics FedAvgServer::run_round(
   }
 
   FEDRA_TRACE_SPAN("aggregate");
-  // Weighted average: w <- sum_i (D_i / D) w_i (Eq. 8 weighting).
+  // Weighted average over the DELIVERED subset: w <- sum_i (D_i / D') w_i
+  // where D' renormalizes to the survivors (Eq. 8 weighting restricted to
+  // arrivals). A round with no arrivals leaves the global model as-is.
   double total_samples = 0.0;
-  for (const auto& u : updates) {
-    total_samples += static_cast<double>(u.num_samples);
+  std::size_t num_delivered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!arrived[roster[i]]) continue;
+    total_samples += static_cast<double>(updates[i].num_samples);
+    ++num_delivered;
   }
-  FEDRA_ENSURES(total_samples > 0.0);
-  std::vector<Matrix> aggregated;
-  aggregated.reserve(global_params_.size());
-  for (std::size_t p = 0; p < global_params_.size(); ++p) {
-    Matrix acc(global_params_[p].rows(), global_params_[p].cols());
-    for (const auto& u : updates) {
-      const double w =
-          static_cast<double>(u.num_samples) / total_samples;
-      FEDRA_EXPECTS(u.params[p].same_shape(acc));
-      for (std::size_t j = 0; j < acc.size(); ++j) {
-        acc[j] += w * u.params[p][j];
+  if (num_delivered > 0) {
+    FEDRA_ENSURES(total_samples > 0.0);
+    std::vector<Matrix> aggregated;
+    aggregated.reserve(global_params_.size());
+    for (std::size_t p = 0; p < global_params_.size(); ++p) {
+      Matrix acc(global_params_[p].rows(), global_params_[p].cols());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!arrived[roster[i]]) continue;
+        const auto& u = updates[i];
+        const double w =
+            static_cast<double>(u.num_samples) / total_samples;
+        FEDRA_EXPECTS(u.params[p].same_shape(acc));
+        for (std::size_t j = 0; j < acc.size(); ++j) {
+          acc[j] += w * u.params[p][j];
+        }
       }
+      aggregated.push_back(std::move(acc));
     }
-    aggregated.push_back(std::move(acc));
+    global_params_ = std::move(aggregated);
   }
-  global_params_ = std::move(aggregated);
+
+  FEDRA_TELEMETRY_IF {
+    namespace tel = fedra::telemetry;
+    static auto lost =
+        tel::Telemetry::metrics().counter("fl.lost_updates");
+    static auto partial =
+        tel::Telemetry::metrics().counter("fl.partial_rounds");
+    static auto wasted =
+        tel::Telemetry::metrics().counter("fl.wasted_rounds");
+    if (num_delivered < n) {
+      lost.add(n - num_delivered);
+      partial.add();
+    }
+    if (num_delivered == 0) wasted.add();
+  }
 
   RoundMetrics m;
   m.round = round_++;
+  m.num_participants = n;
+  m.num_delivered = num_delivered;
   m.global_loss = global_loss();
   m.global_accuracy = global_accuracy();
   double loss_sum = 0.0;

@@ -18,6 +18,8 @@ struct RoundMetrics {
   double global_loss = 0.0;     ///< F(w) of Eq. (8) after aggregation
   double global_accuracy = 0.0; ///< on the union of client data
   double mean_client_loss = 0.0;
+  std::size_t num_participants = 0;  ///< clients that trained this round
+  std::size_t num_delivered = 0;     ///< updates that reached the server
 };
 
 class FedAvgServer {
@@ -39,6 +41,18 @@ class FedAvgServer {
   /// be valid and non-empty; duplicates are ignored.
   RoundMetrics run_round(const LocalTrainConfig& config, ThreadPool& pool,
                          const std::vector<std::size_t>& participants);
+
+  /// Fault-tolerant round: every client in `participants` trains (and
+  /// spends the compute), but only the updates of clients also listed in
+  /// `delivered` reach the server — crashed/dropped/timed-out uploads are
+  /// lost. The new global model is the D_n-weighted average over the
+  /// DELIVERED subset only (the weights renormalize to the survivors,
+  /// keeping the Eq. 8 estimator unbiased over arrivals). `delivered`
+  /// must be a subset of `participants`; when it is empty the round is
+  /// wasted and the global model is unchanged.
+  RoundMetrics run_round(const LocalTrainConfig& config, ThreadPool& pool,
+                         const std::vector<std::size_t>& participants,
+                         const std::vector<std::size_t>& delivered);
 
   /// Runs rounds until F(w) < epsilon (constraint 10) or max_rounds.
   /// Returns all round metrics.

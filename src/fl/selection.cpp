@@ -6,7 +6,7 @@
 
 namespace fedra {
 
-std::vector<bool> AllSelector::select(const FlSimulator& sim) {
+std::vector<bool> AllSelector::select(const SimulatorBase& sim) {
   return std::vector<bool>(sim.num_devices(), true);
 }
 
@@ -15,7 +15,7 @@ RandomSelector::RandomSelector(std::size_t k, std::uint64_t seed)
   FEDRA_EXPECTS(k > 0);
 }
 
-std::vector<bool> RandomSelector::select(const FlSimulator& sim) {
+std::vector<bool> RandomSelector::select(const SimulatorBase& sim) {
   const std::size_t n = sim.num_devices();
   const std::size_t k = std::min(k_, n);
   auto perm = rng_.permutation(n);
@@ -24,7 +24,7 @@ std::vector<bool> RandomSelector::select(const FlSimulator& sim) {
   return mask;
 }
 
-DeadlineSelector::DeadlineSelector(const FlSimulator& sim, double deadline)
+DeadlineSelector::DeadlineSelector(const SimulatorBase& sim, double deadline)
     : deadline_(deadline) {
   FEDRA_EXPECTS(deadline > 0.0);
   est_bandwidth_.reserve(sim.num_devices());
@@ -33,7 +33,7 @@ DeadlineSelector::DeadlineSelector(const FlSimulator& sim, double deadline)
   }
 }
 
-double DeadlineSelector::estimated_completion(const FlSimulator& sim,
+double DeadlineSelector::estimated_completion(const SimulatorBase& sim,
                                               std::size_t i) const {
   FEDRA_EXPECTS(i < sim.num_devices());
   const auto& dev = sim.devices()[i];
@@ -42,7 +42,7 @@ double DeadlineSelector::estimated_completion(const FlSimulator& sim,
   return compute + comm;
 }
 
-std::vector<bool> DeadlineSelector::select(const FlSimulator& sim) {
+std::vector<bool> DeadlineSelector::select(const SimulatorBase& sim) {
   FEDRA_EXPECTS(est_bandwidth_.size() == sim.num_devices());
   const std::size_t n = sim.num_devices();
   std::vector<bool> mask(n, false);

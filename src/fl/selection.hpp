@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/simulator.hpp"
+#include "sim/simulator_base.hpp"
 #include "util/rng.hpp"
 
 namespace fedra {
@@ -20,7 +20,7 @@ class ClientSelector {
 
   /// Participation mask for the iteration starting at sim.now(); at least
   /// one entry must be true.
-  virtual std::vector<bool> select(const FlSimulator& sim) = 0;
+  virtual std::vector<bool> select(const SimulatorBase& sim) = 0;
 
   /// Feedback after the round (realized bandwidths etc.).
   virtual void observe(const IterationResult& result) { (void)result; }
@@ -31,7 +31,7 @@ class ClientSelector {
 /// Everyone, every round — the paper's (and FedAvg's) default.
 class AllSelector final : public ClientSelector {
  public:
-  std::vector<bool> select(const FlSimulator& sim) override;
+  std::vector<bool> select(const SimulatorBase& sim) override;
   std::string name() const override { return "all"; }
 };
 
@@ -40,7 +40,7 @@ class AllSelector final : public ClientSelector {
 class RandomSelector final : public ClientSelector {
  public:
   RandomSelector(std::size_t k, std::uint64_t seed);
-  std::vector<bool> select(const FlSimulator& sim) override;
+  std::vector<bool> select(const SimulatorBase& sim) override;
   std::string name() const override { return "random"; }
 
  private:
@@ -56,13 +56,13 @@ class RandomSelector final : public ClientSelector {
 /// single fastest-estimated device is drafted so the round can proceed.
 class DeadlineSelector final : public ClientSelector {
  public:
-  DeadlineSelector(const FlSimulator& sim, double deadline);
-  std::vector<bool> select(const FlSimulator& sim) override;
+  DeadlineSelector(const SimulatorBase& sim, double deadline);
+  std::vector<bool> select(const SimulatorBase& sim) override;
   void observe(const IterationResult& result) override;
   std::string name() const override { return "deadline"; }
 
   /// Estimated completion time of device i at full speed.
-  double estimated_completion(const FlSimulator& sim, std::size_t i) const;
+  double estimated_completion(const SimulatorBase& sim, std::size_t i) const;
 
  private:
   double deadline_;

@@ -9,7 +9,7 @@ namespace fedra {
 
 // ---------------------------------------------------------------- FullSpeed
 
-std::vector<double> FullSpeedController::decide(const FlSimulator& sim) {
+std::vector<double> FullSpeedController::decide(const SimulatorBase& sim) {
   std::vector<double> freqs;
   freqs.reserve(sim.num_devices());
   for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz);
@@ -18,7 +18,7 @@ std::vector<double> FullSpeedController::decide(const FlSimulator& sim) {
 
 // ------------------------------------------------------------------- Static
 
-StaticController::StaticController(const FlSimulator& sim,
+StaticController::StaticController(const SimulatorBase& sim,
                                    std::size_t probe_samples, Rng& rng) {
   FEDRA_EXPECTS(probe_samples > 0);
   std::vector<double> est(sim.num_devices());
@@ -31,28 +31,28 @@ StaticController::StaticController(const FlSimulator& sim,
     est[i] = acc / static_cast<double>(probe_samples);
   }
   freqs_ = solve_with_bandwidths(sim.devices(), est, sim.params(),
-                                 FlSimulator::kMinFreqFraction)
+                                 SimulatorBase::kMinFreqFraction)
                .freqs_hz;
 }
 
-std::vector<double> StaticController::decide(const FlSimulator& sim) {
+std::vector<double> StaticController::decide(const SimulatorBase& sim) {
   FEDRA_EXPECTS(freqs_.size() == sim.num_devices());
   return freqs_;
 }
 
 // ---------------------------------------------------------------- Heuristic
 
-HeuristicController::HeuristicController(const FlSimulator& sim) {
+HeuristicController::HeuristicController(const SimulatorBase& sim) {
   last_bandwidths_.reserve(sim.num_devices());
   for (const auto& trace : sim.traces()) {
     last_bandwidths_.push_back(trace.mean_bandwidth());
   }
 }
 
-std::vector<double> HeuristicController::decide(const FlSimulator& sim) {
+std::vector<double> HeuristicController::decide(const SimulatorBase& sim) {
   FEDRA_EXPECTS(last_bandwidths_.size() == sim.num_devices());
   return solve_with_bandwidths(sim.devices(), last_bandwidths_, sim.params(),
-                               FlSimulator::kMinFreqFraction)
+                               SimulatorBase::kMinFreqFraction)
       .freqs_hz;
 }
 
@@ -73,7 +73,7 @@ OracleController::OracleController(std::size_t grid_points)
 }
 
 std::vector<double> OracleController::freqs_for_true_deadline(
-    const FlSimulator& sim, double deadline) const {
+    const SimulatorBase& sim, double deadline) const {
   // For each device independently: the smallest frequency whose TRUE
   // completion time (compute + trace-integral upload) is <= deadline.
   // Completion time is non-increasing in frequency, so bisect.
@@ -87,7 +87,7 @@ std::vector<double> OracleController::freqs_for_true_deadline(
       const double cmp = d.compute_time(f, params.tau);
       return cmp + trace.upload_duration(start + cmp, params.model_bytes);
     };
-    const double floor_hz = FlSimulator::kMinFreqFraction * d.max_freq_hz;
+    const double floor_hz = SimulatorBase::kMinFreqFraction * d.max_freq_hz;
     if (completion(d.max_freq_hz) >= deadline) {
       freqs[i] = d.max_freq_hz;  // even flat-out misses it
       continue;
@@ -111,13 +111,13 @@ std::vector<double> OracleController::freqs_for_true_deadline(
   return freqs;
 }
 
-double OracleController::true_cost(const FlSimulator& sim,
+double OracleController::true_cost(const SimulatorBase& sim,
                                    double deadline) const {
   const auto freqs = freqs_for_true_deadline(sim, deadline);
-  return sim.preview(freqs, sim.now()).cost;
+  return sim.preview(freqs, {}).cost;
 }
 
-std::vector<double> OracleController::decide(const FlSimulator& sim) {
+std::vector<double> OracleController::decide(const SimulatorBase& sim) {
   const double start = sim.now();
   const auto& params = sim.params();
 
@@ -130,7 +130,7 @@ std::vector<double> OracleController::decide(const FlSimulator& sim) {
     const double cmp_fast = d.min_compute_time(params.tau);
     lo = std::max(lo, cmp_fast + trace.upload_duration(start + cmp_fast,
                                                        params.model_bytes));
-    const double floor_hz = FlSimulator::kMinFreqFraction * d.max_freq_hz;
+    const double floor_hz = SimulatorBase::kMinFreqFraction * d.max_freq_hz;
     const double cmp_slow = d.compute_time(floor_hz, params.tau);
     hi = std::max(hi, cmp_slow + trace.upload_duration(start + cmp_slow,
                                                        params.model_bytes));

@@ -32,7 +32,7 @@ namespace fedra {
 
 class FullSpeedController final : public Controller {
  public:
-  std::vector<double> decide(const FlSimulator& sim) override;
+  std::vector<double> decide(const SimulatorBase& sim) override;
   std::string name() const override { return "fullspeed"; }
 };
 
@@ -40,10 +40,10 @@ class StaticController final : public Controller {
  public:
   /// Draws `probe_samples` random bandwidth measurements per device from
   /// its trace, averages them, and solves the deadline problem once.
-  StaticController(const FlSimulator& sim, std::size_t probe_samples,
+  StaticController(const SimulatorBase& sim, std::size_t probe_samples,
                    Rng& rng);
 
-  std::vector<double> decide(const FlSimulator& sim) override;
+  std::vector<double> decide(const SimulatorBase& sim) override;
   std::string name() const override { return "static"; }
 
   const std::vector<double>& fixed_freqs() const { return freqs_; }
@@ -56,9 +56,9 @@ class HeuristicController final : public Controller {
  public:
   /// Until the first observation arrives, falls back to the per-device
   /// mean trace bandwidth (same information the Static baseline gets).
-  explicit HeuristicController(const FlSimulator& sim);
+  explicit HeuristicController(const SimulatorBase& sim);
 
-  std::vector<double> decide(const FlSimulator& sim) override;
+  std::vector<double> decide(const SimulatorBase& sim) override;
   void observe(const IterationResult& result) override;
   std::string name() const override { return "heuristic"; }
 
@@ -72,13 +72,13 @@ class OracleController final : public Controller {
   /// best bracket is refined by golden-section.
   explicit OracleController(std::size_t grid_points = 48);
 
-  std::vector<double> decide(const FlSimulator& sim) override;
+  std::vector<double> decide(const SimulatorBase& sim) override;
   std::string name() const override { return "oracle"; }
 
  private:
-  std::vector<double> freqs_for_true_deadline(const FlSimulator& sim,
+  std::vector<double> freqs_for_true_deadline(const SimulatorBase& sim,
                                               double deadline) const;
-  double true_cost(const FlSimulator& sim, double deadline) const;
+  double true_cost(const SimulatorBase& sim, double deadline) const;
 
   std::size_t grid_points_;
 };

@@ -1,13 +1,14 @@
 // Controller interface: anything that can pick per-device CPU-cycle
 // frequencies at the start of an iteration. Implemented by the model-based
 // baselines (fedra::sched) and by the DRL agent (fedra::core), so the
-// evaluation harness runs them all through one loop.
+// evaluation harness runs them all through one loop — against either the
+// synchronous or the asynchronous simulator (both derive SimulatorBase).
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "sim/simulator.hpp"
+#include "sim/simulator_base.hpp"
 
 namespace fedra {
 
@@ -17,7 +18,7 @@ class Controller {
 
   /// Frequencies (Hz) for the iteration starting at sim.now(). Must not
   /// advance the simulator.
-  virtual std::vector<double> decide(const FlSimulator& sim) = 0;
+  virtual std::vector<double> decide(const SimulatorBase& sim) = 0;
 
   /// Feedback after the iteration completes; default ignores it.
   virtual void observe(const IterationResult& result) { (void)result; }

@@ -122,7 +122,7 @@ std::vector<double> HoltPredictor::predict() const {
 // ------------------------------------------------------------ Controller
 
 PredictiveController::PredictiveController(
-    const FlSimulator& sim, std::unique_ptr<BandwidthPredictor> predictor)
+    const SimulatorBase& sim, std::unique_ptr<BandwidthPredictor> predictor)
     : predictor_(std::move(predictor)) {
   FEDRA_EXPECTS(predictor_ != nullptr);
   std::vector<double> means;
@@ -133,12 +133,12 @@ PredictiveController::PredictiveController(
   predictor_->initialize(means);
 }
 
-std::vector<double> PredictiveController::decide(const FlSimulator& sim) {
+std::vector<double> PredictiveController::decide(const SimulatorBase& sim) {
   auto estimates = predictor_->predict();
   FEDRA_EXPECTS(estimates.size() == sim.num_devices());
   for (auto& e : estimates) e = std::max(e, kMinPrediction);
   return solve_with_bandwidths(sim.devices(), estimates, sim.params(),
-                               FlSimulator::kMinFreqFraction)
+                               SimulatorBase::kMinFreqFraction)
       .freqs_hz;
 }
 

@@ -101,10 +101,10 @@ class HoltPredictor final : public BandwidthPredictor {
 /// degenerate "never update" predictor it would be Static.
 class PredictiveController final : public Controller {
  public:
-  PredictiveController(const FlSimulator& sim,
+  PredictiveController(const SimulatorBase& sim,
                        std::unique_ptr<BandwidthPredictor> predictor);
 
-  std::vector<double> decide(const FlSimulator& sim) override;
+  std::vector<double> decide(const SimulatorBase& sim) override;
   void observe(const IterationResult& result) override;
   std::string name() const override;
 

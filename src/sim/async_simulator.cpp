@@ -17,18 +17,36 @@ double AsyncRunResult::mean_staleness() const {
 
 AsyncFlSimulator::AsyncFlSimulator(std::vector<DeviceProfile> devices,
                                    std::vector<BandwidthTrace> traces,
-                                   CostParams params)
-    : devices_(std::move(devices)),
-      traces_(std::move(traces)),
-      params_(params) {
-  FEDRA_EXPECTS(!devices_.empty());
-  FEDRA_EXPECTS(devices_.size() == traces_.size());
-  FEDRA_EXPECTS(params_.tau > 0.0 && params_.model_bytes > 0.0);
+                                   CostParams params, double start_time)
+    : SimulatorBase(std::move(devices), std::move(traces), params,
+                    start_time) {}
+
+IterationResult AsyncFlSimulator::step(const std::vector<double>& freqs_hz,
+                                       const StepOptions& options) {
+  if (options.dry_run_at.has_value()) return preview(freqs_hz, options);
+  fault::RoundFaults faults;
+  const bool has_faults = resolve_faults(options, /*advance=*/true, &faults);
+  IterationResult result = compute_round(
+      freqs_hz, options, has_faults ? &faults : nullptr, now_,
+      /*barrier_idle=*/false);
+  now_ += result.iteration_time;
+  ++iteration_;
+  return result;
+}
+
+IterationResult AsyncFlSimulator::preview(const std::vector<double>& freqs_hz,
+                                          StepOptions options) const {
+  const double start_time = options.dry_run_at.value_or(now());
+  FEDRA_EXPECTS(start_time >= 0.0);
+  fault::RoundFaults faults;
+  const bool has_faults = resolve_faults(options, /*advance=*/false, &faults);
+  return compute_round(freqs_hz, options, has_faults ? &faults : nullptr,
+                       start_time, /*barrier_idle=*/false);
 }
 
 AsyncRunResult AsyncFlSimulator::run(const std::vector<double>& freqs_hz,
                                      double horizon) const {
-  FEDRA_EXPECTS(freqs_hz.size() == devices_.size());
+  FEDRA_EXPECTS(freqs_hz.size() == num_devices());
   FEDRA_EXPECTS(horizon > 0.0);
   FEDRA_TRACE_SPAN("async_run");
 
@@ -48,31 +66,31 @@ AsyncRunResult AsyncFlSimulator::run(const std::vector<double>& freqs_hz,
   // completion immediately schedules the device's next cycle.
   const auto schedule = [&](std::size_t i, double start,
                             std::size_t version) -> Pending {
-    const DeviceProfile& dev = devices_[i];
+    const DeviceProfile& dev = devices()[i];
     const double floor_hz = 0.01 * dev.max_freq_hz;
     const double f = std::clamp(freqs_hz[i], floor_hz, dev.max_freq_hz);
-    const double cmp = dev.compute_time(f, params_.tau);
+    const double cmp = dev.compute_time(f, params().tau);
     const double upload_end =
-        traces_[i].upload_finish_time(start + cmp, params_.model_bytes);
+        traces()[i].upload_finish_time(start + cmp, params().model_bytes);
     Pending p;
     p.finish = upload_end;
     p.device = i;
     p.based_on_version = version;
     p.compute_time = cmp;
     p.comm_time = upload_end - (start + cmp);
-    p.energy = dev.compute_energy(f, params_.tau) +
+    p.energy = dev.compute_energy(f, params().tau) +
                dev.comm_energy(p.comm_time);
     return p;
   };
 
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue;
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
+  for (std::size_t i = 0; i < num_devices(); ++i) {
     queue.push(schedule(i, 0.0, 0));
   }
 
   AsyncRunResult result;
   result.horizon = horizon;
-  result.updates_per_device.assign(devices_.size(), 0);
+  result.updates_per_device.assign(num_devices(), 0);
   std::size_t version = 0;
   while (!queue.empty()) {
     Pending p = queue.top();

@@ -8,6 +8,13 @@
 // computed against version v and applied at version v' has staleness
 // v' - v. Event-driven simulation over the same bandwidth traces and
 // device profiles as the synchronous FlSimulator.
+//
+// AsyncFlSimulator also exposes the shared SimulatorBase round surface
+// (step/preview with StepOptions): one "round" is every device running a
+// single train-upload cycle concurrently from now(), with no barrier —
+// idle_time is zero and the clock advances by the slowest device's cycle.
+// That lets the evaluation harness and every controller run unchanged
+// against either simulator.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +22,8 @@
 
 #include "sim/cost_model.hpp"
 #include "sim/device.hpp"
+#include "sim/simulator_base.hpp"
+#include "sim/step_options.hpp"
 #include "trace/bandwidth_trace.hpp"
 
 namespace fedra {
@@ -44,25 +53,27 @@ struct AsyncRunResult {
   double mean_staleness() const;
 };
 
-class AsyncFlSimulator {
+class AsyncFlSimulator : public SimulatorBase {
  public:
   AsyncFlSimulator(std::vector<DeviceProfile> devices,
-                   std::vector<BandwidthTrace> traces, CostParams params);
+                   std::vector<BandwidthTrace> traces, CostParams params,
+                   double start_time = 0.0);
 
-  std::size_t num_devices() const { return devices_.size(); }
-  const std::vector<DeviceProfile>& devices() const { return devices_; }
-  const CostParams& params() const { return params_; }
+  /// One concurrent train-upload cycle per scheduled device, no barrier:
+  /// idle_time is 0 for every device and the clock advances by the
+  /// slowest resolution time (the next pull point for a lockstep policy).
+  IterationResult step(const std::vector<double>& freqs_hz,
+                       const StepOptions& options) override;
+
+  /// Same cycle WITHOUT advancing clock, counter, or crash chain.
+  IterationResult preview(const std::vector<double>& freqs_hz,
+                          StepOptions options) const override;
 
   /// Simulates all devices looping independently at the given frequencies
   /// from t = 0 until `horizon` seconds. Updates completing after the
   /// horizon are discarded (their energy is not charged).
   AsyncRunResult run(const std::vector<double>& freqs_hz,
                      double horizon) const;
-
- private:
-  std::vector<DeviceProfile> devices_;
-  std::vector<BandwidthTrace> traces_;
-  CostParams params_;
 };
 
 }  // namespace fedra

@@ -14,6 +14,15 @@ double iteration_reward(double iteration_time, double total_energy,
   return -iteration_cost(iteration_time, total_energy, params);
 }
 
+std::vector<std::size_t> IterationResult::completed_indices() const {
+  std::vector<std::size_t> idx;
+  idx.reserve(num_completed);
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (devices[i].participated && devices[i].completed) idx.push_back(i);
+  }
+  return idx;
+}
+
 double total_cost(const std::vector<IterationResult>& results) {
   double acc = 0.0;
   for (const auto& r : results) acc += r.cost;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/device.hpp"
@@ -20,11 +21,27 @@ struct CostParams {
   double model_bytes = 10e6;
 };
 
+/// How a scheduled device failed to deliver its update (kNone = it did).
+enum class DeviceFailure : std::uint8_t {
+  kNone = 0,
+  kCrash,    ///< down for the whole round (crash-and-rejoin chain)
+  kDropout,  ///< vanished mid-round
+  kTimeout,  ///< still running at the round deadline
+  kUpload,   ///< every upload attempt failed (retries exhausted)
+};
+
 /// Outcome of one device in one federated iteration.
 struct DeviceOutcome {
   /// False when the device was excluded from the round (client
   /// selection); all time/energy fields are zero in that case.
   bool participated = true;
+  /// True when the device's update reached the server. Scheduled devices
+  /// that crash, drop out, time out, or exhaust upload retries have
+  /// completed == false with `failure` saying why — but are still charged
+  /// the time and energy they actually spent.
+  bool completed = true;
+  DeviceFailure failure = DeviceFailure::kNone;
+  std::size_t retries = 0;    ///< upload re-attempts after a failure
   double freq_hz = 0.0;       ///< delta_i^k chosen by the controller
   double compute_time = 0.0;  ///< t_cmp (Eq. 1)
   double comm_time = 0.0;     ///< t_com realized from the trace (Eq. 2/3)
@@ -45,6 +62,23 @@ struct IterationResult {
   double cost = 0.0;            ///< T^k + lambda * sum_i E_i (Eq. 9 summand)
   double reward = 0.0;          ///< -cost (Eq. 13)
   std::vector<DeviceOutcome> devices;
+
+  // Fault/straggler accounting (all zero on a clean full round).
+  std::size_t num_scheduled = 0;  ///< participating devices
+  std::size_t num_completed = 0;  ///< updates that reached the server
+  std::size_t num_crashes = 0;
+  std::size_t num_dropouts = 0;
+  std::size_t num_timeouts = 0;
+  std::size_t num_upload_failures = 0;  ///< retries exhausted
+  std::size_t total_retries = 0;
+
+  /// Scheduled devices whose update was lost.
+  std::size_t num_failed() const { return num_scheduled - num_completed; }
+  /// True when at least one scheduled update went missing (the rounds
+  /// FedAvg must partially aggregate).
+  bool partial() const { return num_completed < num_scheduled; }
+  /// Indices of devices whose update arrived (FedAvg's delivered roster).
+  std::vector<std::size_t> completed_indices() const;
 };
 
 /// Eq. (9) single-iteration cost.

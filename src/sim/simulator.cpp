@@ -1,7 +1,5 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-
 #include "telemetry/telemetry.hpp"
 
 namespace fedra {
@@ -31,6 +29,19 @@ struct SimMetrics {
       "sim.device_energy_j", sim_bounds());
   tel::Histogram step_us =
       tel::Telemetry::metrics().histogram("sim.step_us");
+  // Fault surface: how often the barrier loses devices, and to what.
+  tel::Counter dropped_devices =
+      tel::Telemetry::metrics().counter("sim.fault.dropped_devices");
+  tel::Counter timeouts =
+      tel::Telemetry::metrics().counter("sim.fault.timeouts");
+  tel::Counter crashes =
+      tel::Telemetry::metrics().counter("sim.fault.crashes");
+  tel::Counter upload_failures =
+      tel::Telemetry::metrics().counter("sim.fault.upload_failures");
+  tel::Counter retries =
+      tel::Telemetry::metrics().counter("sim.fault.retries");
+  tel::Counter partial_rounds =
+      tel::Telemetry::metrics().counter("sim.fault.partial_rounds");
 };
 
 SimMetrics& sim_metrics() {
@@ -49,86 +60,33 @@ void record_iteration(const IterationResult& result) {
     m.comm_time_s.record(out.comm_time);
     m.device_energy_j.record(out.energy);
   }
+  if (result.num_dropouts > 0) m.dropped_devices.add(result.num_dropouts);
+  if (result.num_timeouts > 0) m.timeouts.add(result.num_timeouts);
+  if (result.num_crashes > 0) m.crashes.add(result.num_crashes);
+  if (result.num_upload_failures > 0) {
+    m.upload_failures.add(result.num_upload_failures);
+  }
+  if (result.total_retries > 0) m.retries.add(result.total_retries);
+  if (result.partial()) m.partial_rounds.add();
 }
 }  // namespace
 
 FlSimulator::FlSimulator(std::vector<DeviceProfile> devices,
                          std::vector<BandwidthTrace> traces, CostParams params,
                          double start_time)
-    : devices_(std::move(devices)),
-      traces_(std::move(traces)),
-      params_(params),
-      now_(start_time) {
-  FEDRA_EXPECTS(!devices_.empty());
-  FEDRA_EXPECTS(devices_.size() == traces_.size());
-  FEDRA_EXPECTS(params_.tau > 0.0);
-  FEDRA_EXPECTS(params_.model_bytes > 0.0);
-  FEDRA_EXPECTS(start_time >= 0.0);
-}
+    : SimulatorBase(std::move(devices), std::move(traces), params,
+                    start_time) {}
 
-void FlSimulator::reset(double start_time) {
-  FEDRA_EXPECTS(start_time >= 0.0);
-  now_ = start_time;
-  iteration_ = 0;
-}
-
-IterationResult FlSimulator::run_iteration(
-    const std::vector<double>& freqs_hz,
-    const std::vector<bool>* participating, double start_time) const {
-  FEDRA_EXPECTS(freqs_hz.size() == devices_.size());
-  if (participating != nullptr) {
-    FEDRA_EXPECTS(participating->size() == devices_.size());
-    FEDRA_EXPECTS(std::find(participating->begin(), participating->end(),
-                            true) != participating->end());
-  }
-  IterationResult result;
-  result.start_time = start_time;
-  result.devices.resize(devices_.size());
-
-  double makespan = 0.0;
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    const DeviceProfile& dev = devices_[i];
-    DeviceOutcome& out = result.devices[i];
-    if (participating != nullptr && !(*participating)[i]) {
-      out.participated = false;
-      continue;  // all fields stay zero; no barrier contribution
-    }
-
-    const double floor_hz = kMinFreqFraction * dev.max_freq_hz;
-    out.freq_hz = std::clamp(freqs_hz[i], floor_hz, dev.max_freq_hz);
-
-    out.compute_time = dev.compute_time(out.freq_hz, params_.tau);
-    const double upload_start = start_time + out.compute_time;
-    const double upload_end =
-        traces_[i].upload_finish_time(upload_start, params_.model_bytes);
-    out.comm_time = upload_end - upload_start;
-    out.total_time = out.compute_time + out.comm_time;
-    out.avg_bandwidth = out.comm_time > 0.0
-                            ? params_.model_bytes / out.comm_time
-                            : traces_[i].bandwidth_at(upload_start);
-
-    out.compute_energy = dev.compute_energy(out.freq_hz, params_.tau);
-    out.comm_energy = dev.comm_energy(out.comm_time);
-    out.energy = out.compute_energy + out.comm_energy;
-
-    result.total_energy += out.energy;
-    result.total_compute_energy += out.compute_energy;
-    makespan = std::max(makespan, out.total_time);
-  }
-
-  result.iteration_time = makespan;
-  for (auto& out : result.devices) {
-    out.idle_time = out.participated ? makespan - out.total_time : 0.0;
-  }
-  result.cost = iteration_cost(makespan, result.total_energy, params_);
-  result.reward = iteration_reward(makespan, result.total_energy, params_);
-  return result;
-}
-
-IterationResult FlSimulator::step(const std::vector<double>& freqs_hz) {
+IterationResult FlSimulator::step(const std::vector<double>& freqs_hz,
+                                  const StepOptions& options) {
+  if (options.dry_run_at.has_value()) return preview(freqs_hz, options);
   tel::ScopedTimer timer(tel::Telemetry::enabled() ? sim_metrics().step_us
                                                    : tel::Histogram{});
-  IterationResult result = run_iteration(freqs_hz, nullptr, now_);
+  fault::RoundFaults faults;
+  const bool has_faults = resolve_faults(options, /*advance=*/true, &faults);
+  IterationResult result = compute_round(
+      freqs_hz, options, has_faults ? &faults : nullptr, now_,
+      /*barrier_idle=*/true);
   // Constraint (11): t^{k+1} = t^k + T^k.
   now_ += result.iteration_time;
   ++iteration_;
@@ -136,21 +94,14 @@ IterationResult FlSimulator::step(const std::vector<double>& freqs_hz) {
   return result;
 }
 
-IterationResult FlSimulator::step(const std::vector<double>& freqs_hz,
-                                  const std::vector<bool>& participating) {
-  tel::ScopedTimer timer(tel::Telemetry::enabled() ? sim_metrics().step_us
-                                                   : tel::Histogram{});
-  IterationResult result = run_iteration(freqs_hz, &participating, now_);
-  now_ += result.iteration_time;
-  ++iteration_;
-  FEDRA_TELEMETRY_IF record_iteration(result);
-  return result;
-}
-
 IterationResult FlSimulator::preview(const std::vector<double>& freqs_hz,
-                                     double start_time) const {
+                                     StepOptions options) const {
+  const double start_time = options.dry_run_at.value_or(now_);
   FEDRA_EXPECTS(start_time >= 0.0);
-  return run_iteration(freqs_hz, nullptr, start_time);
+  fault::RoundFaults faults;
+  const bool has_faults = resolve_faults(options, /*advance=*/false, &faults);
+  return compute_round(freqs_hz, options, has_faults ? &faults : nullptr,
+                       start_time, /*barrier_idle=*/true);
 }
 
 }  // namespace fedra

@@ -8,69 +8,70 @@
 // makespan T^k (Eq. 5), the cost (Eq. 9) and the reward (Eq. 13). Upload
 // completion is solved exactly from the trace integral (Eq. 3): device i's
 // upload starts at t^k + t_cmp and finishes when xi bytes have flowed.
+//
+// Everything beyond the frequency vector rides in StepOptions: the
+// participation mask (client selection), the round deadline tau (devices
+// still running at t^k + tau are timed out and excluded from the barrier),
+// fault injection, and dry runs. The old step(freqs),
+// step(freqs, participating) and preview(freqs, start_time) overloads
+// survive as thin deprecated wrappers.
 #pragma once
 
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
 #include "sim/cost_model.hpp"
 #include "sim/device.hpp"
+#include "sim/simulator_base.hpp"
+#include "sim/step_options.hpp"
 #include "trace/bandwidth_trace.hpp"
 
 namespace fedra {
 
-class FlSimulator {
+class FlSimulator : public SimulatorBase {
  public:
   /// One trace per device; devices.size() == traces.size().
   FlSimulator(std::vector<DeviceProfile> devices,
               std::vector<BandwidthTrace> traces, CostParams params,
               double start_time = 0.0);
 
-  std::size_t num_devices() const { return devices_.size(); }
-  const std::vector<DeviceProfile>& devices() const { return devices_; }
-  const std::vector<BandwidthTrace>& traces() const { return traces_; }
-  const CostParams& params() const { return params_; }
-
-  /// Current wall-clock time t^k (start of the next iteration).
-  double now() const { return now_; }
-  /// Iterations completed so far.
-  std::size_t iteration() const { return iteration_; }
-
-  /// Rewinds the simulation clock (e.g. to a random episode start per
-  /// Algorithm 1 line 6) and resets the iteration counter.
-  void reset(double start_time);
-
-  /// Runs one synchronized iteration with the given per-device CPU-cycle
-  /// frequencies (Hz). Frequencies are clamped to (0, delta_i^max]: values
-  /// above the cap saturate, non-positive values are lifted to a small
-  /// positive floor (a device cannot opt out of training).
-  IterationResult step(const std::vector<double>& freqs_hz);
-
-  /// Partial-participation variant (client selection, Nishio & Yonetani):
-  /// devices with participating[i] == false sit the round out — they
-  /// contribute no time, no energy, and do not gate the barrier. At least
-  /// one device must participate.
+  /// Runs one synchronized iteration. The round closes when every
+  /// scheduled device has delivered its update or definitively failed
+  /// (crash / dropout / deadline / retry exhaustion); the makespan is the
+  /// latest of those resolution times.
   IterationResult step(const std::vector<double>& freqs_hz,
-                       const std::vector<bool>& participating);
+                       const StepOptions& options) override;
 
-  /// Predicts the outcome of an iteration starting at `start_time` WITHOUT
-  /// advancing the simulator (used by the Oracle baseline and by tests).
+  /// Predicts a round WITHOUT advancing the clock, the iteration counter,
+  /// or the fault model's crash chain. Starts at options.dry_run_at if
+  /// set, else at now().
   IterationResult preview(const std::vector<double>& freqs_hz,
-                          double start_time) const;
+                          StepOptions options) const override;
 
-  /// Fraction of delta_i^max that non-positive actions are lifted to.
-  static constexpr double kMinFreqFraction = 0.01;
+  // --- Deprecated pre-StepOptions surface (thin wrappers) ---------------
 
- private:
-  IterationResult run_iteration(const std::vector<double>& freqs_hz,
-                                const std::vector<bool>* participating,
-                                double start_time) const;
+  [[deprecated("use step(freqs, StepOptions{})")]]
+  IterationResult step(const std::vector<double>& freqs_hz) {
+    return step(freqs_hz, StepOptions{});
+  }
 
-  std::vector<DeviceProfile> devices_;
-  std::vector<BandwidthTrace> traces_;
-  CostParams params_;
-  double now_ = 0.0;
-  std::size_t iteration_ = 0;
+  /// Template so that a braced `{}` second argument cannot deduce to a
+  /// participation mask: `step(freqs, {})` resolves to the StepOptions
+  /// overload unambiguously.
+  template <typename Mask,
+            std::enable_if_t<std::is_same_v<Mask, std::vector<bool>>, int> = 0>
+  [[deprecated("use step(freqs, StepOptions::with_participants(mask))")]]
+  IterationResult step(const std::vector<double>& freqs_hz,
+                       const Mask& participating) {
+    return step(freqs_hz, StepOptions::with_participants(participating));
+  }
+
+  [[deprecated("use preview(freqs, StepOptions::dry_run(start_time))")]]
+  IterationResult preview(const std::vector<double>& freqs_hz,
+                          double start_time) const {
+    return preview(freqs_hz, StepOptions::dry_run(start_time));
+  }
 };
 
 }  // namespace fedra

@@ -1,0 +1,285 @@
+#include "sim/simulator_base.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "trace/transforms.hpp"
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+namespace {
+
+/// One segment of a device's round timeline. Energy is spent uniformly
+/// over the segment (constant power), which makes mid-segment cutoffs
+/// exact: a device cut at fraction x of a segment is charged x of its
+/// energy.
+struct TimelinePhase {
+  enum Kind { kCompute, kComm, kWait };
+  double duration = 0.0;
+  double energy = 0.0;
+  Kind kind = kCompute;
+};
+
+/// Replays `phases` up to `cut` seconds after the round start and writes
+/// the realized per-phase times and energies into `out`. `cut` may be
+/// infinity (no cutoff).
+void apply_timeline(const std::vector<TimelinePhase>& phases, double cut,
+                    DeviceOutcome& out) {
+  out.compute_time = 0.0;
+  out.comm_time = 0.0;
+  out.compute_energy = 0.0;
+  out.comm_energy = 0.0;
+  double t = 0.0;
+  for (const auto& phase : phases) {
+    if (t >= cut) break;
+    const double run = std::min(phase.duration, cut - t);
+    const double frac = phase.duration > 0.0 ? run / phase.duration : 1.0;
+    const double spent = phase.energy * frac;
+    switch (phase.kind) {
+      case TimelinePhase::kCompute:
+        out.compute_time += run;
+        out.compute_energy += spent;
+        break;
+      case TimelinePhase::kComm:
+        out.comm_time += run;
+        out.comm_energy += spent;
+        break;
+      case TimelinePhase::kWait:
+        break;  // backoff: time passes, no energy
+    }
+    t += run;
+  }
+  out.total_time = t;
+  out.energy = out.compute_energy + out.comm_energy;
+}
+
+}  // namespace
+
+SimulatorBase::SimulatorBase(std::vector<DeviceProfile> devices,
+                             std::vector<BandwidthTrace> traces,
+                             CostParams params, double start_time)
+    : now_(start_time),
+      devices_(std::move(devices)),
+      traces_(std::move(traces)),
+      params_(params) {
+  FEDRA_EXPECTS(!devices_.empty());
+  FEDRA_EXPECTS(devices_.size() == traces_.size());
+  FEDRA_EXPECTS(params_.tau > 0.0);
+  FEDRA_EXPECTS(params_.model_bytes > 0.0);
+  FEDRA_EXPECTS(start_time >= 0.0);
+}
+
+void SimulatorBase::reset(double start_time) {
+  FEDRA_EXPECTS(start_time >= 0.0);
+  now_ = start_time;
+  iteration_ = 0;
+}
+
+bool SimulatorBase::resolve_faults(const StepOptions& options, bool advance,
+                                   fault::RoundFaults* storage) const {
+  if (options.faults != nullptr) {
+    FEDRA_EXPECTS(options.faults->devices.size() == devices_.size());
+    *storage = *options.faults;
+    return true;
+  }
+  if (options.fault_model != nullptr && options.fault_model->enabled()) {
+    *storage = advance
+                   ? options.fault_model->advance(iteration_, num_devices())
+                   : options.fault_model->peek(iteration_, num_devices());
+    return true;
+  }
+  return false;
+}
+
+void SimulatorBase::faulty_device_round(std::size_t device,
+                                        const fault::DeviceFault& f,
+                                        double start_time, double deadline,
+                                        DeviceOutcome& out) const {
+  const DeviceProfile& dev = devices_[device];
+
+  // Radio outage: the device uploads against a blacked-out copy of its
+  // trace for this round only (the DRL state keeps seeing the measured
+  // base trace — outages are not announced in advance).
+  BandwidthTrace blacked;
+  const BandwidthTrace* trace = &traces_[device];
+  if (f.blackout_duration > 0.0) {
+    blacked = blackout_trace(traces_[device], start_time + f.blackout_offset,
+                             f.blackout_duration);
+    trace = &blacked;
+  }
+
+  std::vector<TimelinePhase> phases;
+  phases.reserve(2 * (f.failed_uploads + 1));
+
+  // Compute, stretched by background load. The CPU stays busy at freq_hz
+  // for the whole stretched interval, so energy scales with the slowdown.
+  TimelinePhase compute;
+  compute.kind = TimelinePhase::kCompute;
+  compute.duration =
+      dev.compute_time(out.freq_hz, params_.tau) * f.compute_slowdown;
+  compute.energy =
+      dev.compute_energy(out.freq_hz, params_.tau) * f.compute_slowdown;
+  phases.push_back(compute);
+
+  // Upload attempts: `failed_uploads` failures, then one success unless
+  // the retry budget is exhausted. Each attempt moves the (degraded)
+  // payload through the trace integral from its own start time; failed
+  // attempts back off exponentially before the next try.
+  const double payload = params_.model_bytes * f.upload_slowdown;
+  const std::size_t attempts = f.failed_uploads + (f.upload_exhausted ? 0 : 1);
+  double t = start_time + compute.duration;
+  double last_attempt_duration = 0.0;
+  for (std::size_t a = 0; a < attempts; ++a) {
+    const double end = trace->upload_finish_time(t, payload);
+    TimelinePhase up;
+    up.kind = TimelinePhase::kComm;
+    up.duration = end - t;
+    up.energy = dev.comm_energy(up.duration);
+    phases.push_back(up);
+    last_attempt_duration = up.duration;
+    t = end;
+    if (a + 1 < attempts) {
+      TimelinePhase wait;
+      wait.kind = TimelinePhase::kWait;
+      wait.duration = f.retry_backoff_s * static_cast<double>(1ULL << a);
+      phases.push_back(wait);
+      t += wait.duration;
+    }
+  }
+
+  double full = 0.0;
+  for (const auto& phase : phases) full += phase.duration;
+
+  // Resolution: when does the server learn this device's fate?
+  double resolution = full;
+  DeviceFailure failure =
+      f.upload_exhausted ? DeviceFailure::kUpload : DeviceFailure::kNone;
+  if (f.dropout) {
+    resolution = f.dropout_frac * full;
+    failure = DeviceFailure::kDropout;
+  }
+  if (resolution > deadline) {
+    resolution = deadline;  // the server cut the round first
+    failure = DeviceFailure::kTimeout;
+  }
+
+  apply_timeline(phases, resolution, out);
+  out.completed = failure == DeviceFailure::kNone;
+  out.failure = failure;
+  out.retries =
+      f.upload_exhausted ? f.failed_uploads - 1 : f.failed_uploads;
+  out.avg_bandwidth =
+      out.completed && last_attempt_duration > 0.0
+          ? params_.model_bytes / last_attempt_duration
+          : 0.0;
+}
+
+IterationResult SimulatorBase::compute_round(
+    const std::vector<double>& freqs_hz, const StepOptions& options,
+    const fault::RoundFaults* faults, double start_time,
+    bool barrier_idle) const {
+  FEDRA_EXPECTS(freqs_hz.size() == devices_.size());
+  const std::vector<bool>* participating = options.participating;
+  if (participating != nullptr) {
+    FEDRA_EXPECTS(participating->size() == devices_.size());
+    FEDRA_EXPECTS(std::find(participating->begin(), participating->end(),
+                            true) != participating->end());
+  }
+  if (faults != nullptr) {
+    FEDRA_EXPECTS(faults->devices.size() == devices_.size());
+  }
+  const double deadline = options.deadline > 0.0
+                              ? options.deadline
+                              : std::numeric_limits<double>::infinity();
+
+  IterationResult result;
+  result.start_time = start_time;
+  result.devices.resize(devices_.size());
+
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const DeviceProfile& dev = devices_[i];
+    DeviceOutcome& out = result.devices[i];
+    if (participating != nullptr && !(*participating)[i]) {
+      out.participated = false;  // all fields stay zero; no barrier share
+      out.completed = false;
+      continue;
+    }
+    ++result.num_scheduled;
+
+    const fault::DeviceFault* df =
+        faults != nullptr ? &faults->devices[i] : nullptr;
+    if (df != nullptr && df->crashed) {
+      // Down before the round started: the server skips a known-dead
+      // connection — no time, no energy, no barrier contribution.
+      out.completed = false;
+      out.failure = DeviceFailure::kCrash;
+      ++result.num_crashes;
+      continue;
+    }
+
+    const double floor_hz = kMinFreqFraction * dev.max_freq_hz;
+    out.freq_hz = std::clamp(freqs_hz[i], floor_hz, dev.max_freq_hz);
+
+    if (df == nullptr || !df->faulty()) {
+      // Fault-free timeline — kept operation-for-operation identical to
+      // the pre-StepOptions engine so step(freqs, {}) is bit-exact with
+      // the legacy step(freqs).
+      out.compute_time = dev.compute_time(out.freq_hz, params_.tau);
+      const double upload_start = start_time + out.compute_time;
+      const double upload_end =
+          traces_[i].upload_finish_time(upload_start, params_.model_bytes);
+      out.comm_time = upload_end - upload_start;
+      out.total_time = out.compute_time + out.comm_time;
+      out.avg_bandwidth = out.comm_time > 0.0
+                              ? params_.model_bytes / out.comm_time
+                              : traces_[i].bandwidth_at(upload_start);
+
+      out.compute_energy = dev.compute_energy(out.freq_hz, params_.tau);
+      out.comm_energy = dev.comm_energy(out.comm_time);
+      out.energy = out.compute_energy + out.comm_energy;
+
+      if (out.total_time > deadline) {
+        // Healthy but too slow: the server cut the round at the deadline.
+        std::vector<TimelinePhase> phases(2);
+        phases[0] = {out.compute_time, out.compute_energy,
+                     TimelinePhase::kCompute};
+        phases[1] = {out.comm_time, out.comm_energy, TimelinePhase::kComm};
+        apply_timeline(phases, deadline, out);
+        out.completed = false;
+        out.failure = DeviceFailure::kTimeout;
+        out.avg_bandwidth = 0.0;  // no completed upload to estimate from
+      }
+    } else {
+      faulty_device_round(i, *df, start_time, deadline, out);
+    }
+
+    switch (out.failure) {
+      case DeviceFailure::kDropout: ++result.num_dropouts; break;
+      case DeviceFailure::kTimeout: ++result.num_timeouts; break;
+      case DeviceFailure::kUpload: ++result.num_upload_failures; break;
+      case DeviceFailure::kNone:
+      case DeviceFailure::kCrash: break;
+    }
+    result.total_retries += out.retries;
+    if (out.completed) ++result.num_completed;
+
+    result.total_energy += out.energy;
+    result.total_compute_energy += out.compute_energy;
+    makespan = std::max(makespan, out.total_time);
+  }
+
+  result.iteration_time = makespan;
+  for (auto& out : result.devices) {
+    out.idle_time = barrier_idle && out.participated && out.completed
+                        ? makespan - out.total_time
+                        : 0.0;
+  }
+  result.cost = iteration_cost(makespan, result.total_energy, params_);
+  result.reward = iteration_reward(makespan, result.total_energy, params_);
+  return result;
+}
+
+}  // namespace fedra

@@ -1,0 +1,112 @@
+// SimulatorBase — the shared surface of the synchronous and asynchronous
+// FL simulators, plus the one round engine both run through.
+//
+// Controllers, selectors, and the evaluation harness program against this
+// base (or against the SteppableSimulator concept for code that copies
+// simulators by value), so a policy written once runs unchanged against
+// FlSimulator and AsyncFlSimulator:
+//
+//   now()/iteration()/reset()  — simulation clock and round counter;
+//   step(freqs, StepOptions)   — one round: participation mask, round
+//                                deadline, fault injection, dry runs all
+//                                ride in the options bag;
+//   preview(freqs, StepOptions)— the same round computed WITHOUT touching
+//                                simulator or fault-model state.
+//
+// The protected compute_round() implements the full per-device timeline:
+// compute (optionally straggler-degraded), upload attempts with
+// exponential backoff against the (optionally blacked-out) trace, and
+// cutoffs for mid-round dropouts and the server deadline. Failed devices
+// are charged the energy they actually spent; the round closes when every
+// scheduled device has delivered or definitively failed.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault_model.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/device.hpp"
+#include "sim/step_options.hpp"
+#include "trace/bandwidth_trace.hpp"
+
+namespace fedra {
+
+class SimulatorBase {
+ public:
+  virtual ~SimulatorBase() = default;
+
+  std::size_t num_devices() const { return devices_.size(); }
+  const std::vector<DeviceProfile>& devices() const { return devices_; }
+  const std::vector<BandwidthTrace>& traces() const { return traces_; }
+  const CostParams& params() const { return params_; }
+
+  /// Current wall-clock time t^k (start of the next round).
+  double now() const { return now_; }
+  /// Rounds completed so far.
+  std::size_t iteration() const { return iteration_; }
+
+  /// Rewinds the simulation clock (e.g. to a random episode start per
+  /// Algorithm 1 line 6) and resets the round counter.
+  virtual void reset(double start_time);
+
+  /// Runs one round with the given per-device CPU-cycle frequencies (Hz)
+  /// under `options`. Frequencies are clamped to (0, delta_i^max]: values
+  /// above the cap saturate, non-positive values are lifted to a small
+  /// positive floor (a device cannot opt out of training). With
+  /// options.dry_run_at set, behaves exactly like preview().
+  virtual IterationResult step(const std::vector<double>& freqs_hz,
+                               const StepOptions& options) = 0;
+
+  /// Computes the round starting at options.dry_run_at (default: now())
+  /// WITHOUT advancing the clock, the round counter, or the fault model's
+  /// crash chain (the fault model is peeked, not advanced).
+  virtual IterationResult preview(const std::vector<double>& freqs_hz,
+                                  StepOptions options) const = 0;
+
+  /// Fraction of delta_i^max that non-positive actions are lifted to.
+  static constexpr double kMinFreqFraction = 0.01;
+
+ protected:
+  SimulatorBase(std::vector<DeviceProfile> devices,
+                std::vector<BandwidthTrace> traces, CostParams params,
+                double start_time);
+
+  /// The shared round engine. `faults` is the resolved per-device fault
+  /// assignment (nullptr = fault-free). `barrier_idle` selects the
+  /// synchronous barrier semantics (idle_time = makespan - T_i) vs the
+  /// asynchronous no-barrier semantics (idle_time = 0).
+  IterationResult compute_round(const std::vector<double>& freqs_hz,
+                                const StepOptions& options,
+                                const fault::RoundFaults* faults,
+                                double start_time, bool barrier_idle) const;
+
+  /// Resolves options.faults / options.fault_model into a concrete round
+  /// assignment. `advance` evolves the crash chain (real steps only).
+  /// Returns false when the round is fault-free (storage untouched).
+  bool resolve_faults(const StepOptions& options, bool advance,
+                      fault::RoundFaults* storage) const;
+
+  double now_ = 0.0;
+  std::size_t iteration_ = 0;
+
+ private:
+  /// Per-device timeline under a fault assignment (slow path).
+  void faulty_device_round(std::size_t device, const fault::DeviceFault& f,
+                           double start_time, double deadline,
+                           DeviceOutcome& out) const;
+
+  std::vector<DeviceProfile> devices_;
+  std::vector<BandwidthTrace> traces_;
+  CostParams params_;
+};
+
+/// Code that needs to copy simulators by value (the evaluation harness
+/// replays identical conditions per controller) constrains on this
+/// instead of taking SimulatorBase&.
+template <typename S>
+concept SteppableSimulator =
+    std::derived_from<S, SimulatorBase> && std::copyable<S>;
+
+}  // namespace fedra

@@ -31,4 +31,13 @@ BandwidthTrace blend_traces(const BandwidthTrace& a, const BandwidthTrace& b,
 BandwidthTrace step_trace(
     const std::vector<std::pair<double, double>>& segments, double dt = 1.0);
 
+/// Radio-outage transform: zeroes every sample overlapping the absolute
+/// time window [start, start + duration). The window is mapped into trace
+/// period coordinates (periodic extension), wrapping across the period
+/// boundary if needed. Requires duration < one period and that the
+/// surviving samples still carry positive mean bandwidth (a trace that can
+/// never move a byte is invalid). duration == 0 returns the trace as-is.
+BandwidthTrace blackout_trace(const BandwidthTrace& trace, double start,
+                              double duration);
+
 }  // namespace fedra

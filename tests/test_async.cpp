@@ -94,7 +94,7 @@ TEST(AsyncSim, NoBarrierMeansMoreUpdatesThanSync) {
   sync_run.reset(0.0);
   std::size_t sync_updates = 0;
   while (sync_run.now() < horizon) {
-    sync_run.step(freqs);
+    sync_run.step(freqs, {});
     sync_updates += sync_run.num_devices();
   }
   EXPECT_GT(async_result.events.size(), sync_updates);

@@ -34,7 +34,7 @@ TEST(Static, FrequenciesFixedAcrossIterations) {
   Rng rng(1);
   StaticController c(sim, 20, rng);
   auto f1 = c.decide(sim);
-  sim.step(f1);
+  sim.step(f1, {});
   auto f2 = c.decide(sim);
   EXPECT_EQ(f1, f2);
   EXPECT_EQ(f1, c.fixed_freqs());
@@ -65,7 +65,7 @@ TEST(Heuristic, FirstDecisionUsesMeanBandwidth) {
 TEST(Heuristic, UsesLastIterationBandwidth) {
   auto sim = make_sim();
   HeuristicController c(sim);
-  auto r = sim.step(c.decide(sim));
+  auto r = sim.step(c.decide(sim), {});
   c.observe(r);
   // After observing, the decision must equal solving with the realized
   // bandwidths of the previous iteration ([3]'s rule).
@@ -117,8 +117,8 @@ TEST(Oracle, NeverWorseThanFullSpeedOnFirstIteration) {
     auto sim = make_sim(seed);
     OracleController oracle;
     FullSpeedController full;
-    const auto oracle_cost = sim.preview(oracle.decide(sim), sim.now()).cost;
-    const auto full_cost = sim.preview(full.decide(sim), sim.now()).cost;
+    const auto oracle_cost = sim.preview(oracle.decide(sim), {}).cost;
+    const auto full_cost = sim.preview(full.decide(sim), {}).cost;
     EXPECT_LE(oracle_cost, full_cost * (1.0 + 1e-9)) << "seed " << seed;
   }
 }
@@ -129,8 +129,8 @@ TEST(Oracle, NeverWorseThanStaticOnFirstIteration) {
     OracleController oracle;
     Rng rng(seed);
     StaticController st(sim, 30, rng);
-    const auto oracle_cost = sim.preview(oracle.decide(sim), sim.now()).cost;
-    const auto static_cost = sim.preview(st.decide(sim), sim.now()).cost;
+    const auto oracle_cost = sim.preview(oracle.decide(sim), {}).cost;
+    const auto static_cost = sim.preview(st.decide(sim), {}).cost;
     EXPECT_LE(oracle_cost, static_cost * (1.0 + 1e-9)) << "seed " << seed;
   }
 }

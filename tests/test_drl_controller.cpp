@@ -50,7 +50,7 @@ TEST(DrlController, FrequenciesWithinDeviceCaps) {
       EXPECT_GT(freqs[i], 0.0);
       EXPECT_LE(freqs[i], sim.devices()[i].max_freq_hz);
     }
-    sim.step(freqs);
+    sim.step(freqs, {});
   }
 }
 

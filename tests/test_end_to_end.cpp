@@ -134,7 +134,7 @@ TEST(EndToEnd, FederatedTrainingUnderScheduledFrequencies) {
   const double epsilon = 0.35;
   while (loss >= epsilon && rounds < 40) {
     auto freqs = controller.decide(sim);
-    auto r = sim.step(freqs);
+    auto r = sim.step(freqs, {});
     controller.observe(r);
     total_cost += r.cost;
     auto metrics = server.run_round(ltc, pool);

@@ -83,7 +83,7 @@ TEST(Evaluation, DetailedResultsAreConsistent) {
 TEST(Evaluation, ObserveIsCalledEachIteration) {
   class CountingController final : public Controller {
    public:
-    std::vector<double> decide(const FlSimulator& sim) override {
+    std::vector<double> decide(const SimulatorBase& sim) override {
       ++decides;
       std::vector<double> f;
       for (const auto& d : sim.devices()) f.push_back(d.max_freq_hz);

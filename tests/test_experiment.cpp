@@ -11,13 +11,13 @@ namespace {
 
 std::vector<PolicySpec> basic_roster() {
   std::vector<PolicySpec> roster;
-  roster.push_back({"fullspeed", [](const FlSimulator&) {
+  roster.push_back({"fullspeed", [](const SimulatorBase&) {
                       return std::make_unique<FullSpeedController>();
                     }});
-  roster.push_back({"heuristic", [](const FlSimulator& sim) {
+  roster.push_back({"heuristic", [](const SimulatorBase& sim) {
                       return std::make_unique<HeuristicController>(sim);
                     }});
-  roster.push_back({"oracle", [](const FlSimulator&) {
+  roster.push_back({"oracle", [](const SimulatorBase&) {
                       return std::make_unique<OracleController>();
                     }});
   return roster;

@@ -1,0 +1,480 @@
+#include "fault/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+#include "trace/transforms.hpp"
+
+namespace fedra {
+namespace {
+
+using fault::DeviceFault;
+using fault::FaultConfig;
+using fault::FaultModel;
+using fault::RoundFaults;
+
+DeviceProfile simple_device(double cycles = 1e9, double max_freq = 1e9,
+                            double alpha = 1e-28, double tx_power = 1.0) {
+  DeviceProfile d;
+  d.cycles_per_bit = 1.0;
+  d.dataset_bits = cycles;
+  d.capacitance = alpha;
+  d.max_freq_hz = max_freq;
+  d.tx_power_w = tx_power;
+  return d;
+}
+
+CostParams simple_params(double lambda = 0.1, double model_bytes = 100.0) {
+  CostParams p;
+  p.lambda = lambda;
+  p.tau = 1.0;
+  p.model_bytes = model_bytes;
+  return p;
+}
+
+FlSimulator one_device_sim() {
+  return FlSimulator({simple_device()}, {constant_trace(50.0, 100)},
+                     simple_params());
+}
+
+FaultConfig chaos_config() {
+  FaultConfig cfg;
+  cfg.dropout_prob = 0.15;
+  cfg.straggler_prob = 0.3;
+  cfg.crash_prob = 0.1;
+  cfg.rejoin_prob = 0.5;
+  cfg.blackout_prob = 0.2;
+  cfg.blackout_duration_s = 10.0;
+  cfg.blackout_max_offset_s = 5.0;
+  cfg.upload_failure_prob = 0.25;
+  cfg.max_retries = 2;
+  return cfg;
+}
+
+void expect_fault_eq(const DeviceFault& a, const DeviceFault& b) {
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.dropout, b.dropout);
+  EXPECT_EQ(a.dropout_frac, b.dropout_frac);
+  EXPECT_EQ(a.compute_slowdown, b.compute_slowdown);
+  EXPECT_EQ(a.upload_slowdown, b.upload_slowdown);
+  EXPECT_EQ(a.blackout_offset, b.blackout_offset);
+  EXPECT_EQ(a.blackout_duration, b.blackout_duration);
+  EXPECT_EQ(a.failed_uploads, b.failed_uploads);
+  EXPECT_EQ(a.upload_exhausted, b.upload_exhausted);
+}
+
+// Bit-exact comparison (EXPECT_EQ on doubles on purpose): determinism and
+// the golden legacy-equivalence guarantee are exact, not approximate.
+void expect_result_eq(const IterationResult& a, const IterationResult& b) {
+  EXPECT_EQ(a.start_time, b.start_time);
+  EXPECT_EQ(a.iteration_time, b.iteration_time);
+  EXPECT_EQ(a.total_energy, b.total_energy);
+  EXPECT_EQ(a.total_compute_energy, b.total_compute_energy);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.reward, b.reward);
+  EXPECT_EQ(a.num_scheduled, b.num_scheduled);
+  EXPECT_EQ(a.num_completed, b.num_completed);
+  EXPECT_EQ(a.num_crashes, b.num_crashes);
+  EXPECT_EQ(a.num_dropouts, b.num_dropouts);
+  EXPECT_EQ(a.num_timeouts, b.num_timeouts);
+  EXPECT_EQ(a.num_upload_failures, b.num_upload_failures);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    const auto& da = a.devices[i];
+    const auto& db = b.devices[i];
+    EXPECT_EQ(da.participated, db.participated);
+    EXPECT_EQ(da.completed, db.completed);
+    EXPECT_EQ(da.failure, db.failure);
+    EXPECT_EQ(da.retries, db.retries);
+    EXPECT_EQ(da.freq_hz, db.freq_hz);
+    EXPECT_EQ(da.compute_time, db.compute_time);
+    EXPECT_EQ(da.comm_time, db.comm_time);
+    EXPECT_EQ(da.total_time, db.total_time);
+    EXPECT_EQ(da.idle_time, db.idle_time);
+    EXPECT_EQ(da.compute_energy, db.compute_energy);
+    EXPECT_EQ(da.comm_energy, db.comm_energy);
+    EXPECT_EQ(da.energy, db.energy);
+    EXPECT_EQ(da.avg_bandwidth, db.avg_bandwidth);
+  }
+}
+
+TEST(FaultModel, DefaultConstructedIsDisabled) {
+  FaultModel m;
+  EXPECT_FALSE(m.enabled());
+  auto round = m.peek(0, 3);
+  EXPECT_EQ(round.devices.size(), 3u);
+  EXPECT_FALSE(round.any());
+}
+
+TEST(FaultModel, AllZeroConfigIsDisabled) {
+  FaultModel m(FaultConfig{}, 42);
+  EXPECT_FALSE(m.enabled());
+  EXPECT_FALSE(m.advance(0, 4).any());
+}
+
+TEST(FaultModel, SameSeedSameConfigBitIdenticalDraws) {
+  FaultModel a(chaos_config(), 123);
+  FaultModel b(chaos_config(), 123);
+  for (std::size_t k = 0; k < 10; ++k) {
+    auto ra = a.advance(k, 8);
+    auto rb = b.advance(k, 8);
+    ASSERT_EQ(ra.devices.size(), rb.devices.size());
+    for (std::size_t i = 0; i < ra.devices.size(); ++i) {
+      expect_fault_eq(ra.devices[i], rb.devices[i]);
+    }
+  }
+}
+
+TEST(FaultModel, DifferentSeedsDiverge) {
+  FaultModel a(chaos_config(), 1);
+  FaultModel b(chaos_config(), 2);
+  bool differed = false;
+  for (std::size_t k = 0; k < 20 && !differed; ++k) {
+    auto ra = a.peek(k, 8);
+    auto rb = b.peek(k, 8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      const auto& fa = ra.devices[i];
+      const auto& fb = rb.devices[i];
+      if (fa.crashed != fb.crashed || fa.dropout != fb.dropout ||
+          fa.compute_slowdown != fb.compute_slowdown ||
+          fa.failed_uploads != fb.failed_uploads) {
+        differed = true;
+      }
+    }
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(FaultModel, DrawsIndependentOfCallOrder) {
+  // The per-(iteration, device) stream is a pure hash: peeking other
+  // iterations first must not change what iteration 5 looks like.
+  FaultModel fresh(chaos_config(), 7);
+  FaultModel wandered(chaos_config(), 7);
+  (void)wandered.peek(0, 6);
+  (void)wandered.peek(11, 6);
+  (void)wandered.peek(3, 6);
+  auto ra = fresh.peek(5, 6);
+  auto rb = wandered.peek(5, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    expect_fault_eq(ra.devices[i], rb.devices[i]);
+  }
+}
+
+TEST(FaultModel, PeekDoesNotAdvanceCrashChain) {
+  FaultConfig cfg;
+  cfg.crash_prob = 1.0;
+  cfg.rejoin_prob = 0.0;
+  FaultModel m(cfg, 9);
+  (void)m.peek(0, 4);
+  EXPECT_EQ(m.num_crashed(), 0u);
+  auto round = m.advance(0, 4);
+  EXPECT_EQ(m.num_crashed(), 4u);
+  for (const auto& f : round.devices) EXPECT_TRUE(f.crashed);
+  // rejoin_prob == 0: they stay down forever.
+  auto next = m.advance(1, 4);
+  for (const auto& f : next.devices) EXPECT_TRUE(f.crashed);
+}
+
+TEST(FaultModel, RejoinRevivesCrashedDevices) {
+  FaultConfig cfg;
+  cfg.crash_prob = 1.0;
+  cfg.rejoin_prob = 1.0;
+  FaultModel m(cfg, 9);
+  (void)m.advance(0, 3);
+  EXPECT_EQ(m.num_crashed(), 3u);
+  auto next = m.advance(1, 3);
+  EXPECT_EQ(m.num_crashed(), 0u);
+  for (const auto& f : next.devices) EXPECT_FALSE(f.crashed);
+}
+
+TEST(FaultModel, ResetClearsCrashChain) {
+  FaultConfig cfg;
+  cfg.crash_prob = 1.0;
+  FaultModel m(cfg, 3);
+  (void)m.advance(0, 5);
+  EXPECT_GT(m.num_crashed(), 0u);
+  m.reset();
+  EXPECT_EQ(m.num_crashed(), 0u);
+}
+
+TEST(FaultModel, ScaledClampsProbabilitiesToOne) {
+  auto cfg = chaos_config();
+  auto hot = cfg.scaled(10.0);
+  EXPECT_DOUBLE_EQ(hot.dropout_prob, 1.0);
+  EXPECT_DOUBLE_EQ(hot.crash_prob, 1.0);
+  auto cold = cfg.scaled(0.0);
+  EXPECT_FALSE(cold.any_enabled());
+  // Magnitudes are intensity-independent: only probabilities scale.
+  EXPECT_DOUBLE_EQ(hot.max_slowdown, cfg.max_slowdown);
+  EXPECT_EQ(hot.max_retries, cfg.max_retries);
+}
+
+TEST(FaultSimulator, DisabledModelMatchesPlainOptionsBitExact) {
+  FlSimulator a = one_device_sim();
+  FlSimulator b = one_device_sim();
+  FaultModel disabled;
+  StepOptions with_model;
+  with_model.fault_model = &disabled;
+  for (std::size_t k = 0; k < 5; ++k) {
+    auto ra = a.step({0.5e9}, {});
+    auto rb = b.step({0.5e9}, with_model);
+    expect_result_eq(ra, rb);
+  }
+}
+
+TEST(FaultSimulator, DeprecatedStepMatchesStepOptionsBitExact) {
+  // The acceptance golden: legacy step(freqs) == step(freqs, {}).
+  FlSimulator legacy = one_device_sim();
+  FlSimulator fresh = one_device_sim();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto ra = legacy.step({0.5e9});
+  auto pa = legacy.preview({0.25e9}, 7.0);
+#pragma GCC diagnostic pop
+  auto rb = fresh.step({0.5e9}, {});
+  auto pb = fresh.preview({0.25e9}, StepOptions::dry_run(7.0));
+  expect_result_eq(ra, rb);
+  expect_result_eq(pa, pb);
+}
+
+TEST(FaultSimulator, StepSequenceDeterministicUnderFaults) {
+  FlSimulator a({simple_device(), simple_device(2e9)},
+                {constant_trace(50.0, 100), constant_trace(80.0, 100)},
+                simple_params());
+  FlSimulator b = a;
+  FaultModel ma(chaos_config(), 77);
+  FaultModel mb(chaos_config(), 77);
+  StepOptions oa;
+  oa.fault_model = &ma;
+  oa.deadline = 40.0;
+  StepOptions ob;
+  ob.fault_model = &mb;
+  ob.deadline = 40.0;
+  for (std::size_t k = 0; k < 25; ++k) {
+    auto ra = a.step({0.5e9, 1e9}, oa);
+    auto rb = b.step({0.5e9, 1e9}, ob);
+    expect_result_eq(ra, rb);
+  }
+  EXPECT_EQ(a.now(), b.now());
+}
+
+TEST(FaultSimulator, PreviewDoesNotTouchSimulatorOrFaultState) {
+  FlSimulator sim = one_device_sim();
+  FaultConfig cfg;
+  cfg.crash_prob = 1.0;
+  FaultModel m(cfg, 5);
+  StepOptions options;
+  options.fault_model = &m;
+  const double t0 = sim.now();
+  auto r = sim.preview({0.5e9}, options);
+  EXPECT_EQ(r.num_crashes, 1u);
+  EXPECT_EQ(sim.now(), t0);
+  EXPECT_EQ(sim.iteration(), 0u);
+  EXPECT_EQ(m.num_crashed(), 0u);  // peeked, not advanced
+}
+
+TEST(FaultSimulator, ForcedDropoutChargesPartialEnergy) {
+  // Full timeline at 0.5 GHz: compute 2 s (0.025 J) + upload 2 s (2 J).
+  // Dropout at frac 0.5 cuts at 2 s: full compute, no upload.
+  FlSimulator sim = one_device_sim();
+  RoundFaults faults;
+  faults.devices.resize(1);
+  faults.devices[0].dropout = true;
+  faults.devices[0].dropout_frac = 0.5;
+  StepOptions options;
+  options.faults = &faults;
+  auto r = sim.step({0.5e9}, options);
+  const auto& d = r.devices[0];
+  EXPECT_FALSE(d.completed);
+  EXPECT_EQ(d.failure, DeviceFailure::kDropout);
+  EXPECT_NEAR(d.total_time, 2.0, 1e-12);
+  EXPECT_NEAR(d.compute_time, 2.0, 1e-12);
+  EXPECT_NEAR(d.comm_time, 0.0, 1e-12);
+  EXPECT_NEAR(d.energy, 0.025, 1e-12);
+  EXPECT_DOUBLE_EQ(d.avg_bandwidth, 0.0);
+  EXPECT_EQ(r.num_dropouts, 1u);
+  EXPECT_EQ(r.num_completed, 0u);
+  EXPECT_TRUE(r.partial());
+  EXPECT_EQ(r.num_failed(), 1u);
+  // The lost round still costs its energy and occupies the server until
+  // the vanish is resolved.
+  EXPECT_NEAR(r.iteration_time, 2.0, 1e-12);
+  EXPECT_NEAR(r.total_energy, 0.025, 1e-12);
+}
+
+TEST(FaultSimulator, DeadlineTimesOutSlowHealthyDevice) {
+  // Device 0 at 0.5 GHz: 2 s compute + 2 s upload = 4 s > deadline 3.
+  // Device 1 at 1 GHz: 1 s compute + 2 s upload = 3 s, just makes it.
+  FlSimulator sim({simple_device(), simple_device()},
+                  {constant_trace(50.0, 100), constant_trace(50.0, 100)},
+                  simple_params());
+  StepOptions options;
+  options.deadline = 3.0;
+  auto r = sim.step({0.5e9, 1e9}, options);
+  const auto& slow = r.devices[0];
+  const auto& fast = r.devices[1];
+  EXPECT_FALSE(slow.completed);
+  EXPECT_EQ(slow.failure, DeviceFailure::kTimeout);
+  EXPECT_NEAR(slow.total_time, 3.0, 1e-12);
+  // Charged what it actually spent: all compute + half the upload.
+  EXPECT_NEAR(slow.compute_energy, 0.025, 1e-12);
+  EXPECT_NEAR(slow.comm_energy, 1.0, 1e-12);
+  EXPECT_TRUE(fast.completed);
+  EXPECT_NEAR(fast.total_time, 3.0, 1e-12);
+  EXPECT_EQ(r.num_timeouts, 1u);
+  EXPECT_EQ(r.num_completed, 1u);
+  EXPECT_NEAR(r.iteration_time, 3.0, 1e-12);
+}
+
+TEST(FaultSimulator, UploadRetriesAddBackoffAndEnergy) {
+  // One failed attempt, then success: compute 2 s, upload 2 s (lost),
+  // backoff 1 s, upload 2 s (delivered) => 7 s total, 4 s comm.
+  FlSimulator sim = one_device_sim();
+  RoundFaults faults;
+  faults.devices.resize(1);
+  faults.devices[0].failed_uploads = 1;
+  faults.devices[0].retry_backoff_s = 1.0;
+  StepOptions options;
+  options.faults = &faults;
+  auto r = sim.step({0.5e9}, options);
+  const auto& d = r.devices[0];
+  EXPECT_TRUE(d.completed);
+  EXPECT_EQ(d.failure, DeviceFailure::kNone);
+  EXPECT_EQ(d.retries, 1u);
+  EXPECT_NEAR(d.total_time, 7.0, 1e-9);
+  EXPECT_NEAR(d.comm_time, 4.0, 1e-9);
+  EXPECT_NEAR(d.comm_energy, 4.0, 1e-9);  // radio on for both attempts
+  EXPECT_NEAR(d.avg_bandwidth, 50.0, 1e-6);
+  EXPECT_EQ(r.total_retries, 1u);
+  EXPECT_EQ(r.num_completed, 1u);
+}
+
+TEST(FaultSimulator, ExhaustedRetriesLoseTheUpdate) {
+  // max_retries exhausted: 3 failed attempts (2 s each) with backoffs of
+  // 1 s and 2 s between them => 2 + 2 + 1 + 2 + 2 + 2 = 11 s.
+  FlSimulator sim = one_device_sim();
+  RoundFaults faults;
+  faults.devices.resize(1);
+  faults.devices[0].failed_uploads = 3;
+  faults.devices[0].upload_exhausted = true;
+  faults.devices[0].retry_backoff_s = 1.0;
+  StepOptions options;
+  options.faults = &faults;
+  auto r = sim.step({0.5e9}, options);
+  const auto& d = r.devices[0];
+  EXPECT_FALSE(d.completed);
+  EXPECT_EQ(d.failure, DeviceFailure::kUpload);
+  EXPECT_EQ(d.retries, 2u);
+  EXPECT_NEAR(d.total_time, 11.0, 1e-9);
+  EXPECT_NEAR(d.comm_time, 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(d.avg_bandwidth, 0.0);
+  EXPECT_EQ(r.num_upload_failures, 1u);
+  EXPECT_EQ(r.num_completed, 0u);
+}
+
+TEST(FaultSimulator, CrashedDeviceCostsNothingAndSitsOut) {
+  FlSimulator sim({simple_device(), simple_device()},
+                  {constant_trace(50.0, 100), constant_trace(50.0, 100)},
+                  simple_params());
+  RoundFaults faults;
+  faults.devices.resize(2);
+  faults.devices[0].crashed = true;
+  StepOptions options;
+  options.faults = &faults;
+  auto r = sim.step({1e9, 1e9}, options);
+  const auto& dead = r.devices[0];
+  EXPECT_TRUE(dead.participated);  // scheduled, but down
+  EXPECT_FALSE(dead.completed);
+  EXPECT_EQ(dead.failure, DeviceFailure::kCrash);
+  EXPECT_DOUBLE_EQ(dead.total_time, 0.0);
+  EXPECT_DOUBLE_EQ(dead.energy, 0.0);
+  EXPECT_EQ(r.num_crashes, 1u);
+  EXPECT_EQ(r.num_scheduled, 2u);
+  EXPECT_EQ(r.num_completed, 1u);
+  // The barrier waits only for live devices.
+  EXPECT_NEAR(r.iteration_time, r.devices[1].total_time, 1e-12);
+}
+
+TEST(FaultSimulator, StragglerSlowdownScalesComputeTimeAndEnergy) {
+  FlSimulator sim = one_device_sim();
+  RoundFaults faults;
+  faults.devices.resize(1);
+  faults.devices[0].compute_slowdown = 2.0;
+  StepOptions options;
+  options.faults = &faults;
+  auto r = sim.step({0.5e9}, options);
+  const auto& d = r.devices[0];
+  EXPECT_TRUE(d.completed);
+  EXPECT_NEAR(d.compute_time, 4.0, 1e-12);       // 2 s stretched x2
+  EXPECT_NEAR(d.compute_energy, 0.05, 1e-12);    // busy the whole stretch
+  EXPECT_NEAR(d.comm_time, 2.0, 1e-12);
+  EXPECT_NEAR(d.total_time, 6.0, 1e-12);
+}
+
+TEST(FaultSimulator, BlackoutDelaysTheUpload) {
+  // Constant 50 B/s trace with a 4 s outage starting 2 s into the round
+  // (right when the upload starts): the 100 B payload waits out the
+  // blackout, so the upload takes ~4 s of dead air + 2 s of transfer.
+  FlSimulator sim = one_device_sim();
+  RoundFaults faults;
+  faults.devices.resize(1);
+  faults.devices[0].blackout_offset = 2.0;
+  faults.devices[0].blackout_duration = 4.0;
+  StepOptions options;
+  options.faults = &faults;
+  auto r = sim.step({0.5e9}, options);
+  const auto& d = r.devices[0];
+  EXPECT_TRUE(d.completed);
+  EXPECT_NEAR(d.compute_time, 2.0, 1e-12);
+  EXPECT_NEAR(d.comm_time, 6.0, 1e-9);
+  EXPECT_NEAR(d.total_time, 8.0, 1e-9);
+}
+
+TEST(FaultSimulator, ExplicitFaultsOverrideModel) {
+  FlSimulator sim = one_device_sim();
+  FaultConfig cfg;
+  cfg.crash_prob = 1.0;
+  FaultModel m(cfg, 1);
+  RoundFaults healthy;
+  healthy.devices.resize(1);  // default = no fault
+  StepOptions options;
+  options.fault_model = &m;
+  options.faults = &healthy;  // wins over the model
+  auto r = sim.step({0.5e9}, options);
+  EXPECT_EQ(r.num_crashes, 0u);
+  EXPECT_EQ(r.num_completed, 1u);
+}
+
+TEST(FaultSimulator, EnvFaultRunIsReproducibleEndToEnd) {
+  // Acceptance-style check: two independent (sim, model) pairs stepping
+  // with deadlines and live fault injection produce identical trajectories.
+  auto build = [] {
+    return FlSimulator(
+        {simple_device(), simple_device(2e9, 2e9), simple_device(0.5e9)},
+        {constant_trace(50.0, 60), constant_trace(120.0, 60),
+         constant_trace(30.0, 60)},
+        simple_params());
+  };
+  FlSimulator a = build();
+  FlSimulator b = build();
+  FaultModel ma(chaos_config().scaled(1.5), 2024);
+  FaultModel mb(chaos_config().scaled(1.5), 2024);
+  StepOptions oa;
+  oa.fault_model = &ma;
+  oa.deadline = 30.0;
+  StepOptions ob;
+  ob.fault_model = &mb;
+  ob.deadline = 30.0;
+  std::vector<double> freqs = {0.7e9, 1.4e9, 0.4e9};
+  for (std::size_t k = 0; k < 30; ++k) {
+    expect_result_eq(a.step(freqs, oa), b.step(freqs, ob));
+  }
+}
+
+}  // namespace
+}  // namespace fedra

@@ -166,5 +166,88 @@ TEST(FedAvg, ParallelAndSerialPoolsAgree) {
   EXPECT_DOUBLE_EQ(m1.global_accuracy, m4.global_accuracy);
 }
 
+TEST(FedAvgPartial, ReweightsOverDeliveredSubset) {
+  // Eq. (8) restricted to arrivals: with client 1's update lost in
+  // transit, the new global model is the D_n-weighted average of updates
+  // 0 and 2 only, renormalized by D_0 + D_2.
+  auto spec = small_spec(4, 2);
+  Rng rng(21);
+  auto clients = make_clients(3, 1.0, spec, rng, 300);
+  Rng rng2(21);
+  auto probes = make_clients(3, 1.0, spec, rng2, 300);
+  FedAvgServer server(std::move(clients), spec, 42);
+  const auto w0 = server.global_params();
+  ThreadPool pool(2);
+  LocalTrainConfig cfg;
+  auto u0 = probes[0].train_round(w0, cfg, 0);
+  auto u2 = probes[2].train_round(w0, cfg, 0);
+  auto m = server.run_round(cfg, pool, {0, 1, 2}, {0, 2});
+  EXPECT_EQ(m.num_participants, 3u);
+  EXPECT_EQ(m.num_delivered, 2u);
+  const double total =
+      static_cast<double>(u0.num_samples + u2.num_samples);
+  const auto& w1 = server.global_params();
+  for (std::size_t p = 0; p < w1.size(); ++p) {
+    for (std::size_t j = 0; j < w1[p].size(); ++j) {
+      const double expected =
+          (static_cast<double>(u0.num_samples) * u0.params[p][j] +
+           static_cast<double>(u2.num_samples) * u2.params[p][j]) /
+          total;
+      EXPECT_NEAR(w1[p][j], expected, 1e-12);
+    }
+  }
+}
+
+TEST(FedAvgPartial, EmptyDeliveredLeavesGlobalModelUnchanged) {
+  // A fully wasted round: everyone trained, nothing arrived.
+  auto spec = small_spec(3, 2);
+  Rng rng(22);
+  auto clients = make_clients(2, 1.0, spec, rng, 200);
+  FedAvgServer server(std::move(clients), spec, 43);
+  const auto before = server.global_params();
+  ThreadPool pool(1);
+  LocalTrainConfig cfg;
+  auto m = server.run_round(cfg, pool, {0, 1}, {});
+  EXPECT_EQ(m.num_participants, 2u);
+  EXPECT_EQ(m.num_delivered, 0u);
+  ASSERT_EQ(server.global_params().size(), before.size());
+  for (std::size_t p = 0; p < before.size(); ++p) {
+    EXPECT_EQ(server.global_params()[p], before[p]);
+  }
+}
+
+TEST(FedAvgPartial, FullDeliveryMatchesSelectionOverload) {
+  auto build = [] {
+    auto spec = small_spec(3, 2);
+    Rng rng(23);
+    auto clients = make_clients(3, 1.0, spec, rng, 240);
+    return FedAvgServer(std::move(clients), spec, 44);
+  };
+  auto a = build();
+  auto b = build();
+  ThreadPool pool(2);
+  LocalTrainConfig cfg;
+  std::vector<std::size_t> roster = {0, 2};
+  auto ma = a.run_round(cfg, pool, roster);
+  auto mb = b.run_round(cfg, pool, roster, roster);
+  EXPECT_DOUBLE_EQ(ma.global_loss, mb.global_loss);
+  for (std::size_t p = 0; p < a.global_params().size(); ++p) {
+    EXPECT_EQ(a.global_params()[p], b.global_params()[p]);
+  }
+}
+
+TEST(FedAvgPartialDeathTest, DeliveredMustBeSubsetOfParticipants) {
+  auto spec = small_spec(3, 2);
+  Rng rng(24);
+  auto clients = make_clients(3, 1.0, spec, rng, 150);
+  FedAvgServer server(std::move(clients), spec, 45);
+  ThreadPool pool(1);
+  LocalTrainConfig cfg;
+  std::vector<std::size_t> participants = {0, 1};
+  std::vector<std::size_t> delivered = {2};  // never trained this round
+  EXPECT_DEATH(server.run_round(cfg, pool, participants, delivered),
+               "precondition");
+}
+
 }  // namespace
 }  // namespace fedra

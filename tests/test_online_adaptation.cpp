@@ -47,7 +47,7 @@ TEST(OnlineAdaptation, ProducesValidFrequencies) {
       EXPECT_GT(freqs[i], 0.0);
       EXPECT_LE(freqs[i], sim.devices()[i].max_freq_hz * 1.0 + 1e-9);
     }
-    controller.observe(sim.step(freqs));
+    controller.observe(sim.step(freqs, {}));
   }
 }
 
@@ -61,7 +61,7 @@ TEST(OnlineAdaptation, UpdatesFireWhenBufferFills) {
   EXPECT_EQ(controller.updates_applied(), 0u);
   // Each complete transition needs decide() -> observe() -> next decide().
   for (int k = 0; k < 40; ++k) {
-    controller.observe(sim.step(controller.decide(sim)));
+    controller.observe(sim.step(controller.decide(sim), {}));
   }
   EXPECT_GE(controller.updates_applied(), 2u);
 }
@@ -75,7 +75,7 @@ TEST(OnlineAdaptation, DeterministicModeDoesNotLearn) {
                                       setup.bw_ref, cfg, 6);
   auto sim = build_simulator(setup.cfg);
   for (int k = 0; k < 30; ++k) {
-    controller.observe(sim.step(controller.decide(sim)));
+    controller.observe(sim.step(controller.decide(sim), {}));
   }
   EXPECT_EQ(controller.updates_applied(), 0u);
 }
@@ -91,7 +91,7 @@ TEST(OnlineAdaptation, MutatesTheSharedAgent) {
                                       setup.bw_ref, cfg, 8);
   auto sim = build_simulator(setup.cfg);
   for (int k = 0; k < 40; ++k) {
-    controller.observe(sim.step(controller.decide(sim)));
+    controller.observe(sim.step(controller.decide(sim), {}));
   }
   EXPECT_NE(setup.trainer->agent().mean_action(probe), before);
 }

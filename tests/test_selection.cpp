@@ -110,7 +110,8 @@ TEST(SimulatorParticipation, ExcludedDevicesCostNothing) {
   auto sim = make_sim(3, 7);
   std::vector<double> freqs;
   for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz);
-  auto r = sim.step(freqs, {true, false, true});
+  const std::vector<bool> mask{true, false, true};
+  auto r = sim.step(freqs, StepOptions::with_participants(mask));
   EXPECT_FALSE(r.devices[1].participated);
   EXPECT_DOUBLE_EQ(r.devices[1].energy, 0.0);
   EXPECT_DOUBLE_EQ(r.devices[1].total_time, 0.0);
@@ -123,7 +124,7 @@ TEST(SimulatorParticipation, DroppingStragglerShrinksMakespan) {
   auto sim = make_sim(3, 11);
   std::vector<double> freqs;
   for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz);
-  auto full = sim.preview(freqs, 0.0);
+  auto full = sim.preview(freqs, StepOptions::dry_run(0.0));
   // Identify the straggler and rerun without it.
   std::size_t straggler = 0;
   for (std::size_t i = 1; i < 3; ++i) {
@@ -135,7 +136,7 @@ TEST(SimulatorParticipation, DroppingStragglerShrinksMakespan) {
   std::vector<bool> mask(3, true);
   mask[straggler] = false;
   FlSimulator sim2 = sim;
-  auto partial = sim2.step(freqs, mask);
+  auto partial = sim2.step(freqs, StepOptions::with_participants(mask));
   EXPECT_LT(partial.iteration_time, full.iteration_time);
   EXPECT_LT(partial.total_energy, full.total_energy);
 }
@@ -143,8 +144,12 @@ TEST(SimulatorParticipation, DroppingStragglerShrinksMakespan) {
 TEST(SimulatorParticipationDeathTest, EmptyRoundAborts) {
   auto sim = make_sim(2, 3);
   std::vector<double> freqs{1e9, 1e9};
-  EXPECT_DEATH(sim.step(freqs, {false, false}), "precondition");
-  EXPECT_DEATH(sim.step(freqs, {true}), "precondition");
+  const std::vector<bool> nobody{false, false};
+  const std::vector<bool> short_mask{true};
+  EXPECT_DEATH(sim.step(freqs, StepOptions::with_participants(nobody)),
+               "precondition");
+  EXPECT_DEATH(sim.step(freqs, StepOptions::with_participants(short_mask)),
+               "precondition");
 }
 
 TEST(SelectionDeathTest, BadConfigsAbort) {

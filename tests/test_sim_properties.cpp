@@ -23,7 +23,7 @@ class SimProperties : public ::testing::TestWithParam<std::uint64_t> {
     return build_simulator(cfg);
   }
 
-  std::vector<double> random_freqs(const FlSimulator& sim, Rng& rng) {
+  std::vector<double> random_freqs(const SimulatorBase& sim, Rng& rng) {
     std::vector<double> freqs;
     for (const auto& d : sim.devices()) {
       // Deliberately out-of-range values included: negatives, zeros, and
@@ -39,7 +39,7 @@ TEST_P(SimProperties, AccountingIdentitiesUnderRandomActions) {
   Rng rng(GetParam() ^ 0xabcdULL);
   double expected_now = sim.now();
   for (int k = 0; k < 25; ++k) {
-    auto r = sim.step(random_freqs(sim, rng));
+    auto r = sim.step(random_freqs(sim, rng), {});
     // Constraint (11): the clock advances by exactly T^k.
     EXPECT_DOUBLE_EQ(r.start_time, expected_now);
     expected_now += r.iteration_time;
@@ -75,7 +75,7 @@ TEST_P(SimProperties, FrequenciesAlwaysClamped) {
   auto sim = make_sim();
   Rng rng(GetParam() ^ 0x1234ULL);
   for (int k = 0; k < 10; ++k) {
-    auto r = sim.step(random_freqs(sim, rng));
+    auto r = sim.step(random_freqs(sim, rng), {});
     for (std::size_t i = 0; i < r.devices.size(); ++i) {
       const auto& dev = sim.devices()[i];
       EXPECT_GE(r.devices[i].freq_hz,
@@ -89,8 +89,8 @@ TEST_P(SimProperties, PreviewMatchesStepFromSameState) {
   auto sim = make_sim();
   Rng rng(GetParam() ^ 0x5678ULL);
   auto freqs = random_freqs(sim, rng);
-  auto previewed = sim.preview(freqs, sim.now());
-  auto stepped = sim.step(freqs);
+  auto previewed = sim.preview(freqs, {});
+  auto stepped = sim.step(freqs, {});
   EXPECT_DOUBLE_EQ(previewed.cost, stepped.cost);
   EXPECT_DOUBLE_EQ(previewed.iteration_time, stepped.iteration_time);
   for (std::size_t i = 0; i < previewed.devices.size(); ++i) {
@@ -106,11 +106,11 @@ TEST_P(SimProperties, OracleNearlyLowerBoundsRandomActions) {
   // property is a 5 % bound rather than strict dominance.
   auto sim = make_sim();
   OracleController oracle;
-  const double oracle_cost = sim.preview(oracle.decide(sim), sim.now()).cost;
+  const double oracle_cost = sim.preview(oracle.decide(sim), {}).cost;
   Rng rng(GetParam() ^ 0x9999ULL);
   for (int trial = 0; trial < 15; ++trial) {
     const double random_cost =
-        sim.preview(random_freqs(sim, rng), sim.now()).cost;
+        sim.preview(random_freqs(sim, rng), {}).cost;
     EXPECT_LE(oracle_cost, random_cost * 1.05);
   }
 }
@@ -120,7 +120,7 @@ TEST_P(SimProperties, RealizedBandwidthConsistentWithEq3) {
   auto sim = make_sim();
   Rng rng(GetParam() ^ 0x4242ULL);
   for (int k = 0; k < 10; ++k) {
-    auto r = sim.step(random_freqs(sim, rng));
+    auto r = sim.step(random_freqs(sim, rng), {});
     for (const auto& d : r.devices) {
       if (d.comm_time <= 0.0) continue;
       EXPECT_NEAR(d.avg_bandwidth * d.comm_time, sim.params().model_bytes,
@@ -141,7 +141,7 @@ TEST_P(SimProperties, PartialParticipationConsistency) {
       any = any || m;
     }
     if (!any) mask[0] = true;
-    auto r = sim.step(freqs, mask);
+    auto r = sim.step(freqs, StepOptions::with_participants(mask));
     double max_time = 0.0;
     for (std::size_t i = 0; i < 5; ++i) {
       if (mask[i]) {

@@ -36,7 +36,7 @@ TEST(Simulator, HandComputedIterationOnConstantTrace) {
   // cost = 4 + 0.1 * 2.025 = 4.2025.
   FlSimulator sim({simple_device()}, {constant_trace(50.0, 100)},
                   simple_params());
-  auto r = sim.step({0.5e9});
+  auto r = sim.step({0.5e9}, {});
   ASSERT_EQ(r.devices.size(), 1u);
   EXPECT_NEAR(r.devices[0].compute_time, 2.0, 1e-12);
   EXPECT_NEAR(r.devices[0].comm_time, 2.0, 1e-12);
@@ -55,7 +55,7 @@ TEST(Simulator, MakespanIsSlowestDevice) {
   FlSimulator sim({simple_device(1e9), simple_device(4e9)},
                   {constant_trace(100.0, 100), constant_trace(100.0, 100)},
                   simple_params());
-  auto r = sim.step({1e9, 1e9});
+  auto r = sim.step({1e9, 1e9}, {});
   // Device 0: 1 + 1 = 2 s; device 1: 4 + 1 = 5 s.
   EXPECT_NEAR(r.iteration_time, 5.0, 1e-12);
   EXPECT_NEAR(r.devices[0].idle_time, 3.0, 1e-12);
@@ -67,7 +67,7 @@ TEST(Simulator, ClockAdvancesByIterationTime) {
   FlSimulator sim({simple_device()}, {constant_trace(50.0, 100)},
                   simple_params(), 10.0);
   EXPECT_DOUBLE_EQ(sim.now(), 10.0);
-  auto r = sim.step({1e9});
+  auto r = sim.step({1e9}, {});
   EXPECT_DOUBLE_EQ(sim.now(), 10.0 + r.iteration_time);
   EXPECT_EQ(sim.iteration(), 1u);
 }
@@ -75,14 +75,14 @@ TEST(Simulator, ClockAdvancesByIterationTime) {
 TEST(Simulator, FrequencyClampedToCap) {
   FlSimulator sim({simple_device(1e9, 1e9)}, {constant_trace(100.0, 100)},
                   simple_params());
-  auto r = sim.step({5e9});  // above cap
+  auto r = sim.step({5e9}, {});  // above cap
   EXPECT_DOUBLE_EQ(r.devices[0].freq_hz, 1e9);
 }
 
 TEST(Simulator, FrequencyLiftedToFloor) {
   FlSimulator sim({simple_device(1e9, 1e9)}, {constant_trace(100.0, 100)},
                   simple_params());
-  auto r = sim.step({0.0});  // device cannot opt out
+  auto r = sim.step({0.0}, {});  // device cannot opt out
   EXPECT_DOUBLE_EQ(r.devices[0].freq_hz,
                    FlSimulator::kMinFreqFraction * 1e9);
 }
@@ -98,9 +98,9 @@ TEST(Simulator, UploadStartsAfterCompute) {
 
   // At full speed: compute ends at 1 s; upload needs 40 B in slow phase
   // (4 s) + 460 B fast -> finishes a bit after 5 s.
-  auto r1 = sim.preview({1e9}, 0.0);
+  auto r1 = sim.preview({1e9}, StepOptions::dry_run(0.0));
   // At 0.2x: compute ends at 5 s; 500 B at 1000 B/s -> 0.5 s.
-  auto r2 = sim.preview({0.2e9}, 0.0);
+  auto r2 = sim.preview({0.2e9}, StepOptions::dry_run(0.0));
   EXPECT_GT(r1.devices[0].comm_time, r2.devices[0].comm_time);
   // Slowing down 5x cost almost no wall-clock time (the fast device was
   // stuck behind the slow network phase anyway)...
@@ -115,7 +115,7 @@ TEST(Simulator, PreviewDoesNotAdvance) {
   FlSimulator sim({simple_device()}, {constant_trace(50.0, 100)},
                   simple_params());
   const double before = sim.now();
-  (void)sim.preview({1e9}, 100.0);
+  (void)sim.preview({1e9}, StepOptions::dry_run(100.0));
   EXPECT_DOUBLE_EQ(sim.now(), before);
   EXPECT_EQ(sim.iteration(), 0u);
 }
@@ -123,7 +123,7 @@ TEST(Simulator, PreviewDoesNotAdvance) {
 TEST(Simulator, ResetRewindsClock) {
   FlSimulator sim({simple_device()}, {constant_trace(50.0, 100)},
                   simple_params());
-  sim.step({1e9});
+  sim.step({1e9}, {});
   sim.reset(3.0);
   EXPECT_DOUBLE_EQ(sim.now(), 3.0);
   EXPECT_EQ(sim.iteration(), 0u);
@@ -133,7 +133,7 @@ TEST(Simulator, CostDecomposition) {
   FlSimulator sim({simple_device(), simple_device(2e9)},
                   {constant_trace(50.0, 100), constant_trace(25.0, 100)},
                   simple_params(0.25));
-  auto r = sim.step({1e9, 2e9});
+  auto r = sim.step({1e9, 2e9}, {});
   EXPECT_NEAR(r.cost, r.iteration_time + 0.25 * r.total_energy, 1e-12);
   double e = 0.0, ec = 0.0;
   for (const auto& d : r.devices) {
@@ -151,7 +151,7 @@ TEST(Simulator, HigherFrequencyNeverSlowerOnConstantTrace) {
   double prev_time = 1e18;
   double prev_energy = 0.0;
   for (double f = 0.1e9; f <= 1.0e9; f += 0.1e9) {
-    auto r = sim.preview({f}, 0.0);
+    auto r = sim.preview({f}, StepOptions::dry_run(0.0));
     EXPECT_LE(r.iteration_time, prev_time);
     EXPECT_GE(r.devices[0].compute_energy, prev_energy);
     prev_time = r.iteration_time;
@@ -172,7 +172,7 @@ TEST(Simulator, RealisticTraceIterationSequence) {
   for (int k = 0; k < 20; ++k) {
     std::vector<double> freqs;
     for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz);
-    auto r = sim.step(freqs);
+    auto r = sim.step(freqs, {});
     EXPECT_GT(r.iteration_time, 0.0);
     EXPECT_GT(r.cost, 0.0);
     EXPECT_TRUE(std::isfinite(r.cost));
@@ -186,7 +186,7 @@ TEST(SimulatorDeathTest, MismatchedInputsAbort) {
                "precondition");
   FlSimulator sim({simple_device()}, {constant_trace(50.0, 10)},
                   simple_params());
-  EXPECT_DEATH(sim.step({1e9, 1e9}), "precondition");
+  EXPECT_DEATH(sim.step({1e9, 1e9}, {}), "precondition");
 }
 
 }  // namespace

@@ -85,6 +85,48 @@ TEST(Transforms, ScaledGeneratorTraceKeepsShape) {
   }
 }
 
+TEST(Transforms, BlackoutZeroesEveryBinTouchingTheWindow) {
+  BandwidthTrace t(std::vector<double>(10, 50.0), 1.0);
+  // Window [2.5, 5.5) touches bins 2..5 (a window ending mid-bin
+  // silences that bin too).
+  auto dark = blackout_trace(t, 2.5, 3.0);
+  for (std::size_t j = 0; j < 10; ++j) {
+    const bool in_window = j >= 2 && j <= 5;
+    EXPECT_DOUBLE_EQ(dark.samples()[j], in_window ? 0.0 : 50.0) << j;
+  }
+}
+
+TEST(Transforms, BlackoutWrapsAcrossThePeriodBoundary) {
+  BandwidthTrace t(std::vector<double>(10, 50.0), 1.0);
+  // Start maps to bin 8; a 3 s window covers bins 8, 9 and wraps to 0.
+  // Absolute starts beyond one period fold in periodically.
+  for (double start : {8.0, 18.0, 108.0}) {
+    auto dark = blackout_trace(t, start, 3.0);
+    EXPECT_DOUBLE_EQ(dark.samples()[8], 0.0);
+    EXPECT_DOUBLE_EQ(dark.samples()[9], 0.0);
+    EXPECT_DOUBLE_EQ(dark.samples()[0], 0.0);
+    EXPECT_DOUBLE_EQ(dark.samples()[1], 50.0);
+    EXPECT_DOUBLE_EQ(dark.samples()[7], 50.0);
+  }
+}
+
+TEST(Transforms, BlackoutZeroDurationIsANoop) {
+  BandwidthTrace t({10.0, 20.0, 30.0}, 1.0);
+  auto same = blackout_trace(t, 1.0, 0.0);
+  EXPECT_EQ(same.samples(), t.samples());
+}
+
+TEST(Transforms, BlackoutNeverSilencesTheWholeTrace) {
+  // Even a near-period outage leaves at least one live bin, so
+  // upload_finish_time stays well-defined (it just waits a period).
+  BandwidthTrace t(std::vector<double>(4, 25.0), 1.0);
+  auto dark = blackout_trace(t, 0.0, 3.9);
+  double remaining = 0.0;
+  for (double s : dark.samples()) remaining += s;
+  EXPECT_GT(remaining, 0.0);
+  EXPECT_GT(dark.upload_finish_time(0.0, 10.0), 3.0);
+}
+
 TEST(TransformsDeathTest, BadArgsAbort) {
   BandwidthTrace t({1.0, 2.0}, 1.0);
   EXPECT_DEATH((void)scale_trace(t, 0.0), "precondition");
@@ -94,6 +136,8 @@ TEST(TransformsDeathTest, BadArgsAbort) {
   EXPECT_DEATH((void)blend_traces(t, other, 0.5), "precondition");
   EXPECT_DEATH((void)blend_traces(t, t, 1.5), "precondition");
   EXPECT_DEATH((void)step_trace({}), "precondition");
+  EXPECT_DEATH((void)blackout_trace(t, -1.0, 0.5), "precondition");
+  EXPECT_DEATH((void)blackout_trace(t, 0.0, 2.0), "precondition");
 }
 
 }  // namespace

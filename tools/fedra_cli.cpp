@@ -244,22 +244,22 @@ int cmd_multiseed(const ArgParser& args) {
       static_cast<std::size_t>(args.get_int("iterations", 200));
 
   std::vector<PolicySpec> roster;
-  roster.push_back({"oracle", [](const FlSimulator&) {
+  roster.push_back({"oracle", [](const SimulatorBase&) {
                       return std::make_unique<OracleController>();
                     }});
-  roster.push_back({"heuristic", [](const FlSimulator& sim) {
+  roster.push_back({"heuristic", [](const SimulatorBase& sim) {
                       return std::make_unique<HeuristicController>(sim);
                     }});
-  roster.push_back({"mpc-ewma", [](const FlSimulator& sim) {
+  roster.push_back({"mpc-ewma", [](const SimulatorBase& sim) {
                       return std::make_unique<PredictiveController>(
                           sim, std::make_unique<EwmaPredictor>(0.2));
                     }});
-  roster.push_back({"static", [](const FlSimulator& sim) {
+  roster.push_back({"static", [](const SimulatorBase& sim) {
                       Rng rng(1);
                       return std::make_unique<StaticController>(sim, 10,
                                                                 rng);
                     }});
-  roster.push_back({"fullspeed", [](const FlSimulator&) {
+  roster.push_back({"fullspeed", [](const SimulatorBase&) {
                       return std::make_unique<FullSpeedController>();
                     }});
 

@@ -177,6 +177,54 @@ int main(int argc, char** argv) {
     std::printf("no span records in %s\n", path.c_str());
   }
 
+  // Fault/straggler summary: the sim.fault.* counters written by the
+  // simulator and the fl.* delivery counters written by FedAvg. Shown
+  // first — when a run had churn, this is what you look at.
+  {
+    auto find = [&](const std::string& name, double& out) {
+      for (const auto& [n, v] : counters) {
+        if (n == name) {
+          out = v;
+          return true;
+        }
+      }
+      return false;
+    };
+    double iterations = 0.0;
+    find("sim.iterations", iterations);
+    struct FaultRow {
+      const char* name;
+      const char* what;
+    };
+    const FaultRow rows[] = {
+        {"sim.fault.dropped_devices", "mid-round dropouts"},
+        {"sim.fault.timeouts", "deadline timeouts"},
+        {"sim.fault.crashes", "whole-round crashes"},
+        {"sim.fault.upload_failures", "uploads lost (retries exhausted)"},
+        {"sim.fault.retries", "upload retries"},
+        {"sim.fault.partial_rounds", "partial rounds"},
+        {"fl.lost_updates", "FedAvg updates lost"},
+        {"fl.partial_rounds", "FedAvg partial aggregations"},
+        {"fl.wasted_rounds", "FedAvg wasted rounds (nothing arrived)"},
+    };
+    bool any = false;
+    for (const auto& row : rows) {
+      double v = 0.0;
+      if (!find(row.name, v)) continue;
+      if (!any) {
+        std::printf("\n== fault summary ==\n");
+        any = true;
+      }
+      std::printf("%-28s %14.0f  %s", row.name, v, row.what);
+      if (iterations > 0.0 &&
+          std::string(row.name) == "sim.fault.partial_rounds") {
+        std::printf(" (%.1f%% of %.0f rounds)", 100.0 * v / iterations,
+                    iterations);
+      }
+      std::printf("\n");
+    }
+  }
+
   if (show_metrics) {
     if (!histograms.empty()) {
       std::printf("\n== histograms ==\n");
