@@ -1,0 +1,86 @@
+// Checkpoint subsystem benchmark: what does durable training state COST?
+// Measures save/restore wall time and checkpoint size for a realistic
+// trainer snapshot, so `--checkpoint-every N` can be chosen with numbers
+// (the overhead bound is save_ms / (N * episode_ms)). Plain executable in
+// the figure-bench style: prints one row per configuration.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "core/offline_trainer.hpp"
+#include "sim/experiment_config.hpp"
+
+namespace {
+
+using namespace fedra;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+std::size_t file_size(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long n = std::ftell(f);
+  std::fclose(f);
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+OfflineTrainer make_trainer(std::size_t hidden, std::size_t buffer) {
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 400;
+  FlEnvConfig env_cfg;
+  env_cfg.slot_seconds = cfg.slot_seconds;
+  env_cfg.history_slots = cfg.history_slots;
+  TrainerConfig tc;
+  tc.episodes = 1;
+  tc.buffer_capacity = buffer;
+  tc.policy.hidden = {hidden};
+  OfflineTrainer trainer(FlEnv(build_simulator(cfg), env_cfg), tc, 7);
+  (void)trainer.run_episode(0);  // non-trivial state: rollout mid-fill
+  return trainer;
+}
+
+}  // namespace
+
+int main() {
+  const std::string path = "/tmp/fedra_bench.ckpt";
+  constexpr int kReps = 20;
+
+  std::printf("# checkpoint save/restore cost (median-free mean over %d"
+              " reps)\n",
+              kReps);
+  std::printf("%-10s %-10s %12s %12s %12s\n", "hidden", "buffer",
+              "bytes", "save_ms", "restore_ms");
+  for (const auto& [hidden, buffer] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {64, 256}, {128, 1024}, {256, 4096}}) {
+    OfflineTrainer trainer = make_trainer(hidden, buffer);
+
+    double save_ms = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      const auto t0 = Clock::now();
+      ckpt::save_trainer(path, trainer, 1, {{"bench", 1.0}});
+      save_ms += ms_since(t0);
+    }
+
+    OfflineTrainer target = make_trainer(hidden, buffer);
+    double restore_ms = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      const auto t0 = Clock::now();
+      (void)ckpt::restore_trainer(path, target);
+      restore_ms += ms_since(t0);
+    }
+
+    std::printf("%-10zu %-10zu %12zu %12.3f %12.3f\n", hidden, buffer,
+                file_size(path), save_ms / kReps, restore_ms / kReps);
+  }
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,249 @@
+#include "ckpt/format.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+namespace fedra::ckpt {
+
+namespace {
+
+constexpr std::size_t kMaxSections = 4096;
+constexpr std::size_t kMaxNameLen = 255;
+
+/// Fixed header bytes before the variable-length table.
+constexpr std::size_t kFixedHeader = 4 + 4 + 4 + 8;
+/// Per-section table bytes excluding the name.
+constexpr std::size_t kTableEntryFixed = 2 + 8 + 8 + 4;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+[[noreturn]] void fail(Errc code, const std::string& what) {
+  throw CkptError(code, what);
+}
+
+}  // namespace
+
+const char* errc_name(Errc code) {
+  switch (code) {
+    case Errc::kIo: return "io-error";
+    case Errc::kBadMagic: return "bad-magic";
+    case Errc::kBadVersion: return "bad-version";
+    case Errc::kTruncated: return "truncated";
+    case Errc::kCrcMismatch: return "crc-mismatch";
+    case Errc::kMissingSection: return "missing-section";
+    case Errc::kMalformed: return "malformed";
+    case Errc::kStateMismatch: return "state-mismatch";
+  }
+  return "unknown";
+}
+
+CkptError::CkptError(Errc code, const std::string& what)
+    : std::runtime_error(std::string("ckpt [") + errc_name(code) + "]: " +
+                         what),
+      code_(code) {}
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+// --- Writer ---------------------------------------------------------------
+
+ByteWriter& Writer::add(std::string name) {
+  if (name.empty() || name.size() > kMaxNameLen) {
+    fail(Errc::kMalformed, "section name must be 1..255 bytes");
+  }
+  for (const auto& [existing, payload] : sections_) {
+    (void)payload;
+    if (existing == name) {
+      fail(Errc::kMalformed, "duplicate section: " + name);
+    }
+  }
+  if (sections_.size() >= kMaxSections) {
+    fail(Errc::kMalformed, "too many sections");
+  }
+  sections_.emplace_back(std::move(name), ByteWriter{});
+  return sections_.back().second;
+}
+
+std::string Writer::encode() const {
+  std::size_t header_size = kFixedHeader;
+  for (const auto& [name, payload] : sections_) {
+    (void)payload;
+    header_size += kTableEntryFixed + name.size();
+  }
+  header_size += 4;  // header CRC
+
+  std::uint64_t total = header_size;
+  for (const auto& [name, payload] : sections_) {
+    (void)name;
+    total += payload.size();
+  }
+
+  ByteWriter out;
+  out.put_bytes(kMagic, sizeof(kMagic));
+  out.put_u32(kFormatVersion);
+  out.put_u32(static_cast<std::uint32_t>(sections_.size()));
+  out.put_u64(total);
+  std::uint64_t offset = header_size;
+  for (const auto& [name, payload] : sections_) {
+    out.put_u16(static_cast<std::uint16_t>(name.size()));
+    out.put_bytes(name.data(), name.size());
+    out.put_u64(offset);
+    out.put_u64(payload.size());
+    out.put_u32(crc32(payload.bytes().data(), payload.size()));
+    offset += payload.size();
+  }
+  out.put_u32(crc32(out.bytes().data(), out.size()));
+  for (const auto& [name, payload] : sections_) {
+    (void)name;
+    out.put_bytes(payload.bytes().data(), payload.size());
+  }
+  return out.take();
+}
+
+void Writer::write_file(const std::string& path) const {
+  const std::string bytes = encode();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail(Errc::kIo, "cannot open for writing: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      fail(Errc::kIo, "write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail(Errc::kIo, "rename failed: " + tmp + " -> " + path);
+  }
+}
+
+// --- Reader ---------------------------------------------------------------
+
+Reader Reader::from_bytes(std::string bytes) {
+  Reader r;
+  r.bytes_ = std::move(bytes);
+  const std::string& b = r.bytes_;
+
+  if (b.size() < sizeof(kMagic) ||
+      std::memcmp(b.data(), kMagic, sizeof(kMagic)) != 0) {
+    fail(Errc::kBadMagic, "not a fedra checkpoint");
+  }
+
+  ByteReader header(b.data(), b.size());
+  std::uint32_t section_count = 0;
+  std::uint64_t recorded_size = 0;
+  try {
+    char magic[4];
+    header.get_bytes(magic, sizeof(magic));
+    r.version_ = header.get_u32();
+    if (r.version_ != kFormatVersion) {
+      fail(Errc::kBadVersion,
+           "format version " + std::to_string(r.version_) +
+               " (this build reads version " +
+               std::to_string(kFormatVersion) + ")");
+    }
+    section_count = header.get_u32();
+    recorded_size = header.get_u64();
+    if (recorded_size > b.size()) {
+      fail(Errc::kTruncated, "file is " + std::to_string(b.size()) +
+                                 " bytes, header records " +
+                                 std::to_string(recorded_size));
+    }
+    if (recorded_size < b.size()) {
+      fail(Errc::kMalformed, "trailing bytes after recorded file size");
+    }
+    if (section_count > kMaxSections) {
+      fail(Errc::kMalformed, "implausible section count");
+    }
+
+    r.sections_.reserve(section_count);
+    for (std::uint32_t i = 0; i < section_count; ++i) {
+      SectionInfo info;
+      const std::uint16_t name_len = header.get_u16();
+      if (name_len == 0 || name_len > kMaxNameLen) {
+        fail(Errc::kMalformed, "bad section name length");
+      }
+      info.name.resize(name_len);
+      header.get_bytes(info.name.data(), name_len);
+      info.offset = header.get_u64();
+      info.size = header.get_u64();
+      info.crc = header.get_u32();
+      r.sections_.push_back(std::move(info));
+    }
+
+    // Header CRC covers everything read so far.
+    const std::size_t header_bytes = b.size() - header.remaining();
+    const std::uint32_t stored_crc = header.get_u32();
+    if (crc32(b.data(), header_bytes) != stored_crc) {
+      fail(Errc::kCrcMismatch, "header CRC mismatch");
+    }
+
+    const std::uint64_t payload_start = header_bytes + 4;
+    for (const auto& s : r.sections_) {
+      // Overflow-safe bounds: size is checked against the span AFTER the
+      // offset has been validated, so offset + size cannot wrap.
+      if (s.offset < payload_start || s.offset > b.size() ||
+          s.size > b.size() - s.offset) {
+        fail(Errc::kMalformed, "section '" + s.name + "' out of bounds");
+      }
+      if (crc32(b.data() + s.offset, static_cast<std::size_t>(s.size)) !=
+          s.crc) {
+        fail(Errc::kCrcMismatch, "section '" + s.name + "' CRC mismatch");
+      }
+    }
+  } catch (const SerializeError&) {
+    fail(Errc::kTruncated, "checkpoint header truncated");
+  }
+  return r;
+}
+
+Reader Reader::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(Errc::kIo, "cannot open for reading: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) fail(Errc::kIo, "read failed: " + path);
+  return from_bytes(std::move(bytes));
+}
+
+bool Reader::has(std::string_view name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+ByteReader Reader::open(std::string_view name) const& {
+  for (const auto& s : sections_) {
+    if (s.name == name) {
+      return ByteReader(bytes_.data() + s.offset,
+                        static_cast<std::size_t>(s.size));
+    }
+  }
+  fail(Errc::kMissingSection, "no section named '" + std::string(name) + "'");
+}
+
+}  // namespace fedra::ckpt

@@ -135,15 +135,23 @@ EpisodeStats OfflineTrainer::run_episode(std::size_t episode_index) {
   return stats;
 }
 
-std::vector<EpisodeStats> OfflineTrainer::train() {
+std::vector<EpisodeStats> OfflineTrainer::train(const TrainHooks& hooks) {
+  FEDRA_EXPECTS(hooks.start_episode <= config_.episodes);
   std::vector<EpisodeStats> history;
-  history.reserve(config_.episodes);
-  for (std::size_t e = 0; e < config_.episodes; ++e) {
+  history.reserve(config_.episodes - hooks.start_episode);
+  for (std::size_t e = hooks.start_episode; e < config_.episodes; ++e) {
     history.push_back(run_episode(e));
     if ((e + 1) % 50 == 0) {
       FEDRA_LOG_INFO("episode %zu/%zu: avg cost %.3f, loss %.4f", e + 1,
                      config_.episodes, history.back().avg_cost,
                      history.back().total_loss);
+    }
+    // A periodic snapshot plus one after the final episode, so a run that
+    // completes leaves a checkpoint from which nothing replays.
+    if (hooks.on_checkpoint && hooks.checkpoint_every > 0 &&
+        ((e + 1 - hooks.start_episode) % hooks.checkpoint_every == 0 ||
+         e + 1 == config_.episodes)) {
+      hooks.on_checkpoint(e + 1, history.back());
     }
   }
   return history;

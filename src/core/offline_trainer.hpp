@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "env/fl_env.hpp"
@@ -57,12 +58,31 @@ struct EpisodeStats {
   double entropy = 0.0;
 };
 
+/// Periodic-checkpoint wiring for train(). The trainer itself stays
+/// agnostic of the on-disk format: fedra::ckpt (or any caller) installs
+/// on_checkpoint, and the trainer invokes it every checkpoint_every
+/// episodes with the index of the NEXT episode to run — exactly the value
+/// to feed back as start_episode when resuming.
+struct TrainHooks {
+  /// First episode to run (resume point; 0 = fresh run).
+  std::size_t start_episode = 0;
+  /// Invoke on_checkpoint every N completed episodes (0 = never).
+  std::size_t checkpoint_every = 0;
+  std::function<void(std::size_t next_episode, const EpisodeStats& stats)>
+      on_checkpoint;
+};
+
 class OfflineTrainer {
  public:
   OfflineTrainer(FlEnv env, const TrainerConfig& config, std::uint64_t seed);
 
   /// Runs the full offline procedure; returns one stats row per episode.
-  std::vector<EpisodeStats> train();
+  std::vector<EpisodeStats> train() { return train(TrainHooks{}); }
+
+  /// train() with resume/checkpoint hooks: runs episodes
+  /// [hooks.start_episode, config.episodes) and fires hooks.on_checkpoint
+  /// on the configured cadence (plus once after the final episode).
+  std::vector<EpisodeStats> train(const TrainHooks& hooks);
 
   /// Runs a single episode (exposed for incremental training loops and
   /// tests). Updates fire automatically whenever the buffer fills.
@@ -71,6 +91,21 @@ class OfflineTrainer {
   PpoAgent& agent() { return agent_; }
   FlEnv& env() { return env_; }
   const TrainerConfig& config() const { return config_; }
+
+  // Mutable training state, exposed for checkpointing (fedra::ckpt): the
+  // rollout buffer (possibly mid-fill at a checkpoint), the trainer's RNG
+  // stream, and the stats of the most recent PPO update.
+  RolloutBuffer& rollout_buffer() { return buffer_; }
+  const RolloutBuffer& rollout_buffer() const { return buffer_; }
+  Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
+  const FlEnv& env() const { return env_; }
+  bool has_update() const { return has_update_; }
+  const UpdateStats& last_update() const { return last_update_; }
+  void restore_update_stats(const UpdateStats& stats, bool has_update) {
+    last_update_ = stats;
+    has_update_ = has_update;
+  }
 
  private:
   FlEnv env_;

@@ -123,6 +123,15 @@ StepResult FlEnv::step(const std::vector<double>& action) {
   return r;
 }
 
+void FlEnv::restore_episode(std::size_t steps_in_episode, bool has_result,
+                            IterationResult last_result) {
+  FEDRA_EXPECTS(!has_result ||
+                last_result.devices.size() == sim_.num_devices());
+  steps_in_episode_ = steps_in_episode;
+  has_result_ = has_result;
+  last_result_ = std::move(last_result);
+}
+
 std::vector<double> FlEnv::max_freqs() const {
   std::vector<double> caps;
   caps.reserve(sim_.num_devices());

@@ -92,6 +92,22 @@ class FlEnv {
   /// its crash chain at episode starts.
   void set_fault_model(fault::FaultModel model) { fault_model_ = model; }
   const fault::FaultModel& fault_model() const { return fault_model_; }
+  /// Mutable fault-model access for checkpoint restore (fedra::ckpt).
+  fault::FaultModel& fault_model_mut() { return fault_model_; }
+
+  // Mid-episode state, exposed for checkpointing (fedra::ckpt).
+  std::size_t steps_in_episode() const { return steps_in_episode_; }
+  /// Last simulator outcome, or nullptr before the first step of a run.
+  const IterationResult* last_result() const {
+    return has_result_ ? &last_result_ : nullptr;
+  }
+
+  /// Restores the mid-episode position captured by a checkpoint: the step
+  /// counter and (when has_result) the previous round's outcome that
+  /// fault-aware states are built from. The simulator clock is restored
+  /// separately via SimulatorBase::restore_clock.
+  void restore_episode(std::size_t steps_in_episode, bool has_result,
+                       IterationResult last_result);
 
   /// Starts an episode at a random time within the trace period; returns
   /// s_1. Randomizing the phase is Algorithm 1 line 6.

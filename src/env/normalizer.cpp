@@ -42,4 +42,15 @@ std::vector<double> RunningNormalizer::normalize(
   return out;
 }
 
+void RunningNormalizer::restore(std::vector<double> mean,
+                                std::vector<double> m2, std::size_t count,
+                                bool frozen) {
+  FEDRA_EXPECTS(mean.size() == mean_.size());
+  FEDRA_EXPECTS(m2.size() == m2_.size());
+  mean_ = std::move(mean);
+  m2_ = std::move(m2);
+  count_ = count;
+  frozen_ = frozen;
+}
+
 }  // namespace fedra

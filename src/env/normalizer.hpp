@@ -28,6 +28,15 @@ class RunningNormalizer {
   void freeze() { frozen_ = true; }
   bool frozen() const { return frozen_; }
 
+  // Raw Welford moments, exposed for checkpointing (fedra::ckpt).
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& m2() const { return m2_; }
+
+  /// Restores a snapshot of the running moments. Vector sizes must match
+  /// this normalizer's dimension.
+  void restore(std::vector<double> mean, std::vector<double> m2,
+               std::size_t count, bool frozen);
+
   double clip = 10.0;
   double eps = 1e-8;
 

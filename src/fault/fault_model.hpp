@@ -137,6 +137,13 @@ class FaultModel {
   /// Devices currently down (crash chain state).
   std::size_t num_crashed() const;
 
+  // Crash-chain snapshot/restore for checkpointing (fedra::ckpt). The
+  // chain is the ONLY mutable state — everything else is a pure function
+  // of (seed, iteration, device) — so restoring it resumes the fault
+  // sequence bit-exactly.
+  const std::vector<bool>& crash_state() const { return crashed_; }
+  void set_crash_state(std::vector<bool> state) { crashed_ = std::move(state); }
+
  private:
   DeviceFault draw_device(std::size_t iteration, std::size_t device,
                           bool was_crashed, bool* now_crashed) const;

@@ -148,4 +148,16 @@ void Adam::step() {
   }
 }
 
+void Adam::restore_state(std::size_t t, std::vector<Matrix> m,
+                         std::vector<Matrix> v) {
+  FEDRA_EXPECTS(m.size() == params_.size() && v.size() == params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    FEDRA_EXPECTS(m[i].same_shape(*params_[i]));
+    FEDRA_EXPECTS(v[i].same_shape(*params_[i]));
+  }
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 }  // namespace fedra

@@ -66,6 +66,17 @@ class Adam final : public Optimizer {
   void set_lr(double lr) { lr_ = lr; }
   double lr() const { return lr_; }
 
+  // Optimizer state, exposed for checkpointing (fedra::ckpt). Bias
+  // correction depends on the step counter, so a bit-exact resume must
+  // restore t alongside the moment estimates.
+  std::size_t timestep() const { return t_; }
+  const std::vector<Matrix>& moment1() const { return m_; }
+  const std::vector<Matrix>& moment2() const { return v_; }
+
+  /// Restores a snapshot; moment shapes must match the bound parameters.
+  void restore_state(std::size_t t, std::vector<Matrix> m,
+                     std::vector<Matrix> v);
+
  private:
   double lr_;
   double beta1_;

@@ -73,6 +73,11 @@ class PpoAgent {
   GaussianPolicy& behavior_policy() { return policy_old_; }
   Mlp& critic() { return critic_; }
 
+  // Optimizer state access for checkpointing (fedra::ckpt): a bit-exact
+  // resume must carry the Adam moments and step counters across.
+  Adam& actor_optimizer() { return actor_opt_; }
+  Adam& critic_optimizer() { return critic_opt_; }
+
   void save(const std::string& prefix);
   void load(const std::string& prefix);
 

@@ -51,6 +51,14 @@ class SimulatorBase {
   /// Algorithm 1 line 6) and resets the round counter.
   virtual void reset(double start_time);
 
+  /// Restores an exact (clock, round counter) pair — the checkpoint/resume
+  /// hook (fedra::ckpt). Unlike reset(), the round counter is NOT zeroed,
+  /// so fault draws keyed on the iteration index continue their sequence.
+  void restore_clock(double now, std::size_t iteration) {
+    now_ = now;
+    iteration_ = iteration;
+  }
+
   /// Runs one round with the given per-device CPU-cycle frequencies (Hz)
   /// under `options`. Frequencies are clamped to (0, delta_i^max]: values
   /// above the cap saturate, non-positive values are lifted to a small

@@ -1,16 +1,28 @@
 #include "tensor/serialize.hpp"
 
-#include <cstdint>
+#include <bit>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
-#include <stdexcept>
 
 namespace fedra {
 
 namespace {
 constexpr char kMagic[4] = {'F', 'M', 'A', 'T'};
+
+// Dimension sanity caps shared by the stream and buffer readers. Each axis
+// is capped BEFORE the product is formed, so the element-count check can
+// never be bypassed by multiplication overflow (1e9 * 1e9 < 2^63).
+constexpr std::uint64_t kMaxAxis = 1000000000ULL;
+constexpr std::uint64_t kMaxElements = 1000000000ULL;
+
+void check_dims(std::uint64_t rows, std::uint64_t cols) {
+  if (rows > kMaxAxis || cols > kMaxAxis || rows * cols > kMaxElements) {
+    throw SerializeError("matrix header implausibly large");
+  }
+}
 
 void write_u64(std::ostream& out, std::uint64_t v) {
   char buf[8];
@@ -21,7 +33,7 @@ void write_u64(std::ostream& out, std::uint64_t v) {
 std::uint64_t read_u64(std::istream& in) {
   char buf[8];
   in.read(buf, 8);
-  if (!in) throw std::runtime_error("matrix stream truncated");
+  if (!in) throw SerializeError("matrix stream truncated");
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
@@ -37,44 +49,213 @@ void write_matrix(std::ostream& out, const Matrix& m) {
   write_u64(out, m.cols());
   out.write(reinterpret_cast<const char*>(m.data()),
             static_cast<std::streamsize>(m.size() * sizeof(double)));
-  if (!out) throw std::runtime_error("matrix write failed");
+  if (!out) throw SerializeError("matrix write failed");
 }
 
 Matrix read_matrix(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("bad matrix magic");
+    throw SerializeError("bad matrix magic");
   }
   const std::uint64_t rows = read_u64(in);
   const std::uint64_t cols = read_u64(in);
-  // Sanity cap: 1e9 elements ~ 8 GB; anything bigger is a corrupt header.
-  if (rows * cols > 1000000000ULL) {
-    throw std::runtime_error("matrix header implausibly large");
-  }
+  check_dims(rows, cols);
   Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
   in.read(reinterpret_cast<char*>(m.data()),
           static_cast<std::streamsize>(m.size() * sizeof(double)));
-  if (!in) throw std::runtime_error("matrix data truncated");
+  if (!in) throw SerializeError("matrix data truncated");
   return m;
 }
 
 void save_matrices(const std::string& path, const std::vector<Matrix>& ms) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out) throw SerializeError("cannot open for writing: " + path);
   write_u64(out, ms.size());
   for (const auto& m : ms) write_matrix(out, m);
 }
 
 std::vector<Matrix> load_matrices(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  if (!in) throw SerializeError("cannot open for reading: " + path);
   const std::uint64_t n = read_u64(in);
-  if (n > 1000000ULL) throw std::runtime_error("matrix count implausible");
+  if (n > 1000000ULL) throw SerializeError("matrix count implausible");
   std::vector<Matrix> ms;
   ms.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) ms.push_back(read_matrix(in));
   return ms;
+}
+
+// --- ByteWriter -----------------------------------------------------------
+
+void ByteWriter::put_u8(std::uint8_t v) {
+  buf_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::put_u16(std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::put_f64(double v) {
+  put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::put_bytes(const void* data, std::size_t size) {
+  buf_.append(static_cast<const char*>(data), size);
+}
+
+void ByteWriter::put_string(std::string_view s) {
+  if (s.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw SerializeError("string too long to serialize");
+  }
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  put_bytes(s.data(), s.size());
+}
+
+void ByteWriter::put_doubles(const std::vector<double>& xs) {
+  put_u64(xs.size());
+  put_bytes(xs.data(), xs.size() * sizeof(double));
+}
+
+void ByteWriter::put_u64s(const std::vector<std::uint64_t>& xs) {
+  put_u64(xs.size());
+  for (std::uint64_t x : xs) put_u64(x);
+}
+
+void ByteWriter::put_bools(const std::vector<bool>& xs) {
+  put_u64(xs.size());
+  for (bool b : xs) put_u8(b ? 1 : 0);
+}
+
+void ByteWriter::put_matrix(const Matrix& m) {
+  put_bytes(kMagic, sizeof(kMagic));
+  put_u64(m.rows());
+  put_u64(m.cols());
+  put_bytes(m.data(), m.size() * sizeof(double));
+}
+
+// --- ByteReader -----------------------------------------------------------
+
+ByteReader::ByteReader(const void* data, std::size_t size)
+    : p_(static_cast<const unsigned char*>(data)),
+      end_(static_cast<const unsigned char*>(data) + size) {}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) throw SerializeError("buffer truncated");
+}
+
+std::uint8_t ByteReader::get_u8() {
+  require(1);
+  return *p_++;
+}
+
+std::uint16_t ByteReader::get_u16() {
+  require(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(v | (static_cast<std::uint16_t>(p_[i])
+                                        << (8 * i)));
+  }
+  p_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::get_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p_[i]) << (8 * i);
+  p_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p_[i]) << (8 * i);
+  p_ += 8;
+  return v;
+}
+
+double ByteReader::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+bool ByteReader::get_bool() {
+  const std::uint8_t v = get_u8();
+  if (v > 1) throw SerializeError("malformed bool");
+  return v != 0;
+}
+
+void ByteReader::get_bytes(void* out, std::size_t size) {
+  require(size);
+  std::memcpy(out, p_, size);
+  p_ += size;
+}
+
+std::string ByteReader::get_string() {
+  const std::uint32_t n = get_u32();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(p_), n);
+  p_ += n;
+  return s;
+}
+
+std::vector<double> ByteReader::get_doubles() {
+  const std::uint64_t n = get_u64();
+  if (n > remaining() / sizeof(double)) {
+    throw SerializeError("double array truncated");
+  }
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  get_bytes(xs.data(), xs.size() * sizeof(double));
+  return xs;
+}
+
+std::vector<std::uint64_t> ByteReader::get_u64s() {
+  const std::uint64_t n = get_u64();
+  if (n > remaining() / 8) throw SerializeError("u64 array truncated");
+  std::vector<std::uint64_t> xs(static_cast<std::size_t>(n));
+  for (auto& x : xs) x = get_u64();
+  return xs;
+}
+
+std::vector<bool> ByteReader::get_bools() {
+  const std::uint64_t n = get_u64();
+  if (n > remaining()) throw SerializeError("bool array truncated");
+  std::vector<bool> xs(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = get_bool();
+  return xs;
+}
+
+Matrix ByteReader::get_matrix() {
+  char magic[4];
+  get_bytes(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw SerializeError("bad matrix magic");
+  }
+  const std::uint64_t rows = get_u64();
+  const std::uint64_t cols = get_u64();
+  check_dims(rows, cols);
+  const std::uint64_t bytes = rows * cols * sizeof(double);
+  if (bytes > remaining()) throw SerializeError("matrix data truncated");
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  get_bytes(m.data(), static_cast<std::size_t>(bytes));
+  return m;
+}
+
+void ByteReader::expect_end() const {
+  if (!at_end()) throw SerializeError("trailing bytes after payload");
 }
 
 }  // namespace fedra

@@ -1,20 +1,47 @@
-// Binary matrix (de)serialization for model checkpointing. The format is
-// a small magic header, dimensions as u64 little-endian, then raw doubles.
+// Binary (de)serialization for model checkpointing.
+//
+// Two layers live here:
+//
+//   - the original stream API (write_matrix / read_matrix /
+//     save_matrices / load_matrices): a small magic header, dimensions as
+//     u64 little-endian, then raw doubles;
+//   - a bounds-checked byte-buffer codec (ByteWriter / ByteReader) used by
+//     the fedra::ckpt section format. ByteWriter appends primitives to an
+//     in-memory buffer; ByteReader walks one and throws SerializeError on
+//     any overrun or malformed framing instead of reading past the end.
+//
+// Matrices use the SAME framing in both layers (magic "FMAT", u64 rows,
+// u64 cols, raw doubles little-endian), so a section payload written with
+// ByteWriter::put_matrix is byte-identical to write_matrix's stream
+// output. Doubles are written as raw IEEE-754 bits — NaN payloads,
+// signed zeros, subnormals and infinities all round-trip exactly.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "tensor/matrix.hpp"
 
 namespace fedra {
 
-/// Writes one matrix to a binary stream. Throws std::runtime_error on I/O
+/// Thrown on malformed or truncated serialized input (and I/O failures in
+/// the stream layer). A subtype of std::runtime_error, so existing
+/// catch sites keep working.
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes one matrix to a binary stream. Throws SerializeError on I/O
 /// failure.
 void write_matrix(std::ostream& out, const Matrix& m);
 
-/// Reads one matrix written by write_matrix. Throws std::runtime_error on
+/// Reads one matrix written by write_matrix. Throws SerializeError on
 /// malformed input.
 Matrix read_matrix(std::istream& in);
 
@@ -23,5 +50,73 @@ void save_matrices(const std::string& path, const std::vector<Matrix>& ms);
 
 /// Loads a sequence of matrices saved by save_matrices.
 std::vector<Matrix> load_matrices(const std::string& path);
+
+/// Appends little-endian primitives to an in-memory buffer. Containers are
+/// length-prefixed so ByteReader can validate before allocating.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  /// Raw IEEE-754 bits — every double value round-trips exactly.
+  void put_f64(double v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_bytes(const void* data, std::size_t size);
+  /// u32 length + bytes.
+  void put_string(std::string_view s);
+  /// u64 count + raw doubles.
+  void put_doubles(const std::vector<double>& xs);
+  /// u64 count + u64 each.
+  void put_u64s(const std::vector<std::uint64_t>& xs);
+  /// u64 count + one byte per element.
+  void put_bools(const std::vector<bool>& xs);
+  /// Stream-compatible matrix framing (see file comment).
+  void put_matrix(const Matrix& m);
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Walks a byte buffer written by ByteWriter. Every getter checks bounds
+/// and throws SerializeError instead of reading past the end; length
+/// prefixes are validated against the remaining bytes before any
+/// allocation, so a corrupted count cannot trigger a huge allocation.
+/// Non-owning: the underlying buffer must outlive the reader.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size);
+  explicit ByteReader(std::string_view bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  double get_f64();
+  bool get_bool();
+  void get_bytes(void* out, std::size_t size);
+  std::string get_string();
+  std::vector<double> get_doubles();
+  std::vector<std::uint64_t> get_u64s();
+  std::vector<bool> get_bools();
+  Matrix get_matrix();
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  bool at_end() const { return p_ == end_; }
+  /// Throws SerializeError unless every byte has been consumed (trailing
+  /// garbage in a fixed-layout payload means the framing is wrong).
+  void expect_end() const;
+
+ private:
+  void require(std::size_t n) const;
+
+  const unsigned char* p_;
+  const unsigned char* end_;
+};
 
 }  // namespace fedra

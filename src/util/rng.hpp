@@ -14,6 +14,15 @@
 
 namespace fedra {
 
+/// Full internal state of an Rng — the four xoshiro words plus the
+/// Marsaglia-polar cache. Capturing and restoring it reproduces the draw
+/// stream bit-for-bit from the capture point (checkpoint/resume).
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  bool gauss_cached = false;
+  double gauss_cache = 0.0;
+};
+
 /// SplitMix64 — used to expand a single 64-bit seed into generator state.
 class SplitMix64 {
  public:
@@ -113,6 +122,17 @@ class Rng {
 
   /// Derive an independent child generator (for parallel streams).
   Rng split() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+  /// Snapshot of the full stream position (see RngState).
+  RngState state() const { return {s_, gauss_cached_, gauss_cache_}; }
+
+  /// Restores a snapshot taken with state(); subsequent draws continue
+  /// the captured stream exactly.
+  void set_state(const RngState& state) {
+    s_ = state.s;
+    gauss_cached_ = state.gauss_cached;
+    gauss_cache_ = state.gauss_cache;
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

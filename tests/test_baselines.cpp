@@ -117,8 +117,8 @@ TEST(Oracle, NeverWorseThanFullSpeedOnFirstIteration) {
     auto sim = make_sim(seed);
     OracleController oracle;
     FullSpeedController full;
-    const auto oracle_cost = sim.preview(oracle.decide(sim), {}).cost;
-    const auto full_cost = sim.preview(full.decide(sim), {}).cost;
+    const auto oracle_cost = sim.preview(oracle.decide(sim), StepOptions{}).cost;
+    const auto full_cost = sim.preview(full.decide(sim), StepOptions{}).cost;
     EXPECT_LE(oracle_cost, full_cost * (1.0 + 1e-9)) << "seed " << seed;
   }
 }
@@ -129,8 +129,8 @@ TEST(Oracle, NeverWorseThanStaticOnFirstIteration) {
     OracleController oracle;
     Rng rng(seed);
     StaticController st(sim, 30, rng);
-    const auto oracle_cost = sim.preview(oracle.decide(sim), {}).cost;
-    const auto static_cost = sim.preview(st.decide(sim), {}).cost;
+    const auto oracle_cost = sim.preview(oracle.decide(sim), StepOptions{}).cost;
+    const auto static_cost = sim.preview(st.decide(sim), StepOptions{}).cost;
     EXPECT_LE(oracle_cost, static_cost * (1.0 + 1e-9)) << "seed " << seed;
   }
 }

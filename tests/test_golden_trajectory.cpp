@@ -1,0 +1,116 @@
+// Golden end-to-end regression test: the seed-0 cost trajectory of the
+// first 10 FL iterations under the (untrained) DRL controller and the
+// Heuristic baseline is pinned as a checked-in golden file and compared
+// EXACTLY — costs are serialized as C99 hexfloats, so any numerical drift
+// anywhere in the pipeline (traces, simulator, policy forward pass, cost
+// model) fails the test with the first differing iteration.
+//
+// To regenerate after an INTENDED numerical change:
+//
+//   FEDRA_GOLDEN_REGEN=1 ./build/tests/test_golden_trajectory
+//
+// then commit the updated tests/golden/trajectory_seed0.csv alongside the
+// change that moved the numbers (the diff is the review artifact).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/drl_controller.hpp"
+#include "core/evaluation.hpp"
+#include "core/offline_trainer.hpp"
+#include "sched/baselines.hpp"
+#include "sim/experiment_config.hpp"
+
+namespace fedra {
+namespace {
+
+constexpr std::size_t kIterations = 10;
+const char* kGoldenPath = FEDRA_GOLDEN_DIR "/trajectory_seed0.csv";
+
+std::string hexf(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// The pinned scenario: testbed fleet, seed 0, moderate trace length.
+FlSimulator make_sim() {
+  ExperimentConfig cfg = testbed_config();
+  cfg.seed = 0;
+  cfg.trace_samples = 600;
+  return build_simulator(cfg);
+}
+
+std::vector<std::string> compute_rows() {
+  FlSimulator sim = make_sim();
+
+  FlEnvConfig env_cfg;
+  ExperimentConfig cfg = testbed_config();
+  env_cfg.slot_seconds = cfg.slot_seconds;
+  env_cfg.history_slots = cfg.history_slots;
+  FlEnv env(make_sim(), env_cfg);
+
+  // Untrained agent with a pinned seed: exercises the full state-build +
+  // policy-forward path without the cost of a training run.
+  TrainerConfig tc;
+  PpoAgent agent(env.state_dim(), env.action_dim(), tc.policy, tc.ppo, 0);
+  DrlController drl(agent, env_cfg, env.bandwidth_ref());
+  HeuristicController heuristic(sim);
+
+  std::vector<std::string> rows;
+  rows.push_back("policy,iteration,cost");
+  for (Controller* c :
+       std::initializer_list<Controller*>{&drl, &heuristic}) {
+    auto detailed = run_controller_detailed(sim, *c, kIterations);
+    for (std::size_t k = 0; k < detailed.size(); ++k) {
+      rows.push_back(c->name() + "," + std::to_string(k) + "," +
+                     hexf(detailed[k].cost));
+    }
+  }
+  return rows;
+}
+
+std::vector<std::string> read_rows(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) rows.push_back(line);
+  }
+  return rows;
+}
+
+TEST(GoldenTrajectory, Seed0CostsMatchCheckedInGolden) {
+  const auto rows = compute_rows();
+  ASSERT_EQ(rows.size(), 1 + 2 * kIterations);
+
+  if (std::getenv("FEDRA_GOLDEN_REGEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    for (const auto& r : rows) out << r << "\n";
+    GTEST_SKIP() << "regenerated " << kGoldenPath;
+  }
+
+  const auto golden = read_rows(kGoldenPath);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << kGoldenPath
+      << " — regenerate with FEDRA_GOLDEN_REGEN=1";
+  ASSERT_EQ(golden.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i], golden[i]) << "trajectory diverged at row " << i;
+  }
+}
+
+TEST(GoldenTrajectory, TrajectoryIsRunToRunStable) {
+  // Guards the guard: if this fails, the golden comparison above is
+  // meaningless because the pipeline itself is nondeterministic.
+  EXPECT_EQ(compute_rows(), compute_rows());
+}
+
+}  // namespace
+}  // namespace fedra

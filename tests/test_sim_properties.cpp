@@ -89,7 +89,7 @@ TEST_P(SimProperties, PreviewMatchesStepFromSameState) {
   auto sim = make_sim();
   Rng rng(GetParam() ^ 0x5678ULL);
   auto freqs = random_freqs(sim, rng);
-  auto previewed = sim.preview(freqs, {});
+  auto previewed = sim.preview(freqs, StepOptions{});
   auto stepped = sim.step(freqs, {});
   EXPECT_DOUBLE_EQ(previewed.cost, stepped.cost);
   EXPECT_DOUBLE_EQ(previewed.iteration_time, stepped.iteration_time);
@@ -106,11 +106,11 @@ TEST_P(SimProperties, OracleNearlyLowerBoundsRandomActions) {
   // property is a 5 % bound rather than strict dominance.
   auto sim = make_sim();
   OracleController oracle;
-  const double oracle_cost = sim.preview(oracle.decide(sim), {}).cost;
+  const double oracle_cost = sim.preview(oracle.decide(sim), StepOptions{}).cost;
   Rng rng(GetParam() ^ 0x9999ULL);
   for (int trial = 0; trial < 15; ++trial) {
     const double random_cost =
-        sim.preview(random_freqs(sim, rng), {}).cost;
+        sim.preview(random_freqs(sim, rng), StepOptions{}).cost;
     EXPECT_LE(oracle_cost, random_cost * 1.05);
   }
 }

@@ -1,0 +1,49 @@
+// ckpt_inspect — dumps the section table and metadata of a fedra
+// checkpoint file.
+//
+//   ckpt_inspect <file.ckpt>
+//
+// Prints the format version, every section (name, offset, size, CRC) and
+// the decoded "meta" section when present. Integrity failures (bad magic,
+// truncation, CRC mismatch, unsupported version) are reported with their
+// typed error code and a non-zero exit status — the tool never crashes on
+// a corrupt file.
+#include <cstdio>
+#include <string>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/format.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: ckpt_inspect <file.ckpt>\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  try {
+    const auto reader = fedra::ckpt::Reader::from_file(path);
+    std::printf("%s: fedra checkpoint, format version %u, %zu sections\n",
+                path.c_str(), reader.version(), reader.sections().size());
+    std::printf("%-20s %12s %12s %10s\n", "section", "offset", "bytes",
+                "crc32");
+    for (const auto& s : reader.sections()) {
+      std::printf("%-20s %12llu %12llu %10x\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.offset),
+                  static_cast<unsigned long long>(s.size), s.crc);
+    }
+    const auto meta = fedra::ckpt::read_meta(path);
+    if (!meta.empty()) {
+      std::printf("meta:\n");
+      for (const auto& [key, value] : meta) {
+        std::printf("  %-18s %.17g\n", key.c_str(), value);
+      }
+    }
+    return 0;
+  } catch (const fedra::ckpt::CkptError& e) {
+    std::fprintf(stderr, "ckpt_inspect: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ckpt_inspect: %s\n", e.what());
+    return 1;
+  }
+}

@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "ckpt/checkpoint.hpp"
 #include "core/drl_controller.hpp"
 #include "core/evaluation.hpp"
 #include "core/experiment.hpp"
@@ -47,6 +48,8 @@ int usage() {
                "[--lambda L]\n"
                "  train     --out prefix [--devices N] [--episodes E] "
                "[--seed S] [--lambda L] [--scale]\n"
+               "            [--checkpoint-every N] [--checkpoint-path F] "
+               "[--resume F]\n"
                "  eval      --ckpt prefix [--iterations K] [--seed S]\n"
                "  multiseed [--seeds S] [--iterations K] [--devices N] "
                "[--lambda L] [--scale]\n");
@@ -167,9 +170,39 @@ int cmd_train(const ArgParser& args) {
               static_cast<unsigned long long>(cfg.seed));
   OfflineTrainer trainer(std::move(env), recommended_trainer_config(episodes),
                          cfg.seed + 1);
-  auto history = trainer.train();
-  std::printf("episode avg cost: first %.4f -> last %.4f\n",
-              history.front().avg_cost, history.back().avg_cost);
+
+  // Checkpoint/resume wiring: the trainer stays format-agnostic — the
+  // hooks below call into fedra::ckpt, and --resume restores the full
+  // training state (so the run continues bit-exactly) before any episode
+  // runs.
+  TrainHooks hooks;
+  hooks.checkpoint_every =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
+  const std::string ckpt_path = args.get("checkpoint-path", out + ".ckpt");
+  if (args.has("resume")) {
+    hooks.start_episode = ckpt::restore_trainer(args.require("resume"), trainer);
+    std::printf("resumed %s at episode %zu\n", args.require("resume").c_str(),
+                hooks.start_episode);
+  }
+  if (hooks.checkpoint_every > 0) {
+    hooks.on_checkpoint = [&](std::size_t next_episode,
+                              const EpisodeStats& stats) {
+      ckpt::save_trainer(ckpt_path, trainer, next_episode,
+                         {{"next_episode", static_cast<double>(next_episode)},
+                          {"avg_cost", stats.avg_cost},
+                          {"seed", static_cast<double>(cfg.seed)},
+                          {"devices",
+                           static_cast<double>(cfg.num_devices)}});
+      std::printf("checkpoint -> %s (next episode %zu)\n", ckpt_path.c_str(),
+                  next_episode);
+    };
+  }
+
+  auto history = trainer.train(hooks);
+  if (!history.empty()) {
+    std::printf("episode avg cost: first %.4f -> last %.4f\n",
+                history.front().avg_cost, history.back().avg_cost);
+  }
 
   trainer.agent().save(out);
   write_meta(out + ".meta",
