@@ -58,15 +58,17 @@ ClientUpdate FlClient::train_round(const std::vector<Matrix>& global_params,
          start < n && batches_done < total_batches;
          start += config.batch_size, ++batches_done) {
       const std::size_t end = std::min(start + config.batch_size, n);
-      std::vector<std::size_t> idx(perm.begin() + static_cast<std::ptrdiff_t>(start),
-                                   perm.begin() + static_cast<std::ptrdiff_t>(end));
-      Dataset batch = data_.subset(idx);
+      idx_.assign(perm.begin() + static_cast<std::ptrdiff_t>(start),
+                  perm.begin() + static_cast<std::ptrdiff_t>(end));
+      data_.subset_into(idx_, batch_);
       opt.zero_grad();
-      Matrix logits = model_.forward(batch.features);
-      LossResult loss = softmax_cross_entropy(logits, batch.labels);
-      model_.backward(loss.grad);
+      // batch_ is a member, so it outlives the backward pass — the cached
+      // layers may hold pointers into it (workspace contract).
+      const Matrix& logits = model_.forward_cached(batch_.features, ws_);
+      softmax_cross_entropy_into(logits, batch_.labels, loss_);
+      model_.backward_cached(loss_.grad, ws_);
       opt.step();
-      loss_acc += loss.value;
+      loss_acc += loss_.value;
     }
   }
   update.avg_loss =
@@ -77,8 +79,9 @@ ClientUpdate FlClient::train_round(const std::vector<Matrix>& global_params,
 
 double FlClient::local_loss(const std::vector<Matrix>& params) {
   model_.set_param_values(params);
-  Matrix logits = model_.forward(data_.features);
-  return softmax_cross_entropy(logits, data_.labels).value;
+  const Matrix& logits = model_.forward_cached(data_.features, ws_);
+  softmax_cross_entropy_into(logits, data_.labels, loss_);
+  return loss_.value;
 }
 
 }  // namespace fedra

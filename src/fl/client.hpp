@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "fl/dataset.hpp"
+#include "nn/loss.hpp"
 #include "nn/mlp.hpp"
+#include "nn/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace fedra {
@@ -56,6 +58,14 @@ class FlClient {
   Dataset data_;
   Mlp model_;
   std::uint64_t seed_;
+
+  // Per-client training scratch, reused across minibatches and rounds so
+  // steady-state local SGD performs no tensor heap allocation. Clients are
+  // fanned out one-per-thread, so private scratch needs no locking.
+  Workspace ws_;
+  Dataset batch_;
+  LossResult loss_;
+  std::vector<std::size_t> idx_;
 };
 
 }  // namespace fedra

@@ -9,17 +9,23 @@ namespace fedra {
 
 Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
   Dataset out;
-  out.features = Matrix(indices.size(), features.cols());
-  out.labels.reserve(indices.size());
+  subset_into(indices, out);
+  return out;
+}
+
+void Dataset::subset_into(const std::vector<std::size_t>& indices,
+                          Dataset& out) const {
+  FEDRA_EXPECTS(&out != this);
+  out.features.resize_reuse(indices.size(), features.cols());
+  out.labels.resize(indices.size());
   for (std::size_t r = 0; r < indices.size(); ++r) {
     const std::size_t src = indices[r];
     FEDRA_EXPECTS(src < size());
     auto dst_row = out.features.row(r);
     auto src_row = features.row(src);
     std::copy(src_row.begin(), src_row.end(), dst_row.begin());
-    out.labels.push_back(labels[src]);
+    out.labels[r] = labels[src];
   }
-  return out;
 }
 
 Dataset make_gaussian_mixture(std::size_t samples, std::size_t dim,

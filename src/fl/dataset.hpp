@@ -24,6 +24,12 @@ struct Dataset {
 
   /// Rows of `features`/`labels` selected by index (bounds-checked).
   Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Capacity-reusing subset: writes into `out`, growing its buffers only
+  /// when a larger batch than any seen before arrives. `out` must not be
+  /// `*this`. Bit-identical to subset().
+  void subset_into(const std::vector<std::size_t>& indices,
+                   Dataset& out) const;
 };
 
 /// Gaussian-mixture task: `classes` clusters in `dim` dimensions with unit

@@ -85,10 +85,15 @@ RoundMetrics FedAvgServer::run_round(
   }
   if (num_delivered > 0) {
     FEDRA_ENSURES(total_samples > 0.0);
-    std::vector<Matrix> aggregated;
-    aggregated.reserve(global_params_.size());
+    // Accumulate into round-persistent scratch, then swap with the global
+    // params: both vectors keep their capacity, so steady-state rounds
+    // allocate nothing here. Accumulation order matches the original
+    // (per-parameter, delivered clients in roster order) bit-for-bit.
+    agg_scratch_.resize(global_params_.size());
     for (std::size_t p = 0; p < global_params_.size(); ++p) {
-      Matrix acc(global_params_[p].rows(), global_params_[p].cols());
+      Matrix& acc = agg_scratch_[p];
+      acc.resize_reuse(global_params_[p].rows(), global_params_[p].cols());
+      acc.set_zero();
       for (std::size_t i = 0; i < n; ++i) {
         if (!arrived[roster[i]]) continue;
         const auto& u = updates[i];
@@ -99,9 +104,8 @@ RoundMetrics FedAvgServer::run_round(
           acc[j] += w * u.params[p][j];
         }
       }
-      aggregated.push_back(std::move(acc));
     }
-    global_params_ = std::move(aggregated);
+    std::swap(global_params_, agg_scratch_);
   }
 
   FEDRA_TELEMETRY_IF {
@@ -170,7 +174,8 @@ double FedAvgServer::global_accuracy() {
   double correct_weighted = 0.0;
   double total = 0.0;
   for (auto& c : clients_) {
-    Matrix logits = global_model_.forward(c.data().features);
+    const Matrix& logits =
+        global_model_.forward_cached(c.data().features, eval_ws_);
     const double acc = accuracy(logits, c.data().labels);
     const auto d = static_cast<double>(c.num_samples());
     correct_weighted += d * acc;

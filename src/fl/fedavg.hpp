@@ -81,6 +81,12 @@ class FedAvgServer {
   Mlp global_model_;
   std::vector<Matrix> global_params_;
   std::size_t round_ = 0;
+
+  // Server-side scratch reused across rounds: the aggregation accumulators
+  // (swapped with global_params_ each round, so both sides keep their
+  // capacity) and the evaluation workspace for global_accuracy().
+  std::vector<Matrix> agg_scratch_;
+  Workspace eval_ws_;
 };
 
 }  // namespace fedra

@@ -7,70 +7,137 @@
 
 namespace fedra {
 
+// Legacy (allocating) entries copy the operand they need into a member
+// with capacity reuse, then run the same into-kernels the workspace path
+// uses — one implementation, bit-identical both ways.
+
 Matrix ReLU::forward(const Matrix& input) {
-  cached_input_ = input;
-  return apply(input, [](double x) { return x > 0.0 ? x : 0.0; });
+  cached_input_.assign_from(input);
+  Matrix out;
+  forward_into(cached_input_, out);
+  return out;
 }
 
 Matrix ReLU::backward(const Matrix& grad_output) {
-  FEDRA_EXPECTS(grad_output.same_shape(cached_input_));
-  Matrix g = grad_output;
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    if (cached_input_[i] <= 0.0) g[i] = 0.0;
-  }
+  Matrix g;
+  backward_into(grad_output, g);
   return g;
+}
+
+void ReLU::forward_into(const Matrix& input, Matrix& out) {
+  input_ref_ = &input;
+  out.resize_reuse(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out[i] = input[i] > 0.0 ? input[i] : 0.0;
+  }
+}
+
+void ReLU::backward_into(const Matrix& grad_output, Matrix& grad_in) {
+  FEDRA_EXPECTS(input_ref_ != nullptr);
+  const Matrix& x = *input_ref_;
+  FEDRA_EXPECTS(grad_output.same_shape(x));
+  grad_in.resize_reuse(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    grad_in[i] = x[i] <= 0.0 ? 0.0 : grad_output[i];
+  }
 }
 
 Matrix LeakyReLU::forward(const Matrix& input) {
-  cached_input_ = input;
-  const double s = slope_;
-  return apply(input, [s](double x) { return x > 0.0 ? x : s * x; });
+  cached_input_.assign_from(input);
+  Matrix out;
+  forward_into(cached_input_, out);
+  return out;
 }
 
 Matrix LeakyReLU::backward(const Matrix& grad_output) {
-  FEDRA_EXPECTS(grad_output.same_shape(cached_input_));
-  Matrix g = grad_output;
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    if (cached_input_[i] <= 0.0) g[i] *= slope_;
-  }
+  Matrix g;
+  backward_into(grad_output, g);
   return g;
 }
 
+void LeakyReLU::forward_into(const Matrix& input, Matrix& out) {
+  input_ref_ = &input;
+  out.resize_reuse(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out[i] = input[i] > 0.0 ? input[i] : slope_ * input[i];
+  }
+}
+
+void LeakyReLU::backward_into(const Matrix& grad_output, Matrix& grad_in) {
+  FEDRA_EXPECTS(input_ref_ != nullptr);
+  const Matrix& x = *input_ref_;
+  FEDRA_EXPECTS(grad_output.same_shape(x));
+  grad_in.resize_reuse(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    grad_in[i] = x[i] <= 0.0 ? slope_ * grad_output[i] : grad_output[i];
+  }
+}
+
 Matrix Tanh::forward(const Matrix& input) {
-  cached_output_ = apply(input, [](double x) { return std::tanh(x); });
+  forward_into(input, cached_output_);
   return cached_output_;
 }
 
 Matrix Tanh::backward(const Matrix& grad_output) {
-  FEDRA_EXPECTS(grad_output.same_shape(cached_output_));
-  Matrix g = grad_output;
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    g[i] *= 1.0 - cached_output_[i] * cached_output_[i];
-  }
+  Matrix g;
+  backward_into(grad_output, g);
   return g;
 }
 
+void Tanh::forward_into(const Matrix& input, Matrix& out) {
+  out.resize_reuse(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.size(); ++i) out[i] = std::tanh(input[i]);
+  output_ref_ = &out;  // derivative reads the output, wherever it lives
+}
+
+void Tanh::backward_into(const Matrix& grad_output, Matrix& grad_in) {
+  FEDRA_EXPECTS(output_ref_ != nullptr);
+  const Matrix& y = *output_ref_;
+  FEDRA_EXPECTS(grad_output.same_shape(y));
+  grad_in.resize_reuse(y.rows(), y.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    grad_in[i] = grad_output[i] * (1.0 - y[i] * y[i]);
+  }
+}
+
 Matrix Sigmoid::forward(const Matrix& input) {
-  cached_output_ = apply(input, [](double x) {
-    // Split on sign to avoid overflow in exp.
-    if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
-    const double e = std::exp(x);
-    return e / (1.0 + e);
-  });
+  forward_into(input, cached_output_);
   return cached_output_;
 }
 
 Matrix Sigmoid::backward(const Matrix& grad_output) {
-  FEDRA_EXPECTS(grad_output.same_shape(cached_output_));
-  Matrix g = grad_output;
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    g[i] *= cached_output_[i] * (1.0 - cached_output_[i]);
-  }
+  Matrix g;
+  backward_into(grad_output, g);
   return g;
 }
 
-Matrix softmax_rows(const Matrix& logits) {
-  Matrix out = logits;
+void Sigmoid::forward_into(const Matrix& input, Matrix& out) {
+  out.resize_reuse(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const double x = input[i];
+    // Split on sign to avoid overflow in exp.
+    if (x >= 0.0) {
+      out[i] = 1.0 / (1.0 + std::exp(-x));
+    } else {
+      const double e = std::exp(x);
+      out[i] = e / (1.0 + e);
+    }
+  }
+  output_ref_ = &out;
+}
+
+void Sigmoid::backward_into(const Matrix& grad_output, Matrix& grad_in) {
+  FEDRA_EXPECTS(output_ref_ != nullptr);
+  const Matrix& y = *output_ref_;
+  FEDRA_EXPECTS(grad_output.same_shape(y));
+  grad_in.resize_reuse(y.rows(), y.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    grad_in[i] = grad_output[i] * (y[i] * (1.0 - y[i]));
+  }
+}
+
+void softmax_rows_into(const Matrix& logits, Matrix& out) {
+  if (&out != &logits) out.assign_from(logits);
   for (std::size_t i = 0; i < out.rows(); ++i) {
     auto row = out.row(i);
     const double mx = *std::max_element(row.begin(), row.end());
@@ -81,29 +148,46 @@ Matrix softmax_rows(const Matrix& logits) {
     }
     for (auto& v : row) v /= z;
   }
+}
+
+Matrix softmax_rows(const Matrix& logits) {
+  Matrix out;
+  softmax_rows_into(logits, out);
   return out;
 }
 
 Matrix Softmax::forward(const Matrix& input) {
-  cached_output_ = softmax_rows(input);
+  forward_into(input, cached_output_);
   return cached_output_;
 }
 
 Matrix Softmax::backward(const Matrix& grad_output) {
-  FEDRA_EXPECTS(grad_output.same_shape(cached_output_));
+  Matrix g;
+  backward_into(grad_output, g);
+  return g;
+}
+
+void Softmax::forward_into(const Matrix& input, Matrix& out) {
+  softmax_rows_into(input, out);
+  output_ref_ = &out;
+}
+
+void Softmax::backward_into(const Matrix& grad_output, Matrix& grad_in) {
+  FEDRA_EXPECTS(output_ref_ != nullptr);
+  const Matrix& y = *output_ref_;
+  FEDRA_EXPECTS(grad_output.same_shape(y));
   // dL/dx_j = y_j * (dL/dy_j - sum_k dL/dy_k y_k), per row.
-  Matrix g(grad_output.rows(), grad_output.cols());
-  for (std::size_t i = 0; i < g.rows(); ++i) {
-    auto y = cached_output_.row(i);
+  grad_in.resize_reuse(y.rows(), y.cols());
+  for (std::size_t i = 0; i < grad_in.rows(); ++i) {
+    auto yr = y.row(i);
     auto go = grad_output.row(i);
     double dotp = 0.0;
-    for (std::size_t j = 0; j < y.size(); ++j) dotp += go[j] * y[j];
-    auto gi = g.row(i);
-    for (std::size_t j = 0; j < y.size(); ++j) {
-      gi[j] = y[j] * (go[j] - dotp);
+    for (std::size_t j = 0; j < yr.size(); ++j) dotp += go[j] * yr[j];
+    auto gi = grad_in.row(i);
+    for (std::size_t j = 0; j < yr.size(); ++j) {
+      gi[j] = yr[j] * (go[j] - dotp);
     }
   }
-  return g;
 }
 
 }  // namespace fedra

@@ -1,4 +1,6 @@
-// Stateless activation layers. Each caches what its derivative needs.
+// Stateless activation layers. Each caches what its derivative needs —
+// on the workspace path that is a pointer into the caller's stable
+// buffers (zero copies); on the legacy path, a reused member copy.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -9,10 +11,13 @@ class ReLU final : public Layer {
  public:
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
+  void forward_into(const Matrix& input, Matrix& out) override;
+  void backward_into(const Matrix& grad_output, Matrix& grad_in) override;
   std::string name() const override { return "ReLU"; }
 
  private:
   Matrix cached_input_;
+  const Matrix* input_ref_ = nullptr;
 };
 
 class LeakyReLU final : public Layer {
@@ -20,31 +25,40 @@ class LeakyReLU final : public Layer {
   explicit LeakyReLU(double slope = 0.01) : slope_(slope) {}
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
+  void forward_into(const Matrix& input, Matrix& out) override;
+  void backward_into(const Matrix& grad_output, Matrix& grad_in) override;
   std::string name() const override { return "LeakyReLU"; }
 
  private:
   double slope_;
   Matrix cached_input_;
+  const Matrix* input_ref_ = nullptr;
 };
 
 class Tanh final : public Layer {
  public:
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
+  void forward_into(const Matrix& input, Matrix& out) override;
+  void backward_into(const Matrix& grad_output, Matrix& grad_in) override;
   std::string name() const override { return "Tanh"; }
 
  private:
   Matrix cached_output_;
+  const Matrix* output_ref_ = nullptr;
 };
 
 class Sigmoid final : public Layer {
  public:
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
+  void forward_into(const Matrix& input, Matrix& out) override;
+  void backward_into(const Matrix& grad_output, Matrix& grad_in) override;
   std::string name() const override { return "Sigmoid"; }
 
  private:
   Matrix cached_output_;
+  const Matrix* output_ref_ = nullptr;
 };
 
 /// Row-wise softmax. Usually fused into SoftmaxCrossEntropy for training;
@@ -53,13 +67,20 @@ class Softmax final : public Layer {
  public:
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
+  void forward_into(const Matrix& input, Matrix& out) override;
+  void backward_into(const Matrix& grad_output, Matrix& grad_in) override;
   std::string name() const override { return "Softmax"; }
 
  private:
   Matrix cached_output_;
+  const Matrix* output_ref_ = nullptr;
 };
 
 /// Row-wise softmax as a free function (numerically stabilized).
 Matrix softmax_rows(const Matrix& logits);
+
+/// Row-wise softmax into a caller-owned buffer (capacity reused; `out`
+/// may alias `logits` — normalization is in place per row).
+void softmax_rows_into(const Matrix& logits, Matrix& out);
 
 }  // namespace fedra

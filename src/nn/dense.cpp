@@ -34,18 +34,38 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng,
 
 Matrix Dense::forward(const Matrix& input) {
   FEDRA_EXPECTS(input.cols() == weight_.rows());
-  cached_input_ = input;
-  Matrix out = matmul(input, weight_);
-  add_row_broadcast(out, bias_);
+  // Legacy (allocating) entry: the caller's input may die before
+  // backward, so keep a copy — but reuse cached_input_'s heap block
+  // instead of reallocating it every step.
+  cached_input_.assign_from(input);
+  Matrix out;
+  forward_into(cached_input_, out);
   return out;
 }
 
 Matrix Dense::backward(const Matrix& grad_output) {
-  FEDRA_EXPECTS(grad_output.rows() == cached_input_.rows());
+  Matrix grad_in;
+  backward_into(grad_output, grad_in);
+  return grad_in;
+}
+
+void Dense::forward_into(const Matrix& input, Matrix& out) {
+  FEDRA_EXPECTS(input.cols() == weight_.rows());
+  input_ref_ = &input;  // caller keeps `input` alive until backward
+  matmul_into(input, weight_, out);
+  add_row_broadcast(out, bias_);
+}
+
+void Dense::backward_into(const Matrix& grad_output, Matrix& grad_in) {
+  FEDRA_EXPECTS(input_ref_ != nullptr);
+  const Matrix& x = *input_ref_;
+  FEDRA_EXPECTS(grad_output.rows() == x.rows());
   FEDRA_EXPECTS(grad_output.cols() == weight_.cols());
-  grad_weight_ += matmul_at_b(cached_input_, grad_output);
-  grad_bias_ += col_sum(grad_output);
-  return matmul_a_bt(grad_output, weight_);
+  matmul_at_b_into(x, grad_output, gw_scratch_);
+  grad_weight_ += gw_scratch_;
+  col_sum_into(grad_output, gb_scratch_);
+  grad_bias_ += gb_scratch_;
+  matmul_a_bt_into(grad_output, weight_, grad_in);
 }
 
 }  // namespace fedra

@@ -19,6 +19,8 @@ class Dense final : public Layer {
 
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
+  void forward_into(const Matrix& input, Matrix& out) override;
+  void backward_into(const Matrix& grad_output, Matrix& grad_in) override;
 
   std::vector<Matrix*> params() override { return {&weight_, &bias_}; }
   std::vector<Matrix*> grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -37,7 +39,16 @@ class Dense final : public Layer {
   Matrix bias_;
   Matrix grad_weight_;
   Matrix grad_bias_;
+  // Workspace path caches a pointer to the (externally stable) input;
+  // the legacy path copies into cached_input_ (capacity reused) and
+  // points input_ref_ at it. Either way backward reads *input_ref_.
   Matrix cached_input_;
+  const Matrix* input_ref_ = nullptr;
+  // Per-minibatch gradients land here, then accumulate into grad_*_ with
+  // a separate += so the summation order (and bits) match the legacy
+  // temp-then-add path.
+  Matrix gw_scratch_;
+  Matrix gb_scratch_;
 };
 
 }  // namespace fedra

@@ -27,6 +27,23 @@ class Layer {
   /// and returns dLoss/dInput.
   virtual Matrix backward(const Matrix& grad_output) = 0;
 
+  /// Forward into a caller-owned buffer (capacity reused, never aliasing
+  /// `input`). Overrides may cache a POINTER to `input` instead of
+  /// copying, so the workspace contract applies: `input` must stay valid
+  /// and unmodified until the matching backward_into completes.
+  /// Sequential's cached passes guarantee this by construction. The
+  /// default routes through the allocating forward().
+  virtual void forward_into(const Matrix& input, Matrix& out) {
+    out = forward(input);
+  }
+
+  /// Backward into a caller-owned buffer (must not alias grad_output).
+  /// Same gradient accumulation semantics as backward(), bit-identical
+  /// results. The default routes through the allocating backward().
+  virtual void backward_into(const Matrix& grad_output, Matrix& grad_in) {
+    grad_in = backward(grad_output);
+  }
+
   /// Trainable parameters (empty for stateless layers). Pointers remain
   /// valid for the layer's lifetime.
   virtual std::vector<Matrix*> params() { return {}; }

@@ -26,10 +26,18 @@ LossResult mse_loss(const Matrix& pred, const Matrix& target) {
 
 LossResult softmax_cross_entropy(const Matrix& logits,
                                  const std::vector<std::size_t>& labels) {
+  LossResult r;
+  softmax_cross_entropy_into(logits, labels, r);
+  return r;
+}
+
+void softmax_cross_entropy_into(const Matrix& logits,
+                                const std::vector<std::size_t>& labels,
+                                LossResult& r) {
   FEDRA_EXPECTS(logits.rows() == labels.size());
   FEDRA_EXPECTS(logits.rows() > 0);
-  LossResult r;
-  Matrix probs = softmax_rows(logits);
+  Matrix& probs = r.grad;  // softmax lands where the gradient ends up
+  softmax_rows_into(logits, probs);
   const double inv_batch = 1.0 / static_cast<double>(logits.rows());
   double acc = 0.0;
   for (std::size_t i = 0; i < logits.rows(); ++i) {
@@ -40,8 +48,6 @@ LossResult softmax_cross_entropy(const Matrix& logits,
   }
   probs *= inv_batch;
   r.value = acc * inv_batch;
-  r.grad = std::move(probs);
-  return r;
 }
 
 LossResult huber_loss(const Matrix& pred, const Matrix& target,

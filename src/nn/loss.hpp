@@ -23,6 +23,12 @@ LossResult mse_loss(const Matrix& pred, const Matrix& target);
 LossResult softmax_cross_entropy(const Matrix& logits,
                                  const std::vector<std::size_t>& labels);
 
+/// As softmax_cross_entropy, but reuses `r.grad`'s storage (the
+/// allocation-free training-loop variant; bit-identical results).
+void softmax_cross_entropy_into(const Matrix& logits,
+                                const std::vector<std::size_t>& labels,
+                                LossResult& r);
+
 /// Huber (smooth-L1) loss: quadratic within |err| <= delta, linear
 /// outside. The robust choice for value-function regression where TD
 /// targets carry outliers.

@@ -25,6 +25,39 @@ Matrix Sequential::backward(const Matrix& grad_output) {
   return g;
 }
 
+const Matrix& Sequential::forward_cached(const Matrix& input, Workspace& ws) {
+  if (!workspace_reuse_enabled() || layers_.empty()) {
+    Matrix& out = ws.slot(layers_.empty() ? 0 : layers_.size() - 1);
+    out = forward(input);  // legacy allocating path (the "before" lever)
+    return out;
+  }
+  const Matrix* cur = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Matrix& out = ws.slot(i);
+    layers_[i]->forward_into(*cur, out);
+    cur = &out;
+  }
+  return *cur;
+}
+
+const Matrix& Sequential::backward_cached(const Matrix& grad_output,
+                                          Workspace& ws) {
+  if (!workspace_reuse_enabled() || layers_.empty()) {
+    Matrix& g = ws.grad(0);
+    g = backward(grad_output);
+    return g;
+  }
+  const Matrix* cur = &grad_output;
+  std::size_t pp = 0;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    Matrix& gin = ws.grad(pp);
+    (*it)->backward_into(*cur, gin);  // reads *cur, writes the other buffer
+    cur = &gin;
+    pp ^= 1;
+  }
+  return *cur;
+}
+
 std::vector<Matrix*> Sequential::params() {
   std::vector<Matrix*> ps;
   for (auto& l : layers_) {

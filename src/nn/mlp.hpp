@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nn/layer.hpp"
+#include "nn/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace fedra {
@@ -26,6 +27,19 @@ class Sequential : public Layer {
   std::vector<Matrix*> params() override;
   std::vector<Matrix*> grads() override;
   std::string name() const override { return "Sequential"; }
+
+  /// Forward through workspace buffers: layer i writes ws.slot(i), so a
+  /// steady-state pass performs zero heap allocations. Returns the output
+  /// buffer (valid until the next cached call on `ws`). `input` must stay
+  /// valid and unmodified until backward_cached completes — layers cache
+  /// pointers into these buffers instead of copying. Bit-identical to
+  /// forward(); falls back to it when workspace reuse is globally off.
+  const Matrix& forward_cached(const Matrix& input, Workspace& ws);
+
+  /// Backward counterpart of forward_cached, alternating between the two
+  /// ws.grad ping-pong buffers. `grad_output` must not alias them.
+  /// Returns dLoss/dInput (valid until the next cached call on `ws`).
+  const Matrix& backward_cached(const Matrix& grad_output, Workspace& ws);
 
   std::size_t num_layers() const { return layers_.size(); }
   Layer& layer(std::size_t i);

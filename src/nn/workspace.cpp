@@ -1,0 +1,24 @@
+#include "nn/workspace.hpp"
+
+#include <atomic>
+
+namespace fedra {
+
+namespace {
+
+std::atomic<bool>& reuse_flag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+}  // namespace
+
+bool workspace_reuse_enabled() {
+  return reuse_flag().load(std::memory_order_relaxed);
+}
+
+void set_workspace_reuse(bool enabled) {
+  reuse_flag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace fedra

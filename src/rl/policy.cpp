@@ -111,27 +111,35 @@ std::vector<double> GaussianPolicy::log_probs(const Matrix& states,
 
 std::vector<double> GaussianPolicy::forward_log_probs(
     const Matrix& states, const Matrix& actions_u) {
+  std::vector<double> logps;
+  forward_log_probs(states, actions_u, logps);
+  return logps;
+}
+
+void GaussianPolicy::forward_log_probs(const Matrix& states,
+                                       const Matrix& actions_u,
+                                       std::vector<double>& out) {
   FEDRA_EXPECTS(states.cols() == state_dim_);
   FEDRA_EXPECTS(actions_u.cols() == action_dim_);
   FEDRA_EXPECTS(states.rows() == actions_u.rows());
-  cached_out_ = forward_raw(states);
-  std::vector<double> logps(states.rows());
+  const Matrix& raw = mean_net_.forward_cached(states, ws_);
+  cached_out_ = &raw;
+  out.resize(states.rows());
   double entropy_acc = 0.0;
   for (std::size_t b = 0; b < states.rows(); ++b) {
     double logp = 0.0;
     for (std::size_t j = 0; j < action_dim_; ++j) {
-      const double ls = log_sigma_at(cached_out_, b, j);
+      const double ls = log_sigma_at(raw, b, j);
       const double sd = std::exp(ls);
-      const double z = (actions_u(b, j) - cached_out_(b, j)) / sd;
+      const double z = (actions_u(b, j) - raw(b, j)) / sd;
       logp += -0.5 * z * z - ls - 0.5 * kLog2Pi;
       entropy_acc += ls + 0.5 * (kLog2Pi + 1.0);
     }
-    logps[b] = logp;
+    out[b] = logp;
   }
   last_entropy_ = states.rows() > 0
                       ? entropy_acc / static_cast<double>(states.rows())
                       : 0.0;
-  return logps;
 }
 
 void GaussianPolicy::backward_log_probs(const Matrix& states,
@@ -139,7 +147,9 @@ void GaussianPolicy::backward_log_probs(const Matrix& states,
                                         const std::vector<double>& coeff,
                                         double entropy_coeff) {
   FEDRA_EXPECTS(states.rows() == coeff.size());
-  FEDRA_EXPECTS(cached_out_.rows() == states.rows());
+  FEDRA_EXPECTS(cached_out_ != nullptr);
+  const Matrix& raw = *cached_out_;
+  FEDRA_EXPECTS(raw.rows() == states.rows());
   const std::size_t batch = states.rows();
   const bool sds = config_.state_dependent_std;
   // d logp / d mu_j       = (u_j - mu_j) / sigma_j^2
@@ -147,18 +157,19 @@ void GaussianPolicy::backward_log_probs(const Matrix& states,
   // Entropy term (loss -entropy_coeff * H_bar):
   //   state-indep: dH/dlog sigma_j = 1 (H global)
   //   state-dep:   dH_bar/d raw_{b,j} = 1/B inside the clamp.
-  Matrix grad_out(batch, sds ? 2 * action_dim_ : action_dim_);
+  grad_out_.resize_reuse(batch, sds ? 2 * action_dim_ : action_dim_);
+  grad_out_.set_zero();  // clamp-saturated log-std entries stay zero
   for (std::size_t b = 0; b < batch; ++b) {
     for (std::size_t j = 0; j < action_dim_; ++j) {
-      const double ls = log_sigma_at(cached_out_, b, j);
+      const double ls = log_sigma_at(raw, b, j);
       const double sd = std::exp(ls);
-      const double diff = actions_u(b, j) - cached_out_(b, j);
+      const double diff = actions_u(b, j) - raw(b, j);
       const double z = diff / sd;
-      grad_out(b, j) = coeff[b] * diff / (sd * sd);
+      grad_out_(b, j) = coeff[b] * diff / (sd * sd);
       const double dlogp_dls = coeff[b] * (z * z - 1.0);
       if (sds) {
-        if (log_sigma_in_range(cached_out_, b, j)) {
-          grad_out(b, action_dim_ + j) =
+        if (log_sigma_in_range(raw, b, j)) {
+          grad_out_(b, action_dim_ + j) =
               dlogp_dls -
               entropy_coeff / static_cast<double>(batch);
         }
@@ -172,7 +183,7 @@ void GaussianPolicy::backward_log_probs(const Matrix& states,
       grad_log_std_[j] -= entropy_coeff;
     }
   }
-  mean_net_.backward(grad_out);
+  mean_net_.backward_cached(grad_out_, ws_);
 }
 
 double GaussianPolicy::entropy() const {

@@ -60,9 +60,15 @@ class GaussianPolicy {
   std::vector<double> log_probs(const Matrix& states, const Matrix& actions_u);
 
   /// Forward pass that caches activations; returns per-row log pi(u|s).
-  /// Must be followed by backward_log_probs on the same batch.
+  /// Must be followed by backward_log_probs on the same batch, and
+  /// `states` must stay valid/unmodified until then (the network caches
+  /// pointers, not copies).
   std::vector<double> forward_log_probs(const Matrix& states,
                                         const Matrix& actions_u);
+
+  /// Capacity-reusing overload: writes the log-probs into `out`.
+  void forward_log_probs(const Matrix& states, const Matrix& actions_u,
+                         std::vector<double>& out);
 
   /// Accumulates gradients of
   ///   sum_b coeff[b] * log pi(u_b|s_b)  -  entropy_coeff * H_bar
@@ -116,7 +122,11 @@ class GaussianPolicy {
   Mlp mean_net_;
   Matrix log_std_;       ///< state-independent mode only
   Matrix grad_log_std_;
-  Matrix cached_out_;    ///< raw output of the last forward_log_probs batch
+  Workspace ws_;         ///< activation/gradient buffers for batch passes
+  /// Raw output of the last forward_log_probs batch — a pointer into
+  /// ws_, valid until the next cached pass.
+  const Matrix* cached_out_ = nullptr;
+  Matrix grad_out_;      ///< reused dLoss/dRaw buffer
   double last_entropy_ = 0.0;  ///< batch-mean entropy (state-dep mode)
 };
 

@@ -17,6 +17,11 @@ struct PpoMetrics {
   tel::Counter updates = tel::Telemetry::metrics().counter("ppo.updates");
   tel::Counter minibatches =
       tel::Telemetry::metrics().counter("ppo.minibatches");
+  /// Tensor heap bytes allocated during update() — near zero once the
+  /// workspaces have warmed up (the allocation-free-path acceptance
+  /// metric).
+  tel::Counter alloc_bytes =
+      tel::Telemetry::metrics().counter("tensor.alloc_bytes");
   tel::Histogram actor_step_us =
       tel::Telemetry::metrics().histogram("ppo.actor_minibatch_us");
   tel::Histogram critic_step_us =
@@ -42,14 +47,14 @@ std::vector<std::size_t> critic_sizes(std::size_t state_dim,
   return sizes;
 }
 
-Matrix gather_rows(const Matrix& src, const std::vector<std::size_t>& idx) {
-  Matrix out(idx.size(), src.cols());
+void gather_rows_into(const Matrix& src, const std::vector<std::size_t>& idx,
+                      Matrix& out) {
+  out.resize_reuse(idx.size(), src.cols());
   for (std::size_t r = 0; r < idx.size(); ++r) {
     auto dst_row = out.row(r);
     auto src_row = src.row(idx[r]);
     std::copy(src_row.begin(), src_row.end(), dst_row.begin());
   }
-  return out;
 }
 
 }  // namespace
@@ -94,11 +99,15 @@ double PpoAgent::value(const std::vector<double>& state) {
 UpdateStats PpoAgent::update(const RolloutBuffer& buffer, Rng& rng) {
   FEDRA_EXPECTS(buffer.size() > 0);
   FEDRA_TRACE_SPAN("ppo_update");
+  const TensorAllocStats alloc_before = tensor_alloc_stats();
   const std::size_t n = buffer.size();
 
-  const Matrix states = buffer.states_matrix();
-  const Matrix next_states = buffer.next_states_matrix();
-  const Matrix actions_u = buffer.actions_matrix();
+  buffer.states_matrix_into(states_);
+  buffer.next_states_matrix_into(next_states_);
+  buffer.actions_matrix_into(actions_u_);
+  const Matrix& states = states_;
+  const Matrix& next_states = next_states_;
+  const Matrix& actions_u = actions_u_;
   const std::vector<double> logp_old = buffer.log_probs();
   const std::vector<double> rewards = buffer.rewards();
 
@@ -117,23 +126,28 @@ UpdateStats PpoAgent::update(const RolloutBuffer& buffer, Rng& rng) {
 
   for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
     // Algorithm 1 line 20: TD targets r + gamma * V(s'; theta_v) under the
-    // CURRENT critic, refreshed once per epoch (semi-gradient).
-    Matrix next_v = critic_.forward(next_states);
-    std::vector<double> td_target(n);
+    // CURRENT critic, refreshed once per epoch (semi-gradient). The
+    // critic workspace is immediately reused for minibatch passes, so
+    // next_v is consumed into td_target_ before the first one.
+    const Matrix& next_v = critic_.forward_cached(next_states, critic_ws_);
+    td_target_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      td_target[i] = rewards[i] + config_.gamma * next_v(i, 0);
+      td_target_[i] = rewards[i] + config_.gamma * next_v(i, 0);
     }
 
     auto perm = rng.permutation(n);
     for (std::size_t start = 0; start < n;
          start += config_.minibatch_size) {
       const std::size_t end = std::min(start + config_.minibatch_size, n);
-      std::vector<std::size_t> idx(perm.begin() + static_cast<std::ptrdiff_t>(start),
-                                   perm.begin() + static_cast<std::ptrdiff_t>(end));
+      idx_.assign(perm.begin() + static_cast<std::ptrdiff_t>(start),
+                  perm.begin() + static_cast<std::ptrdiff_t>(end));
+      const std::vector<std::size_t>& idx = idx_;
       const double inv_b = 1.0 / static_cast<double>(idx.size());
 
-      Matrix mb_states = gather_rows(states, idx);
-      Matrix mb_actions = gather_rows(actions_u, idx);
+      gather_rows_into(states, idx, mb_states_);
+      gather_rows_into(actions_u, idx, mb_actions_);
+      const Matrix& mb_states = mb_states_;
+      const Matrix& mb_actions = mb_actions_;
 
       double mb_policy_loss = 0.0;
       double mb_value_loss = 0.0;
@@ -143,9 +157,10 @@ UpdateStats PpoAgent::update(const RolloutBuffer& buffer, Rng& rng) {
         // ---- Actor: clipped surrogate ----
         tel::ScopedTimer actor_timer(timed ? ppo_metrics().actor_step_us
                                            : tel::Histogram{});
-        std::vector<double> logp_new =
-            policy_.forward_log_probs(mb_states, mb_actions);
-        std::vector<double> coeff(idx.size(), 0.0);
+        policy_.forward_log_probs(mb_states, mb_actions, logp_new_);
+        coeff_.assign(idx.size(), 0.0);
+        const std::vector<double>& logp_new = logp_new_;
+        std::vector<double>& coeff = coeff_;
         for (std::size_t b = 0; b < idx.size(); ++b) {
           const double adv = gae.advantages[idx[b]];
           const double ratio = std::exp(logp_new[b] - logp_old[idx[b]]);
@@ -178,20 +193,20 @@ UpdateStats PpoAgent::update(const RolloutBuffer& buffer, Rng& rng) {
         tel::ScopedTimer critic_timer(timed ? ppo_metrics().critic_step_us
                                             : tel::Histogram{});
         critic_.zero_grad();
-        Matrix v = critic_.forward(mb_states);
-        Matrix grad_v(v.rows(), 1);
+        const Matrix& v = critic_.forward_cached(mb_states, critic_ws_);
+        grad_v_.resize_reuse(v.rows(), 1);  // every entry assigned below
         const double delta = config_.critic_huber_delta;
         for (std::size_t b = 0; b < idx.size(); ++b) {
-          const double err = v(b, 0) - td_target[idx[b]];
+          const double err = v(b, 0) - td_target_[idx[b]];
           if (delta > 0.0 && std::abs(err) > delta) {
             mb_value_loss += delta * (std::abs(err) - 0.5 * delta) * inv_b;
-            grad_v(b, 0) = (err > 0.0 ? delta : -delta) * inv_b;
+            grad_v_(b, 0) = (err > 0.0 ? delta : -delta) * inv_b;
           } else {
             mb_value_loss += err * err * inv_b;
-            grad_v(b, 0) = 2.0 * err * inv_b;
+            grad_v_(b, 0) = 2.0 * err * inv_b;
           }
         }
-        critic_.backward(grad_v);
+        critic_.backward_cached(grad_v_, critic_ws_);
         critic_opt_.clip_grad_norm(config_.max_grad_norm);
         critic_opt_.step();
       }
@@ -231,6 +246,7 @@ UpdateStats PpoAgent::update(const RolloutBuffer& buffer, Rng& rng) {
     m.last_kl.set(stats.approx_kl);
     m.last_clip_fraction.set(stats.clip_fraction);
     m.last_total_loss.set(stats.total_loss);
+    m.alloc_bytes.add(tensor_alloc_stats().bytes - alloc_before.bytes);
   }
   return stats;
 }

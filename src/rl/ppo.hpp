@@ -88,6 +88,21 @@ class PpoAgent {
   Mlp critic_;                 ///< theta_v
   Adam actor_opt_;
   Adam critic_opt_;
+
+  // Update-loop scratch, reused across minibatches and updates so the
+  // steady-state iteration performs no tensor heap allocation (the
+  // tensor.alloc_bytes counter tracks the residual).
+  Workspace critic_ws_;
+  Matrix states_;
+  Matrix next_states_;
+  Matrix actions_u_;
+  Matrix mb_states_;
+  Matrix mb_actions_;
+  Matrix grad_v_;
+  std::vector<std::size_t> idx_;
+  std::vector<double> td_target_;
+  std::vector<double> coeff_;
+  std::vector<double> logp_new_;
 };
 
 }  // namespace fedra

@@ -19,38 +19,53 @@ void RolloutBuffer::push(Transition t) {
 }
 
 Matrix RolloutBuffer::states_matrix() const {
-  FEDRA_EXPECTS(!transitions_.empty());
-  const std::size_t dim = transitions_.front().state.size();
-  Matrix m(transitions_.size(), dim);
-  for (std::size_t i = 0; i < transitions_.size(); ++i) {
-    auto row = m.row(i);
-    for (std::size_t j = 0; j < dim; ++j) row[j] = transitions_[i].state[j];
-  }
+  Matrix m;
+  states_matrix_into(m);
   return m;
 }
 
 Matrix RolloutBuffer::next_states_matrix() const {
+  Matrix m;
+  next_states_matrix_into(m);
+  return m;
+}
+
+Matrix RolloutBuffer::actions_matrix() const {
+  Matrix m;
+  actions_matrix_into(m);
+  return m;
+}
+
+void RolloutBuffer::states_matrix_into(Matrix& m) const {
+  FEDRA_EXPECTS(!transitions_.empty());
+  const std::size_t dim = transitions_.front().state.size();
+  m.resize_reuse(transitions_.size(), dim);
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    auto row = m.row(i);
+    for (std::size_t j = 0; j < dim; ++j) row[j] = transitions_[i].state[j];
+  }
+}
+
+void RolloutBuffer::next_states_matrix_into(Matrix& m) const {
   FEDRA_EXPECTS(!transitions_.empty());
   const std::size_t dim = transitions_.front().next_state.size();
-  Matrix m(transitions_.size(), dim);
+  m.resize_reuse(transitions_.size(), dim);
   for (std::size_t i = 0; i < transitions_.size(); ++i) {
     auto row = m.row(i);
     for (std::size_t j = 0; j < dim; ++j) {
       row[j] = transitions_[i].next_state[j];
     }
   }
-  return m;
 }
 
-Matrix RolloutBuffer::actions_matrix() const {
+void RolloutBuffer::actions_matrix_into(Matrix& m) const {
   FEDRA_EXPECTS(!transitions_.empty());
   const std::size_t dim = transitions_.front().action_u.size();
-  Matrix m(transitions_.size(), dim);
+  m.resize_reuse(transitions_.size(), dim);
   for (std::size_t i = 0; i < transitions_.size(); ++i) {
     auto row = m.row(i);
     for (std::size_t j = 0; j < dim; ++j) row[j] = transitions_[i].action_u[j];
   }
-  return m;
 }
 
 std::vector<double> RolloutBuffer::rewards() const {

@@ -49,6 +49,11 @@ class RolloutBuffer {
   Matrix next_states_matrix() const;
   /// All pre-squash actions stacked as (size x action_dim).
   Matrix actions_matrix() const;
+  // Capacity-reusing variants for hot update loops (same values, no
+  // fresh allocation once `m` has warmed up).
+  void states_matrix_into(Matrix& m) const;
+  void next_states_matrix_into(Matrix& m) const;
+  void actions_matrix_into(Matrix& m) const;
   std::vector<double> rewards() const;
   std::vector<double> values() const;
   std::vector<double> next_values() const;

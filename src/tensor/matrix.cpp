@@ -4,6 +4,20 @@
 
 namespace fedra {
 
+namespace detail {
+
+std::atomic<std::uint64_t>& tensor_alloc_bytes_cell() {
+  static std::atomic<std::uint64_t> cell{0};
+  return cell;
+}
+
+std::atomic<std::uint64_t>& tensor_alloc_count_cell() {
+  static std::atomic<std::uint64_t> cell{0};
+  return cell;
+}
+
+}  // namespace detail
+
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
   rows_ = init.size();
   cols_ = rows_ > 0 ? init.begin()->size() : 0;
@@ -54,6 +68,24 @@ void Matrix::reshape(std::size_t rows, std::size_t cols) {
   FEDRA_EXPECTS(rows * cols == data_.size());
   rows_ = rows;
   cols_ = cols;
+}
+
+void Matrix::resize_reuse(std::size_t rows, std::size_t cols) {
+  data_.resize(rows * cols);  // no-op on the heap once capacity covers it
+  rows_ = rows;
+  cols_ = cols;
+}
+
+void Matrix::assign_from(const Matrix& src) {
+  if (this == &src) return;
+  resize_reuse(src.rows_, src.cols_);
+  std::copy(src.data_.begin(), src.data_.end(), data_.begin());
+}
+
+void Matrix::release() {
+  Storage().swap(data_);
+  rows_ = 0;
+  cols_ = 0;
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {

@@ -1,9 +1,18 @@
 // Dense row-major matrix of doubles — the storage type underneath the
 // neural-network library. Vectors are 1xN or Nx1 matrices; std::span views
 // expose rows without copying.
+//
+// Storage goes through TrackingAllocator so every heap allocation made on
+// behalf of a Matrix bumps a process-wide byte/count tally (relaxed
+// atomics; the cost is noise next to the allocation itself). The training
+// workspaces in src/nn/ use that tally to prove their steady state is
+// allocation-free, and PPO exports it as the `tensor.alloc_bytes`
+// telemetry counter.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <vector>
@@ -13,8 +22,52 @@
 
 namespace fedra {
 
+/// Process-wide tally of heap traffic from Matrix storage. Monotonic;
+/// callers measure a region by differencing before/after.
+struct TensorAllocStats {
+  std::uint64_t bytes = 0;   ///< total bytes ever allocated
+  std::uint64_t allocs = 0;  ///< total allocation calls
+};
+
+namespace detail {
+std::atomic<std::uint64_t>& tensor_alloc_bytes_cell();
+std::atomic<std::uint64_t>& tensor_alloc_count_cell();
+}  // namespace detail
+
+inline TensorAllocStats tensor_alloc_stats() {
+  return {detail::tensor_alloc_bytes_cell().load(std::memory_order_relaxed),
+          detail::tensor_alloc_count_cell().load(std::memory_order_relaxed)};
+}
+
+/// std::allocator<T> plus the global tally. Stateless, so all instances
+/// compare equal and vectors move storage freely between them.
+template <typename T>
+struct TrackingAllocator {
+  using value_type = T;
+
+  TrackingAllocator() = default;
+  template <typename U>
+  TrackingAllocator(const TrackingAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    detail::tensor_alloc_bytes_cell().fetch_add(n * sizeof(T),
+                                                std::memory_order_relaxed);
+    detail::tensor_alloc_count_cell().fetch_add(1, std::memory_order_relaxed);
+    return std::allocator<T>{}.allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) {
+    std::allocator<T>{}.deallocate(p, n);
+  }
+
+  friend bool operator==(const TrackingAllocator&, const TrackingAllocator&) {
+    return true;
+  }
+};
+
 class Matrix {
  public:
+  using Storage = std::vector<double, TrackingAllocator<double>>;
+
   Matrix() = default;
 
   /// rows x cols matrix, zero-initialized.
@@ -49,6 +102,8 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
+  /// Elements the current storage can hold without reallocating.
+  std::size_t capacity() const { return data_.capacity(); }
 
   double& operator()(std::size_t r, std::size_t c) {
     FEDRA_EXPECTS(r < rows_ && c < cols_);
@@ -78,8 +133,8 @@ class Matrix {
     return {data_.data() + r * cols_, cols_};
   }
 
-  std::span<double> flat() { return data_; }
-  std::span<const double> flat() const { return data_; }
+  std::span<double> flat() { return {data_.data(), data_.size()}; }
+  std::span<const double> flat() const { return {data_.data(), data_.size()}; }
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
@@ -88,6 +143,20 @@ class Matrix {
 
   /// Reshape in place; total element count must be preserved.
   void reshape(std::size_t rows, std::size_t cols);
+
+  /// Re-dimension to rows x cols, reusing the existing heap block whenever
+  /// its capacity suffices (the workspace idiom: shapes oscillate between
+  /// a few steady-state values, so after warm-up this never allocates).
+  /// Surviving element VALUES are unspecified — callers overwrite.
+  void resize_reuse(std::size_t rows, std::size_t cols);
+
+  /// Deep copy of `src` into this matrix's existing storage (capacity
+  /// reused as in resize_reuse). Equivalent to operator= in value, but
+  /// guaranteed allocation-free once capacity covers src.size().
+  void assign_from(const Matrix& src);
+
+  /// Frees the heap block and becomes 0x0 (capacity drops to zero).
+  void release();
 
   bool same_shape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
@@ -106,7 +175,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  Storage data_;
 };
 
 }  // namespace fedra

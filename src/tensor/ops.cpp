@@ -2,54 +2,363 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define FEDRA_GEMM_X86_SIMD 1
+#include <immintrin.h>
+#else
+#define FEDRA_GEMM_X86_SIMD 0
+#endif
 
 namespace fedra {
 
 namespace {
 
-// Inner kernel: accumulate rows [r0, r1) of C = A * B. Row-major inner loop
-// order (k middle) keeps B access sequential for cache-friendly streaming.
-void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
-               std::size_t r1) {
-  const std::size_t n = a.cols();
-  const std::size_t p = b.cols();
-  for (std::size_t i = r0; i < r1; ++i) {
-    const double* arow = a.data() + i * n;
-    double* crow = c.data() + i * p;
-    for (std::size_t k = 0; k < n; ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.data() + k * p;
-      for (std::size_t j = 0; j < p; ++j) crow[j] += aik * brow[j];
+// ---- Blocked GEMM ------------------------------------------------------
+//
+// All three products (A*B, A^T*B, A*B^T) share one blocked engine: an
+// MR x NR register tile of C accumulated over one k block, with the B
+// operand packed into contiguous (kc x nr) panels and the A operand read
+// through (row, k) strides that encode whether A is traversed row-major
+// (A*B, A*B^T) or column-major (A^T*B). Tiling regroups only (i, j) work;
+// each C element still receives its k terms one at a time in ascending-k
+// order starting from +0.0, which is what keeps the blocked kernels
+// bit-identical to the reference loops (and the golden trajectory valid).
+//
+// Because the repo builds for baseline x86-64 (SSE2) by default, the full
+// tiles dispatch at runtime to AVX-512F / AVX2 micro-kernels compiled via
+// per-function target attributes. SIMD lanes hold distinct j columns, so
+// per-element term order is untouched; the kernels use separate mul and
+// add (never FMA — a fused a*b+c rounds once instead of twice), with an
+// empty asm barrier on the product so the compiler cannot contract the
+// pair even on ISAs whose feature set includes FMA.
+constexpr std::size_t kKC = 128;  ///< k extent of a cache block
+constexpr std::size_t kNC = 256;  ///< j extent of a cache block (packed B)
+// kNC must be a multiple of every tier's NR so pack panels never overflow.
+static_assert(kNC % 8 == 0 && kNC % 4 == 0);
+
+/// Products below this flop count run serial even when a pool is offered.
+constexpr std::size_t kParallelMinFlops = 64 * 64 * 64;
+
+/// How gemm_blocked reads the B operand when packing a (kc x nc) block.
+enum class BPack {
+  kColumns,  ///< panel[kk][jj] = B[k0+kk][j0+jj]  (A*B, A^T*B)
+  kRows,     ///< panel[kk][jj] = B[j0+jj][k0+kk]  (A*B^T: B rows are the
+             ///<                                   contraction streams)
+};
+
+/// Copies one (kc x nc) block of B into panels of NR columns so the
+/// micro-kernel streams it with unit stride. Pure data movement — packing
+/// never touches the accumulation order.
+template <std::size_t NR>
+void pack_b_block(const double* b, std::size_t ldb, BPack mode,
+                  std::size_t k0, std::size_t j0, std::size_t kc,
+                  std::size_t nc, double* pack) {
+  for (std::size_t jp = 0; jp * NR < nc; ++jp) {
+    const std::size_t nr = std::min(NR, nc - jp * NR);
+    double* dst = pack + jp * kc * NR;  // earlier panels are always full
+    const std::size_t j = j0 + jp * NR;
+    if (mode == BPack::kColumns) {
+      for (std::size_t kk = 0; kk < kc; ++kk) {
+        const double* src = b + (k0 + kk) * ldb + j;
+        for (std::size_t jj = 0; jj < nr; ++jj) dst[kk * nr + jj] = src[jj];
+      }
+    } else {
+      for (std::size_t jj = 0; jj < nr; ++jj) {
+        const double* src = b + (j + jj) * ldb + k0;
+        for (std::size_t kk = 0; kk < kc; ++kk) dst[kk * nr + jj] = src[kk];
+      }
     }
   }
 }
 
+/// Full register tile, portable form: acc[ii][jj] += a(ii, kk) *
+/// panel[kk][jj] for kk ascending, on top of the partial sums C already
+/// holds from earlier k blocks. Fixed trip counts so the compiler unrolls
+/// the jj loop; the per-element term order is exactly the reference
+/// kernel's.
+template <std::size_t MR, std::size_t NR>
+void micro_full_generic(std::size_t kc, const double* a, std::size_t a_rs,
+                        std::size_t a_cs, const double* bp, double* c,
+                        std::size_t ldc) {
+  double acc[MR][NR];
+  for (std::size_t ii = 0; ii < MR; ++ii) {
+    for (std::size_t jj = 0; jj < NR; ++jj) acc[ii][jj] = c[ii * ldc + jj];
+  }
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const double* b = bp + kk * NR;
+    for (std::size_t ii = 0; ii < MR; ++ii) {
+      const double av = a[ii * a_rs + kk * a_cs];
+      for (std::size_t jj = 0; jj < NR; ++jj) acc[ii][jj] += av * b[jj];
+    }
+  }
+  for (std::size_t ii = 0; ii < MR; ++ii) {
+    for (std::size_t jj = 0; jj < NR; ++jj) c[ii * ldc + jj] = acc[ii][jj];
+  }
+}
+
+#if FEDRA_GEMM_X86_SIMD
+/// AVX2 4x8 tile. target("avx2") deliberately omits "fma": the ISA the
+/// compiler sees has no fused multiply-add, so mul+add cannot contract and
+/// every term rounds exactly like the scalar kernel. Lanes are distinct j
+/// columns; kk still ascends one term at a time.
+__attribute__((target("avx2"))) void micro_full_avx2(
+    std::size_t kc, const double* a, std::size_t a_rs, std::size_t a_cs,
+    const double* bp, double* c, std::size_t ldc) {
+  __m256d acc[4][2];
+  for (std::size_t ii = 0; ii < 4; ++ii) {
+    acc[ii][0] = _mm256_loadu_pd(c + ii * ldc);
+    acc[ii][1] = _mm256_loadu_pd(c + ii * ldc + 4);
+  }
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const __m256d b0 = _mm256_loadu_pd(bp + kk * 8);
+    const __m256d b1 = _mm256_loadu_pd(bp + kk * 8 + 4);
+    for (std::size_t ii = 0; ii < 4; ++ii) {
+      const __m256d av = _mm256_broadcast_sd(a + ii * a_rs + kk * a_cs);
+      __m256d t0 = _mm256_mul_pd(av, b0);
+      __m256d t1 = _mm256_mul_pd(av, b1);
+      __asm__("" : "+x"(t0), "+x"(t1));  // keep mul/add unfused
+      acc[ii][0] = _mm256_add_pd(acc[ii][0], t0);
+      acc[ii][1] = _mm256_add_pd(acc[ii][1], t1);
+    }
+  }
+  for (std::size_t ii = 0; ii < 4; ++ii) {
+    _mm256_storeu_pd(c + ii * ldc, acc[ii][0]);
+    _mm256_storeu_pd(c + ii * ldc + 4, acc[ii][1]);
+  }
+}
+
+/// AVX-512F 8x8 tile. AVX-512F itself includes FMA encodings, so here the
+/// asm barrier on the product is what guarantees the compiler emits
+/// separate vmulpd/vaddpd (verified: contraction produces bit-different
+/// sums AND ~53k mismatches vs the scalar kernel on a 256^3 product).
+__attribute__((target("avx512f"))) void micro_full_avx512(
+    std::size_t kc, const double* a, std::size_t a_rs, std::size_t a_cs,
+    const double* bp, double* c, std::size_t ldc) {
+  __m512d acc[8];
+  for (std::size_t ii = 0; ii < 8; ++ii) {
+    acc[ii] = _mm512_loadu_pd(c + ii * ldc);
+  }
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const __m512d b0 = _mm512_loadu_pd(bp + kk * 8);
+    for (std::size_t ii = 0; ii < 8; ++ii) {
+      const __m512d av = _mm512_set1_pd(a[ii * a_rs + kk * a_cs]);
+      __m512d t = _mm512_mul_pd(av, b0);
+      __asm__("" : "+v"(t));  // keep mul/add unfused
+      acc[ii] = _mm512_add_pd(acc[ii], t);
+    }
+  }
+  for (std::size_t ii = 0; ii < 8; ++ii) {
+    _mm512_storeu_pd(c + ii * ldc, acc[ii]);
+  }
+}
+#endif  // FEDRA_GEMM_X86_SIMD
+
+/// Boundary tile (mr < MR or nr < NR): scalar with runtime bounds and the
+/// same accumulation order, so row partitions and odd shapes stay
+/// bit-exact no matter which tier handles the full tiles.
+void micro_edge(std::size_t mr, std::size_t nr, std::size_t kc,
+                const double* a, std::size_t a_rs, std::size_t a_cs,
+                const double* bp, double* c, std::size_t ldc) {
+  double acc[8][8];  // max tile across all tiers
+  for (std::size_t ii = 0; ii < mr; ++ii) {
+    for (std::size_t jj = 0; jj < nr; ++jj) acc[ii][jj] = c[ii * ldc + jj];
+  }
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const double* b = bp + kk * nr;
+    for (std::size_t ii = 0; ii < mr; ++ii) {
+      const double av = a[ii * a_rs + kk * a_cs];
+      for (std::size_t jj = 0; jj < nr; ++jj) acc[ii][jj] += av * b[jj];
+    }
+  }
+  for (std::size_t ii = 0; ii < mr; ++ii) {
+    for (std::size_t jj = 0; jj < nr; ++jj) c[ii * ldc + jj] = acc[ii][jj];
+  }
+}
+
+using MicroFullFn = void (*)(std::size_t, const double*, std::size_t,
+                             std::size_t, const double*, double*,
+                             std::size_t);
+
+/// Blocked driver: C(m x p) += Aop * Bop with contraction length kdim,
+/// where Aop(i, k) = a[i*a_rs + k*a_cs] and Bop is packed per `mode`.
+/// C must be zero-initialized (or hold valid partial sums). Safe to call
+/// on disjoint row ranges from multiple threads.
+template <std::size_t MR, std::size_t NR, MicroFullFn MicroFull>
+void gemm_blocked_impl(std::size_t m, std::size_t kdim, std::size_t p,
+                       const double* a, std::size_t a_rs, std::size_t a_cs,
+                       const double* b, std::size_t ldb, BPack mode,
+                       double* c, std::size_t ldc) {
+  thread_local std::vector<double> pack_buf;  // plain heap: not a tensor
+  if (pack_buf.size() < kKC * kNC) pack_buf.resize(kKC * kNC);
+  for (std::size_t k0 = 0; k0 < kdim; k0 += kKC) {
+    const std::size_t kc = std::min(kKC, kdim - k0);
+    for (std::size_t j0 = 0; j0 < p; j0 += kNC) {
+      const std::size_t nc = std::min(kNC, p - j0);
+      pack_b_block<NR>(b, ldb, mode, k0, j0, kc, nc, pack_buf.data());
+      for (std::size_t i0 = 0; i0 < m; i0 += MR) {
+        const std::size_t mr = std::min(MR, m - i0);
+        const double* abase = a + i0 * a_rs + k0 * a_cs;
+        for (std::size_t jp = 0; jp * NR < nc; ++jp) {
+          const std::size_t nr = std::min(NR, nc - jp * NR);
+          const double* bp = pack_buf.data() + jp * kc * NR;
+          double* ct = c + i0 * ldc + j0 + jp * NR;
+          if (mr == MR && nr == NR) {
+            MicroFull(kc, abase, a_rs, a_cs, bp, ct, ldc);
+          } else {
+            micro_edge(mr, nr, kc, abase, a_rs, a_cs, bp, ct, ldc);
+          }
+        }
+      }
+    }
+  }
+}
+
+using GemmFn = void (*)(std::size_t, std::size_t, std::size_t, const double*,
+                        std::size_t, std::size_t, const double*, std::size_t,
+                        BPack, double*, std::size_t);
+
+/// Picks the widest micro-kernel this CPU supports. Tier choice affects
+/// only throughput, never bits — all tiers share the per-element
+/// ascending-k accumulation order.
+GemmFn select_gemm_impl() {
+#if FEDRA_GEMM_X86_SIMD
+  if (__builtin_cpu_supports("avx512f")) {
+    return gemm_blocked_impl<8, 8, micro_full_avx512>;
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    return gemm_blocked_impl<4, 8, micro_full_avx2>;
+  }
+#endif
+  return gemm_blocked_impl<4, 4, micro_full_generic<4, 4>>;
+}
+
+void gemm_blocked(std::size_t m, std::size_t kdim, std::size_t p,
+                  const double* a, std::size_t a_rs, std::size_t a_cs,
+                  const double* b, std::size_t ldb, BPack mode, double* c,
+                  std::size_t ldc) {
+  if (m == 0 || kdim == 0 || p == 0) return;
+  static const GemmFn impl = select_gemm_impl();
+  impl(m, kdim, p, a, a_rs, a_cs, b, ldb, mode, c, ldc);
+}
+
+void check_matmul_shapes(const Matrix& a, const Matrix& b, const Matrix& c) {
+  FEDRA_EXPECTS(&c != &a && &c != &b);
+  (void)a;
+  (void)b;
+  (void)c;
+}
+
 }  // namespace
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
   FEDRA_EXPECTS(a.cols() == b.rows());
-  Matrix c(a.rows(), b.cols());
-  gemm_rows(a, b, c, 0, a.rows());
+  check_matmul_shapes(a, b, c);
+  c.resize_reuse(a.rows(), b.cols());
+  c.set_zero();
+  gemm_blocked(a.rows(), a.cols(), b.cols(), a.data(), a.cols(), 1, b.data(),
+               b.cols(), BPack::kColumns, c.data(), c.cols());
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_into(a, b, c);
   return c;
+}
+
+void matmul_parallel_into(const Matrix& a, const Matrix& b, Matrix& c,
+                          ThreadPool& pool) {
+  FEDRA_EXPECTS(a.cols() == b.rows());
+  check_matmul_shapes(a, b, c);
+  c.resize_reuse(a.rows(), b.cols());
+  c.set_zero();
+  const std::size_t n = a.cols();
+  const std::size_t p = b.cols();
+  // Parallelizing tiny products costs more than it saves.
+  if (pool.size() <= 1 || a.rows() * n * p < kParallelMinFlops) {
+    gemm_blocked(a.rows(), n, p, a.data(), n, 1, b.data(), p,
+                 BPack::kColumns, c.data(), p);
+    return;
+  }
+  // Row-partitioned: each chunk runs the full blocked kernel on its rows.
+  // A C element depends only on its own A row and all of B, so the chunk
+  // boundaries cannot change any per-element accumulation — output is
+  // bit-identical for every pool size and chunking.
+  pool.parallel_for_chunks(0, a.rows(), [&](std::size_t lo, std::size_t hi) {
+    gemm_blocked(hi - lo, n, p, a.data() + lo * n, n, 1, b.data(), p,
+                 BPack::kColumns, c.data() + lo * p, p);
+  });
 }
 
 Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool) {
-  FEDRA_EXPECTS(a.cols() == b.rows());
-  Matrix c(a.rows(), b.cols());
-  // Parallelizing tiny products costs more than it saves.
-  if (a.rows() * a.cols() * b.cols() < 64 * 64 * 64) {
-    gemm_rows(a, b, c, 0, a.rows());
-    return c;
-  }
-  pool.parallel_for_chunks(0, a.rows(),
-                           [&](std::size_t lo, std::size_t hi) {
-                             gemm_rows(a, b, c, lo, hi);
-                           });
+  Matrix c;
+  matmul_parallel_into(a, b, c, pool);
   return c;
 }
 
+void matmul_auto_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  ThreadPool& pool = global_pool();
+  if (pool.size() > 1 &&
+      a.rows() * a.cols() * b.cols() >= kParallelMinFlops) {
+    matmul_parallel_into(a, b, c, pool);
+  } else {
+    matmul_into(a, b, c);
+  }
+}
+
+void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  FEDRA_EXPECTS(a.rows() == b.rows());
+  check_matmul_shapes(a, b, c);
+  c.resize_reuse(a.cols(), b.cols());
+  c.set_zero();
+  // Output row i is column i of A: consecutive output rows sit 1 apart,
+  // consecutive k terms a full A row apart.
+  gemm_blocked(a.cols(), a.rows(), b.cols(), a.data(), 1, a.cols(), b.data(),
+               b.cols(), BPack::kColumns, c.data(), c.cols());
+}
+
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_at_b_into(a, b, c);
+  return c;
+}
+
+void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  FEDRA_EXPECTS(a.cols() == b.cols());
+  check_matmul_shapes(a, b, c);
+  c.resize_reuse(a.rows(), b.rows());
+  c.set_zero();
+  // B rows are the contraction streams; pack them k-major so the
+  // micro-kernel reads one contiguous line per k step.
+  gemm_blocked(a.rows(), a.cols(), b.rows(), a.data(), a.cols(), 1, b.data(),
+               b.cols(), BPack::kRows, c.data(), c.cols());
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_a_bt_into(a, b, c);
+  return c;
+}
+
+Matrix matmul_reference(const Matrix& a, const Matrix& b) {
+  FEDRA_EXPECTS(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  const std::size_t n = a.cols();
+  const std::size_t p = b.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.data() + i * n;
+    double* crow = c.data() + i * p;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = arow[k];
+      const double* brow = b.data() + k * p;
+      for (std::size_t j = 0; j < p; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b_reference(const Matrix& a, const Matrix& b) {
   FEDRA_EXPECTS(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
   const std::size_t m = a.rows();
@@ -60,7 +369,6 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
     const double* brow = b.data() + k * p;
     for (std::size_t i = 0; i < n; ++i) {
       const double aki = arow[i];
-      if (aki == 0.0) continue;
       double* crow = c.data() + i * p;
       for (std::size_t j = 0; j < p; ++j) crow[j] += aki * brow[j];
     }
@@ -68,7 +376,7 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+Matrix matmul_a_bt_reference(const Matrix& a, const Matrix& b) {
   FEDRA_EXPECTS(a.cols() == b.cols());
   Matrix c(a.rows(), b.rows());
   const std::size_t n = a.cols();
@@ -141,12 +449,19 @@ void add_row_broadcast(Matrix& a, const Matrix& bias) {
   }
 }
 
-Matrix col_sum(const Matrix& a) {
-  Matrix s(1, a.cols());
+void col_sum_into(const Matrix& a, Matrix& s) {
+  FEDRA_EXPECTS(&s != &a);
+  s.resize_reuse(1, a.cols());
+  s.set_zero();
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* row = a.data() + i * a.cols();
     for (std::size_t j = 0; j < a.cols(); ++j) s[j] += row[j];
   }
+}
+
+Matrix col_sum(const Matrix& a) {
+  Matrix s;
+  col_sum_into(a, s);
   return s;
 }
 

@@ -1,7 +1,18 @@
 // Matrix kernels: blocked/parallel GEMM, transposed products, elementwise
-// maps, broadcast helpers and reductions. Parallel variants split work
-// across the global thread pool by output rows, so chunks write disjoint
-// memory (no synchronization needed inside a kernel — CP.2/CP.3).
+// maps, broadcast helpers and reductions.
+//
+// GEMM kernels are cache-blocked and register-tiled but BIT-EXACT with the
+// naive triple loop: every output element accumulates its k terms in
+// ascending-k order from a +0.0 start, and tiling only regroups (i, j)
+// work, never the per-element reduction. The naive kernels are retained as
+// `*_reference` oracles for the property tests and as the bench baseline.
+//
+// `_into` variants write into a caller-owned output, reusing its heap
+// block when capacity suffices — the allocation-free path the nn/
+// workspaces build on. Parallel variants split work across the thread
+// pool by output rows, so chunks write disjoint memory (no synchronization
+// needed inside a kernel — CP.2/CP.3) and any row partition produces
+// bit-identical output.
 #pragma once
 
 #include <functional>
@@ -14,7 +25,8 @@ namespace fedra {
 /// C = A * B.
 Matrix matmul(const Matrix& a, const Matrix& b);
 
-/// C = A * B using the given pool (rows of C parallelized).
+/// C = A * B using the given pool (rows of C parallelized; bit-identical
+/// to the serial kernel for every pool size).
 Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool);
 
 /// C = A^T * B without materializing A^T.
@@ -22,6 +34,27 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b);
 
 /// C = A * B^T without materializing B^T.
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+// Allocation-free variants: `c` is re-dimensioned with capacity reuse and
+// fully overwritten. `c` must not alias `a` or `b`.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
+void matmul_parallel_into(const Matrix& a, const Matrix& b, Matrix& c,
+                          ThreadPool& pool);
+void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c);
+void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A * B into `c`, routed through the global pool when the product is
+/// large enough to amortize fork/join. Output is bit-identical to the
+/// serial kernel regardless of pool size (row-partitioned work).
+void matmul_auto_into(const Matrix& a, const Matrix& b, Matrix& c);
+
+// Reference kernels: the naive ascending-k triple loops the blocked
+// kernels must match bit-for-bit (including NaN/inf propagation — no
+// zero-skip shortcuts). Used by tests as the oracle and by bench_gemm as
+// the seed-scalar baseline.
+Matrix matmul_reference(const Matrix& a, const Matrix& b);
+Matrix matmul_at_b_reference(const Matrix& a, const Matrix& b);
+Matrix matmul_a_bt_reference(const Matrix& a, const Matrix& b);
 
 Matrix transpose(const Matrix& a);
 
@@ -45,6 +78,9 @@ void add_row_broadcast(Matrix& a, const Matrix& bias);
 
 /// Column-wise sum producing a 1 x cols row vector.
 Matrix col_sum(const Matrix& a);
+
+/// Column-wise sum into `s` (re-dimensioned to 1 x cols, capacity reused).
+void col_sum_into(const Matrix& a, Matrix& s);
 
 /// Row-wise sum producing a rows x 1 column vector.
 Matrix row_sum(const Matrix& a);

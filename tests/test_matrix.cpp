@@ -151,5 +151,66 @@ TEST(MatrixDeathTest, ShapeMismatchAborts) {
   EXPECT_DEATH(a += b, "precondition");
 }
 
+TEST(Matrix, ResizeReuseKeepsCapacityAndBlock) {
+  Matrix m(8, 8, 1.0);
+  const double* block = m.data();
+  const std::size_t cap = m.capacity();
+  EXPECT_GE(cap, 64u);
+
+  m.resize_reuse(4, 5);  // shrink: same heap block
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.data(), block);
+  EXPECT_EQ(m.capacity(), cap);
+
+  m.resize_reuse(8, 8);  // grow back within capacity: same block
+  EXPECT_EQ(m.data(), block);
+
+  m.resize_reuse(16, 16);  // beyond capacity: must actually grow
+  EXPECT_EQ(m.size(), 256u);
+  EXPECT_GE(m.capacity(), 256u);
+}
+
+TEST(Matrix, AssignFromReusesCapacity) {
+  Matrix src(3, 4);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<double>(i) * 0.25;
+  }
+  Matrix dst(10, 10);  // larger capacity than src needs
+  const double* block = dst.data();
+  dst.assign_from(src);
+  EXPECT_EQ(dst.rows(), 3u);
+  EXPECT_EQ(dst.cols(), 4u);
+  EXPECT_EQ(dst.data(), block);
+  EXPECT_TRUE(dst == src);
+
+  dst.assign_from(dst);  // self-assign is a no-op
+  EXPECT_TRUE(dst == src);
+}
+
+TEST(Matrix, ReleaseDropsHeapBlock) {
+  Matrix m(6, 6, 2.0);
+  m.release();
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_EQ(m.capacity(), 0u);
+}
+
+TEST(Matrix, AllocStatsTrackTensorHeapOnly) {
+  const TensorAllocStats before = tensor_alloc_stats();
+  Matrix m(16, 16);
+  const TensorAllocStats after_alloc = tensor_alloc_stats();
+  EXPECT_GE(after_alloc.bytes - before.bytes, 16u * 16u * sizeof(double));
+  EXPECT_GE(after_alloc.allocs, before.allocs + 1);
+
+  // Capacity-reusing operations must not move the counters.
+  m.resize_reuse(4, 4);
+  m.resize_reuse(16, 16);
+  m.set_zero();
+  const TensorAllocStats after_reuse = tensor_alloc_stats();
+  EXPECT_EQ(after_reuse.bytes, after_alloc.bytes);
+  EXPECT_EQ(after_reuse.allocs, after_alloc.allocs);
+}
+
 }  // namespace
 }  // namespace fedra
