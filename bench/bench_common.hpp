@@ -11,6 +11,7 @@
 #include "core/drl_controller.hpp"
 #include "core/evaluation.hpp"
 #include "core/offline_trainer.hpp"
+#include "obs/ledger.hpp"
 #include "sched/baselines.hpp"
 #include "sim/experiment_config.hpp"
 #include "telemetry/telemetry.hpp"
@@ -20,11 +21,14 @@ namespace fedra::bench {
 
 /// Scans argv for `--telemetry-out <prefix>` (or `--telemetry-out=prefix`)
 /// and, when present, enables telemetry writing `<prefix>.jsonl` and
-/// `<prefix>.trace.json` (flushed at exit). The flag is REMOVED from
-/// argc/argv so downstream parsers (google-benchmark rejects unknown
-/// flags) never see it. Returns true when telemetry was enabled.
+/// `<prefix>.trace.json` (flushed at exit). `--ledger-out <path>` likewise
+/// enables the run ledger (implying telemetry, which gates it) writing a
+/// `fedra.ledger.v1` JSONL that tools/fedra_report renders. Both flags are
+/// REMOVED from argc/argv so downstream parsers (google-benchmark rejects
+/// unknown flags) never see them. Returns true when telemetry was enabled.
 inline bool init_telemetry_from_args(int& argc, char** argv) {
   std::string prefix;
+  std::string ledger_path;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -36,14 +40,36 @@ inline bool init_telemetry_from_args(int& argc, char** argv) {
       prefix = arg.substr(std::string("--telemetry-out=").size());
       continue;
     }
+    if (arg == "--ledger-out" && i + 1 < argc) {
+      ledger_path = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--ledger-out=", 0) == 0) {
+      ledger_path = arg.substr(std::string("--ledger-out=").size());
+      continue;
+    }
     argv[out++] = argv[i];
   }
   argc = out;
-  if (prefix.empty()) return false;
+  if (prefix.empty() && ledger_path.empty()) return false;
   telemetry::TelemetryConfig cfg;
-  cfg.jsonl_path = prefix + ".jsonl";
-  cfg.chrome_trace_path = prefix + ".trace.json";
+  if (!prefix.empty()) {
+    cfg.jsonl_path = prefix + ".jsonl";
+    cfg.chrome_trace_path = prefix + ".trace.json";
+  }
   telemetry::Telemetry::enable(cfg);
+  if (!ledger_path.empty()) {
+    obs::LedgerConfig lcfg;
+    lcfg.path = ledger_path;
+    // Both benches that accept this flag run on testbed_config(), so its
+    // cost weight is the right header lambda. Per-round energy_term stays
+    // authoritative either way (it is computed from the sim's own params).
+    lcfg.lambda = testbed_config().cost.lambda;
+    const std::string argv0 = argv[0] != nullptr ? argv[0] : "bench";
+    const std::size_t slash = argv0.find_last_of('/');
+    lcfg.run_id = slash == std::string::npos ? argv0 : argv0.substr(slash + 1);
+    obs::RunLedger::enable(lcfg);
+  }
   return true;
 }
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# One-command verification, the same three legs a PR must pass:
+#
+#   1. tier-1: default configure + build + full ctest;
+#   2. sanitize: address,undefined build, `sanitize`-labeled suites;
+#   3. perf: smoke-run the perf harnesses and diff them against the
+#      checked-in bench/baselines/ snapshots (`-L perf`).
+#
+#   scripts/check.sh          # all three legs
+#   scripts/check.sh --fast   # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then fast=1; fi
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: build + ctest (build/) =="
+cmake -B build -S .
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$fast" == 1 ]]; then
+  echo "check.sh: tier-1 leg passed (--fast)"
+  exit 0
+fi
+
+echo "== sanitize: address,undefined (build-asan/) =="
+cmake -B build-asan -S . -DFEDRA_SANITIZE=address,undefined \
+      -DFEDRA_BUILD_BENCH=OFF -DFEDRA_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan -L sanitize --output-on-failure -j "$jobs"
+
+echo "== perf: smoke + baseline regression (build/) =="
+ctest --test-dir build -L perf --output-on-failure
+
+echo "check.sh: all legs passed"

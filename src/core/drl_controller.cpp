@@ -1,5 +1,8 @@
 #include "core/drl_controller.hpp"
 
+#include <utility>
+
+#include "obs/ledger.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/contracts.hpp"
 
@@ -31,11 +34,50 @@ std::vector<double> DrlController::decide(const SimulatorBase& sim) {
   for (std::size_t i = 0; i < fractions.size(); ++i) {
     freqs[i] = fractions[i] * sim.devices()[i].max_freq_hz;
   }
+  FEDRA_TELEMETRY_IF {
+    if (obs::RunLedger::enabled()) {
+      // Stash the decision; the matching observe() closes the record with
+      // the realized outcome. The prediction is a fault-free preview so
+      // the gap to the realized cost isolates fault-driven cost.
+      pending_.valid = true;
+      if (obs::RunLedger::config().log_state) {
+        pending_.state = state;
+      } else {
+        pending_.state.clear();
+      }
+      pending_.freqs_hz = freqs;
+      const IterationResult predicted = sim.preview(freqs, StepOptions{});
+      pending_.predicted_time = predicted.iteration_time;
+      pending_.predicted_energy = predicted.total_energy;
+      pending_.predicted_cost = predicted.cost;
+    }
+  }
   return freqs;
 }
 
 void DrlController::observe(const IterationResult& result) {
   if (env_config_.fault_aware_state) last_result_ = result;
+  if (pending_.valid) {
+    pending_.valid = false;
+    FEDRA_TELEMETRY_IF {
+      if (obs::RunLedger::enabled()) {
+        obs::DecisionRecord decision;
+        decision.round = decision_round_;
+        decision.source = "ctl";
+        decision.state = std::move(pending_.state);
+        decision.action = std::move(pending_.freqs_hz);
+        decision.predicted_time = pending_.predicted_time;
+        decision.predicted_energy = pending_.predicted_energy;
+        decision.predicted_cost = pending_.predicted_cost;
+        decision.realized_time = result.iteration_time;
+        decision.realized_energy = result.total_energy;
+        decision.realized_cost = result.cost;
+        decision.reward = result.reward;
+        obs::RunLedger::record_decision(decision);
+      }
+    }
+  }
+  ++decision_round_;
 }
 
 }  // namespace fedra

@@ -34,6 +34,20 @@ class DrlController final : public Controller {
   FlEnvConfig env_config_;
   double bandwidth_ref_;
   std::optional<IterationResult> last_result_;
+
+  // Run-ledger support (only populated while the ledger is enabled): the
+  // state/action/predicted-cost of the pending decide(), matched with the
+  // realized outcome in the next observe().
+  struct PendingDecision {
+    bool valid = false;
+    std::vector<double> state;
+    std::vector<double> freqs_hz;
+    double predicted_time = 0.0;
+    double predicted_energy = 0.0;
+    double predicted_cost = 0.0;
+  };
+  PendingDecision pending_;
+  std::size_t decision_round_ = 0;  ///< counts this controller's decisions
 };
 
 }  // namespace fedra

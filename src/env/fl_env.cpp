@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "obs/ledger.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fedra {
 
@@ -107,6 +111,27 @@ StepResult FlEnv::step(const std::vector<double>& action) {
   StepOptions options;
   options.deadline = config_.round_deadline;
   options.fault_model = fault_model_.enabled() ? &fault_model_ : nullptr;
+
+  // Ledger decision record: capture what the agent saw and what a
+  // fault-free preview() of its action predicts, before the step advances
+  // the clock. Gated behind the Telemetry facade so the hot path stays a
+  // single branch (and allocation-free) when observability is off.
+  obs::DecisionRecord decision;
+  bool ledger_on = false;
+  FEDRA_TELEMETRY_IF ledger_on = obs::RunLedger::enabled();
+  if (ledger_on) {
+    decision.round = sim_.iteration();
+    decision.source = "env";
+    if (obs::RunLedger::config().log_state) decision.state = observe();
+    decision.action = action;
+    StepOptions predict_options = options;
+    predict_options.fault_model = nullptr;  // predict the fault-free round
+    const IterationResult predicted = sim_.preview(freqs, predict_options);
+    decision.predicted_time = predicted.iteration_time;
+    decision.predicted_energy = predicted.total_energy;
+    decision.predicted_cost = predicted.cost;
+  }
+
   StepResult r;
   r.info = sim_.step(freqs, options);
   double reward = r.info.reward;
@@ -115,6 +140,15 @@ StepResult FlEnv::step(const std::vector<double>& action) {
               static_cast<double>(r.info.num_failed());
   }
   r.reward = reward * config_.reward_scale;
+
+  if (ledger_on) {
+    decision.realized_time = r.info.iteration_time;
+    decision.realized_energy = r.info.total_energy;
+    decision.realized_cost = r.info.cost;
+    decision.reward = r.reward;
+    obs::RunLedger::record_decision(decision);
+  }
+
   last_result_ = r.info;
   has_result_ = true;
   ++steps_in_episode_;

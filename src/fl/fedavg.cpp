@@ -1,6 +1,7 @@
 #include "fl/fedavg.hpp"
 
 #include "nn/loss.hpp"
+#include "obs/ledger.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fedra {
@@ -132,6 +133,18 @@ RoundMetrics FedAvgServer::run_round(
   double loss_sum = 0.0;
   for (const auto& u : updates) loss_sum += u.avg_loss;
   m.mean_client_loss = loss_sum / static_cast<double>(n);
+  FEDRA_TELEMETRY_IF {
+    if (obs::RunLedger::enabled()) {
+      obs::FlRoundRecord rec;
+      rec.round = m.round;
+      rec.global_loss = m.global_loss;
+      rec.global_accuracy = m.global_accuracy;
+      rec.mean_client_loss = m.mean_client_loss;
+      rec.num_participants = m.num_participants;
+      rec.num_delivered = m.num_delivered;
+      obs::RunLedger::record_fl_round(rec);
+    }
+  }
   return m;
 }
 

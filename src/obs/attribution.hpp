@@ -1,0 +1,78 @@
+// Critical-path attribution over a parsed run ledger.
+//
+// Answers, per round: which device gated the barrier (the straggler),
+// whether its critical path was compute- or communication-bound, and how
+// the cumulative objective Sigma_k (T^k + lambda Sigma_i E_i^k) splits
+// between the two terms.  Over the whole run it aggregates per-device
+// straggler counts / failures / energy and turns decision records into a
+// prediction-error series for the agent.
+//
+// Pure functions over Ledger — no I/O, no globals — so the report tool
+// and the tests share one implementation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.hpp"
+
+namespace fedra::obs {
+
+enum class BottleneckPhase { kNone = 0, kCompute, kComm };
+
+const char* bottleneck_name(BottleneckPhase phase);
+
+struct RoundAttribution {
+  std::size_t round = 0;
+  /// Device whose total time equals the round makespan; -1 when nobody
+  /// participated.  Ties break toward the lower device id.
+  int straggler = -1;
+  double straggler_time = 0.0;
+  BottleneckPhase bottleneck = BottleneckPhase::kNone;
+  /// Straggler's compute_time / (compute_time + comm_time); 0 when idle.
+  double compute_share = 0.0;
+  double time_term = 0.0;
+  double energy_term = 0.0;
+  double cost = 0.0;
+  /// Running sums through this round (inclusive).
+  double cum_cost = 0.0;
+  double cum_time_term = 0.0;
+  double cum_energy_term = 0.0;
+  std::size_t failures = 0;  ///< scheduled - completed
+};
+
+struct DeviceProfile {
+  std::size_t straggler_rounds = 0;
+  std::size_t failures = 0;
+  std::size_t rounds_participated = 0;
+  double total_energy = 0.0;
+  double total_compute_time = 0.0;
+  double total_comm_time = 0.0;
+  double total_idle_time = 0.0;
+};
+
+struct PredictionPoint {
+  std::size_t round = 0;
+  std::string source;
+  double predicted = 0.0;
+  double realized = 0.0;
+  double error = 0.0;  ///< realized - predicted
+};
+
+struct RunAttribution {
+  std::vector<RoundAttribution> rounds;
+  std::vector<DeviceProfile> devices;  ///< indexed by device id
+  std::vector<PredictionPoint> predictions;
+  double total_cost = 0.0;
+  double total_time_term = 0.0;
+  double total_energy_term = 0.0;
+  std::size_t compute_bound_rounds = 0;
+  std::size_t comm_bound_rounds = 0;
+  std::size_t total_failures = 0;
+  double mean_abs_prediction_error = 0.0;
+};
+
+RunAttribution attribute(const Ledger& ledger);
+
+}  // namespace fedra::obs

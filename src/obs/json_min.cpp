@@ -1,0 +1,255 @@
+#include "obs/json_min.hpp"
+
+#include <cstdlib>
+#include <cctype>
+
+namespace fedra::obs {
+namespace {
+
+struct Parser {
+  const char* cur;
+  const char* end;
+
+  void skip_ws() {
+    while (cur != end && (*cur == ' ' || *cur == '\t' || *cur == '\n' ||
+                          *cur == '\r')) {
+      ++cur;
+    }
+  }
+
+  bool consume(char c) {
+    if (cur != end && *cur == c) {
+      ++cur;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (static_cast<std::size_t>(end - cur) < lit.size()) return false;
+    for (std::size_t i = 0; i < lit.size(); ++i) {
+      if (cur[i] != lit[i]) return false;
+    }
+    cur += lit.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (cur != end) {
+      char c = *cur++;
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (cur == end) return false;
+        char esc = *cur++;
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // Decode \uXXXX; fedra's writers only escape control characters,
+            // so non-BMP surrogate pairs are folded to '?' rather than
+            // implementing full UTF-16 pairing.
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              if (cur == end) return false;
+              char h = *cur++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string: torn line
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  bool parse_number(double& out) {
+    const char* start = cur;
+    if (cur != end && (*cur == '-' || *cur == '+')) ++cur;
+    // JSON forbids a leading zero on the integer part ("01"); "0", "0.5"
+    // and exponents like "1e01" stay legal.
+    if (cur + 1 < end && *cur == '0' &&
+        std::isdigit(static_cast<unsigned char>(cur[1]))) {
+      return false;
+    }
+    bool any_digit = false;
+    while (cur != end && (std::isdigit(static_cast<unsigned char>(*cur)) ||
+                          *cur == '.' || *cur == 'e' || *cur == 'E' ||
+                          *cur == '+' || *cur == '-')) {
+      if (std::isdigit(static_cast<unsigned char>(*cur))) any_digit = true;
+      ++cur;
+    }
+    if (!any_digit) return false;
+    std::string buf(start, cur);
+    char* parse_end = nullptr;
+    out = std::strtod(buf.c_str(), &parse_end);
+    return parse_end == buf.c_str() + buf.size();
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > 64) return false;  // bound recursion on hostile input
+    skip_ws();
+    if (cur == end) return false;
+    char c = *cur;
+    if (c == '{') {
+      ++cur;
+      out.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!consume(':')) return false;
+        JsonValue child;
+        if (!parse_value(child, depth + 1)) return false;
+        out.members.emplace_back(std::move(key), std::move(child));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++cur;
+      out.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        JsonValue child;
+        if (!parse_value(child, depth + 1)) return false;
+        out.array.push_back(std::move(child));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        return false;
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.str);
+    }
+    if (consume_literal("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (consume_literal("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (consume_literal("null")) {
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    return parse_number(out.number);
+  }
+};
+
+void flatten_impl(const JsonValue& value, const std::string& prefix,
+                  std::map<std::string, double>* numbers,
+                  std::map<std::string, std::string>* strings) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNumber:
+      if (numbers) (*numbers)[prefix] = value.number;
+      break;
+    case JsonValue::Kind::kBool:
+      if (numbers) (*numbers)[prefix] = value.boolean ? 1.0 : 0.0;
+      break;
+    case JsonValue::Kind::kString:
+      if (strings) (*strings)[prefix] = value.str;
+      break;
+    case JsonValue::Kind::kArray:
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        flatten_impl(value.array[i],
+                     prefix + "[" + std::to_string(i) + "]", numbers, strings);
+      }
+      break;
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, child] : value.members) {
+        flatten_impl(child, prefix.empty() ? key : prefix + "." + key,
+                     numbers, strings);
+      }
+      break;
+    case JsonValue::Kind::kNull:
+      break;
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) found = &value;  // last duplicate wins, like most readers
+  }
+  return found;
+}
+
+double JsonValue::get_number(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->number_or(fallback) : fallback;
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->string_or(std::move(fallback)) : fallback;
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->bool_or(fallback) : fallback;
+}
+
+bool parse_json(std::string_view text, JsonValue& out) {
+  out = JsonValue{};
+  Parser p{text.data(), text.data() + text.size()};
+  if (!p.parse_value(out, 0)) return false;
+  p.skip_ws();
+  return p.cur == p.end;
+}
+
+std::map<std::string, double> flatten_numbers(const JsonValue& value) {
+  std::map<std::string, double> out;
+  flatten_impl(value, "", &out, nullptr);
+  return out;
+}
+
+std::map<std::string, std::string> flatten_strings(const JsonValue& value) {
+  std::map<std::string, std::string> out;
+  flatten_impl(value, "", nullptr, &out);
+  return out;
+}
+
+}  // namespace fedra::obs

@@ -1,0 +1,416 @@
+#include "obs/ledger.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "obs/json_min.hpp"
+#include "telemetry/sinks.hpp"
+
+namespace fedra::obs {
+namespace {
+
+using telemetry::json_escape;
+
+/// %.17g round-trips IEEE doubles exactly through strtod.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_kv(std::string& out, const char* key, double v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += fmt_double(v);
+}
+
+void append_kv(std::string& out, const char* key, std::size_t v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void append_kv(std::string& out, const char* key, const std::string& v) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += json_escape(v);
+  out += '"';
+}
+
+void append_kv(std::string& out, const char* key, bool v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += v ? "true" : "false";
+}
+
+void append_array(std::string& out, const char* key,
+                  const std::vector<double>& values) {
+  out += '"';
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += fmt_double(values[i]);
+  }
+  out += ']';
+}
+
+// Like Telemetry's GlobalState: heap-allocated and never destroyed so
+// writers racing with process teardown never touch a dead object.
+struct LedgerState {
+  std::mutex mutex;
+  LedgerConfig config;
+  std::ofstream out;
+  std::uint64_t records = 0;
+};
+
+LedgerState& state() {
+  static LedgerState* s = new LedgerState();
+  return *s;
+}
+
+void write_line(const std::string& line) {
+  LedgerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.out.is_open()) return;
+  s.out << line << '\n';
+  ++s.records;
+}
+
+}  // namespace
+
+std::atomic<bool>& RunLedger::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+bool RunLedger::enable(const LedgerConfig& config) {
+  LedgerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.out.is_open()) s.out.close();
+  s.out.open(config.path, std::ios::trunc);
+  if (!s.out.is_open()) {
+    enabled_flag().store(false, std::memory_order_relaxed);
+    return false;
+  }
+  s.config = config;
+  s.records = 0;
+  std::string header = "{";
+  append_kv(header, "type", std::string("header"));
+  header += ',';
+  append_kv(header, "schema", std::string(kLedgerSchema));
+  header += ',';
+  append_kv(header, "run_id", config.run_id);
+  header += ',';
+  append_kv(header, "lambda", config.lambda);
+  header += '}';
+  s.out << header << '\n';
+  enabled_flag().store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void RunLedger::disable() {
+  enabled_flag().store(false, std::memory_order_relaxed);
+  LedgerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.out.is_open()) {
+    s.out.flush();
+    s.out.close();
+  }
+}
+
+void RunLedger::flush() {
+  LedgerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.out.is_open()) s.out.flush();
+}
+
+const LedgerConfig& RunLedger::config() { return state().config; }
+
+std::uint64_t RunLedger::records_written() {
+  LedgerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.records;
+}
+
+void RunLedger::record_round(const RoundRecord& record) {
+  if (!enabled()) return;
+  write_line(round_record_json(record));
+}
+
+void RunLedger::record_decision(const DecisionRecord& record) {
+  if (!enabled()) return;
+  write_line(decision_record_json(record));
+}
+
+void RunLedger::record_fl_round(const FlRoundRecord& record) {
+  if (!enabled()) return;
+  write_line(fl_round_record_json(record));
+}
+
+std::string round_record_json(const RoundRecord& r) {
+  std::string out = "{";
+  append_kv(out, "type", std::string("round"));
+  out += ',';
+  append_kv(out, "round", r.round);
+  out += ',';
+  append_kv(out, "source", r.source);
+  out += ',';
+  append_kv(out, "start_time", r.start_time);
+  out += ',';
+  append_kv(out, "iteration_time", r.iteration_time);
+  out += ',';
+  append_kv(out, "total_energy", r.total_energy);
+  out += ',';
+  append_kv(out, "time_term", r.time_term);
+  out += ',';
+  append_kv(out, "energy_term", r.energy_term);
+  out += ',';
+  append_kv(out, "cost", r.cost);
+  out += ',';
+  append_kv(out, "reward", r.reward);
+  out += ',';
+  append_kv(out, "scheduled", r.num_scheduled);
+  out += ',';
+  append_kv(out, "completed", r.num_completed);
+  out += ',';
+  append_kv(out, "crashes", r.num_crashes);
+  out += ',';
+  append_kv(out, "dropouts", r.num_dropouts);
+  out += ',';
+  append_kv(out, "timeouts", r.num_timeouts);
+  out += ',';
+  append_kv(out, "upload_failures", r.num_upload_failures);
+  out += ',';
+  append_kv(out, "retries", r.total_retries);
+  out += ",\"devices\":[";
+  for (std::size_t i = 0; i < r.devices.size(); ++i) {
+    const DeviceRoundRecord& d = r.devices[i];
+    if (i > 0) out += ',';
+    out += '{';
+    append_kv(out, "id", static_cast<std::size_t>(d.device));
+    out += ',';
+    append_kv(out, "participated", d.participated);
+    out += ',';
+    append_kv(out, "completed", d.completed);
+    out += ',';
+    append_kv(out, "failure", d.failure);
+    out += ',';
+    append_kv(out, "retries", static_cast<std::size_t>(d.retries));
+    out += ',';
+    append_kv(out, "freq_hz", d.freq_hz);
+    out += ',';
+    append_kv(out, "t_cmp", d.compute_time);
+    out += ',';
+    append_kv(out, "t_com", d.comm_time);
+    out += ',';
+    append_kv(out, "t_idle", d.idle_time);
+    out += ',';
+    append_kv(out, "e_cmp", d.compute_energy);
+    out += ',';
+    append_kv(out, "e_com", d.comm_energy);
+    out += ',';
+    append_kv(out, "e", d.energy);
+    out += ',';
+    append_kv(out, "bw", d.avg_bandwidth);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string decision_record_json(const DecisionRecord& r) {
+  std::string out = "{";
+  append_kv(out, "type", std::string("decision"));
+  out += ',';
+  append_kv(out, "round", r.round);
+  out += ',';
+  append_kv(out, "source", r.source);
+  out += ',';
+  append_kv(out, "pred_time", r.predicted_time);
+  out += ',';
+  append_kv(out, "pred_energy", r.predicted_energy);
+  out += ',';
+  append_kv(out, "pred_cost", r.predicted_cost);
+  out += ',';
+  append_kv(out, "real_time", r.realized_time);
+  out += ',';
+  append_kv(out, "real_energy", r.realized_energy);
+  out += ',';
+  append_kv(out, "real_cost", r.realized_cost);
+  out += ',';
+  append_kv(out, "reward", r.reward);
+  out += ',';
+  append_array(out, "action", r.action);
+  out += ',';
+  append_array(out, "state", r.state);
+  out += '}';
+  return out;
+}
+
+std::string fl_round_record_json(const FlRoundRecord& r) {
+  std::string out = "{";
+  append_kv(out, "type", std::string("fl_round"));
+  out += ',';
+  append_kv(out, "round", r.round);
+  out += ',';
+  append_kv(out, "loss", r.global_loss);
+  out += ',';
+  append_kv(out, "accuracy", r.global_accuracy);
+  out += ',';
+  append_kv(out, "mean_client_loss", r.mean_client_loss);
+  out += ',';
+  append_kv(out, "participants", r.num_participants);
+  out += ',';
+  append_kv(out, "delivered", r.num_delivered);
+  out += '}';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+
+namespace {
+
+std::vector<double> to_double_vector(const JsonValue* v) {
+  std::vector<double> out;
+  if (v == nullptr || !v->is_array()) return out;
+  out.reserve(v->array.size());
+  for (const JsonValue& e : v->array) out.push_back(e.number_or(0.0));
+  return out;
+}
+
+std::size_t get_index(const JsonValue& obj, const char* key) {
+  double v = obj.get_number(key, 0.0);
+  return v > 0.0 ? static_cast<std::size_t>(v) : 0;
+}
+
+RoundRecord parse_round(const JsonValue& obj) {
+  RoundRecord r;
+  r.round = get_index(obj, "round");
+  r.source = obj.get_string("source", "sim");
+  r.start_time = obj.get_number("start_time");
+  r.iteration_time = obj.get_number("iteration_time");
+  r.total_energy = obj.get_number("total_energy");
+  r.time_term = obj.get_number("time_term");
+  r.energy_term = obj.get_number("energy_term");
+  r.cost = obj.get_number("cost");
+  r.reward = obj.get_number("reward");
+  r.num_scheduled = get_index(obj, "scheduled");
+  r.num_completed = get_index(obj, "completed");
+  r.num_crashes = get_index(obj, "crashes");
+  r.num_dropouts = get_index(obj, "dropouts");
+  r.num_timeouts = get_index(obj, "timeouts");
+  r.num_upload_failures = get_index(obj, "upload_failures");
+  r.total_retries = get_index(obj, "retries");
+  if (const JsonValue* devices = obj.find("devices");
+      devices != nullptr && devices->is_array()) {
+    r.devices.reserve(devices->array.size());
+    for (const JsonValue& dv : devices->array) {
+      if (!dv.is_object()) continue;
+      DeviceRoundRecord d;
+      d.device = static_cast<std::uint32_t>(get_index(dv, "id"));
+      d.participated = dv.get_bool("participated");
+      d.completed = dv.get_bool("completed");
+      d.failure = dv.get_string("failure", "none");
+      d.retries = static_cast<std::uint32_t>(get_index(dv, "retries"));
+      d.freq_hz = dv.get_number("freq_hz");
+      d.compute_time = dv.get_number("t_cmp");
+      d.comm_time = dv.get_number("t_com");
+      d.idle_time = dv.get_number("t_idle");
+      d.compute_energy = dv.get_number("e_cmp");
+      d.comm_energy = dv.get_number("e_com");
+      d.energy = dv.get_number("e");
+      d.avg_bandwidth = dv.get_number("bw");
+      r.devices.push_back(std::move(d));
+    }
+  }
+  return r;
+}
+
+DecisionRecord parse_decision(const JsonValue& obj) {
+  DecisionRecord r;
+  r.round = get_index(obj, "round");
+  r.source = obj.get_string("source", "env");
+  r.predicted_time = obj.get_number("pred_time");
+  r.predicted_energy = obj.get_number("pred_energy");
+  r.predicted_cost = obj.get_number("pred_cost");
+  r.realized_time = obj.get_number("real_time");
+  r.realized_energy = obj.get_number("real_energy");
+  r.realized_cost = obj.get_number("real_cost");
+  r.reward = obj.get_number("reward");
+  r.action = to_double_vector(obj.find("action"));
+  r.state = to_double_vector(obj.find("state"));
+  return r;
+}
+
+FlRoundRecord parse_fl_round(const JsonValue& obj) {
+  FlRoundRecord r;
+  r.round = get_index(obj, "round");
+  r.global_loss = obj.get_number("loss");
+  r.global_accuracy = obj.get_number("accuracy");
+  r.mean_client_loss = obj.get_number("mean_client_loss");
+  r.num_participants = get_index(obj, "participants");
+  r.num_delivered = get_index(obj, "delivered");
+  return r;
+}
+
+}  // namespace
+
+Ledger read_ledger(std::istream& in) {
+  Ledger ledger;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Cheap torn-write guard before the full parse: a record line must be
+    // one complete object.
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;  // blank line: not an error
+    std::size_t last = line.find_last_not_of(" \t\r");
+    if (line[first] != '{' || line[last] != '}') {
+      ++ledger.parse_errors;
+      continue;
+    }
+    JsonValue value;
+    if (!parse_json(std::string_view(line).substr(first, last - first + 1),
+                    value) ||
+        !value.is_object()) {
+      ++ledger.parse_errors;
+      continue;
+    }
+    const std::string type = value.get_string("type");
+    if (type == "header") {
+      ledger.schema = value.get_string("schema");
+      ledger.run_id = value.get_string("run_id");
+      ledger.lambda = value.get_number("lambda");
+    } else if (type == "round") {
+      ledger.rounds.push_back(parse_round(value));
+    } else if (type == "decision") {
+      ledger.decisions.push_back(parse_decision(value));
+    } else if (type == "fl_round") {
+      ledger.fl_rounds.push_back(parse_fl_round(value));
+    } else {
+      ++ledger.unknown_records;
+    }
+  }
+  return ledger;
+}
+
+bool read_ledger_file(const std::string& path, Ledger& out,
+                      std::string* error) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    if (error != nullptr) *error = "cannot open ledger file: " + path;
+    return false;
+  }
+  out = read_ledger(in);
+  return true;
+}
+
+}  // namespace fedra::obs

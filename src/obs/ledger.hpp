@@ -1,0 +1,175 @@
+// Run ledger: a schema-versioned JSONL record of everything a federated
+// run did, one line per event.
+//
+// The telemetry subsystem (PR 1) answers "how long did things take"; the
+// ledger answers "which device, which phase, and which decision drove the
+// cost".  Three record types share one file:
+//
+//   {"type":"header", ...}    schema version, run id, lambda
+//   {"type":"round", ...}     one per simulator iteration: makespan, energy,
+//                             the T^k / lambda*Sigma E decomposition, fault
+//                             counters, and a per-device breakdown (compute /
+//                             upload time, energy, sampled bandwidth, chosen
+//                             frequency, retries, failure kind)
+//   {"type":"decision", ...}  one per controller/env action: observed state,
+//                             action, preview() predicted cost vs realized
+//                             cost
+//   {"type":"fl_round", ...}  one per FedAvg aggregation: loss/accuracy
+//
+// Gating: the ledger sits BEHIND the Telemetry facade.  Instrumentation
+// sites test `FEDRA_TELEMETRY_IF { if (RunLedger::enabled()) ... }`, so
+// with telemetry off the hot path pays the same single relaxed load it
+// already paid, and zero heap allocations (verified in tests/test_obs.cpp).
+//
+// All doubles are written with "%.17g" so readers recover them bit-exactly;
+// tests/test_obs.cpp checks that the parsed per-round decomposition sums
+// bit-exactly to the simulator's reported T^k + lambda*Sigma E.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fedra::obs {
+
+inline constexpr const char* kLedgerSchema = "fedra.ledger.v1";
+
+/// Per-device slice of one round record.  Field names mirror
+/// sim::DeviceOutcome; `failure` is the lowercase enum name ("none",
+/// "crash", "dropout", "timeout", "upload").
+struct DeviceRoundRecord {
+  std::uint32_t device = 0;
+  bool participated = false;
+  bool completed = false;
+  std::string failure = "none";
+  std::uint32_t retries = 0;
+  double freq_hz = 0.0;
+  double compute_time = 0.0;
+  double comm_time = 0.0;
+  double idle_time = 0.0;
+  double compute_energy = 0.0;
+  double comm_energy = 0.0;
+  double energy = 0.0;
+  double avg_bandwidth = 0.0;
+};
+
+/// One simulator iteration.  `time_term` + `energy_term` == `cost`
+/// bit-exactly (both sides are computed as iteration_time + lambda*energy
+/// with no fused contractions; see DESIGN.md section 7).
+struct RoundRecord {
+  std::size_t round = 0;
+  std::string source = "sim";  ///< "sim" (barrier) or "async"
+  double start_time = 0.0;     ///< simulator clock when the round began
+  double iteration_time = 0.0; ///< T^k: the round makespan
+  double total_energy = 0.0;   ///< Sigma_i E_i^k
+  double time_term = 0.0;      ///< T^k as it enters the cost
+  double energy_term = 0.0;    ///< lambda * Sigma_i E_i^k
+  double cost = 0.0;
+  double reward = 0.0;
+  std::size_t num_scheduled = 0;
+  std::size_t num_completed = 0;
+  std::size_t num_crashes = 0;
+  std::size_t num_dropouts = 0;
+  std::size_t num_timeouts = 0;
+  std::size_t num_upload_failures = 0;
+  std::size_t total_retries = 0;
+  std::vector<DeviceRoundRecord> devices;
+};
+
+/// One control decision: what the agent saw, what it chose, what
+/// preview() predicted and what the simulator then realized.  The
+/// prediction is fault-free (preview is run without the fault model), so
+/// in fault-free runs predicted == realized bit-exactly and under faults
+/// the gap measures fault-driven cost.
+struct DecisionRecord {
+  std::size_t round = 0;
+  std::string source = "env";  ///< "env" (FlEnv::step) or "ctl" (DrlController)
+  double predicted_time = 0.0;
+  double predicted_energy = 0.0;
+  double predicted_cost = 0.0;
+  double realized_time = 0.0;
+  double realized_energy = 0.0;
+  double realized_cost = 0.0;
+  double reward = 0.0;          ///< learner-visible reward for this step
+  std::vector<double> action;   ///< as issued (env: fractions; ctl: Hz)
+  std::vector<double> state;    ///< observed state (empty if log_state off)
+};
+
+/// One FedAvg aggregation round.
+struct FlRoundRecord {
+  std::size_t round = 0;
+  double global_loss = 0.0;
+  double global_accuracy = 0.0;
+  double mean_client_loss = 0.0;
+  std::size_t num_participants = 0;
+  std::size_t num_delivered = 0;
+};
+
+struct LedgerConfig {
+  std::string path;      ///< JSONL output path (truncated on enable)
+  std::string run_id;    ///< free-form run identifier for the header
+  double lambda = 0.0;   ///< cost weight, recorded in the header
+  bool log_state = true; ///< include observed state vectors in decisions
+};
+
+/// Process-global ledger sink, modeled on telemetry::Telemetry: one
+/// relaxed atomic load when off, mutex-serialized file appends when on.
+/// Writers (simulator, env, controller, FedAvg) never construct record
+/// objects unless both Telemetry and the ledger are enabled.
+class RunLedger {
+ public:
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Opens `config.path` (truncating) and writes the header line.
+  /// Returns false (and stays disabled) if the file cannot be opened.
+  static bool enable(const LedgerConfig& config);
+  /// Flushes and closes the file.  Idempotent.
+  static void disable();
+  static void flush();
+  static const LedgerConfig& config();
+  /// Records written since enable() (header excluded).
+  static std::uint64_t records_written();
+
+  static void record_round(const RoundRecord& record);
+  static void record_decision(const DecisionRecord& record);
+  static void record_fl_round(const FlRoundRecord& record);
+
+ private:
+  static std::atomic<bool>& enabled_flag();
+};
+
+// ---------------------------------------------------------------------------
+// Reader side (report tool, attribution, tests).
+
+struct Ledger {
+  std::string schema;
+  std::string run_id;
+  double lambda = 0.0;
+  std::vector<RoundRecord> rounds;
+  std::vector<DecisionRecord> decisions;
+  std::vector<FlRoundRecord> fl_rounds;
+  std::size_t parse_errors = 0;    ///< torn / malformed lines skipped
+  std::size_t unknown_records = 0; ///< well-formed lines of unknown type
+};
+
+/// Parses a ledger stream.  Bad lines (torn writes, garbage) are skipped
+/// and counted in `parse_errors`; unknown record types are counted in
+/// `unknown_records` for forward compatibility.  Never throws.
+Ledger read_ledger(std::istream& in);
+
+/// File wrapper; returns false only when the file cannot be opened (the
+/// message lands in `*error` if non-null).
+bool read_ledger_file(const std::string& path, Ledger& out,
+                      std::string* error = nullptr);
+
+/// Serialization helpers (exposed for tests and the report tool).
+std::string round_record_json(const RoundRecord& record);
+std::string decision_record_json(const DecisionRecord& record);
+std::string fl_round_record_json(const FlRoundRecord& record);
+
+}  // namespace fedra::obs

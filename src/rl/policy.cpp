@@ -95,8 +95,9 @@ PolicySample GaussianPolicy::act(const std::vector<double>& state, Rng& rng) {
 std::vector<double> GaussianPolicy::mean_action(
     const std::vector<double>& state) {
   FEDRA_EXPECTS(state.size() == state_dim_);
-  Matrix s = Matrix::row_vector(state);
-  Matrix raw = forward_raw(s);
+  infer_in_.resize_reuse(1, state_dim_);
+  for (std::size_t j = 0; j < state_dim_; ++j) infer_in_(0, j) = state[j];
+  const Matrix& raw = mean_net_.forward_cached(infer_in_, infer_ws_);
   std::vector<double> action(action_dim_);
   for (std::size_t j = 0; j < action_dim_; ++j) {
     action[j] = sigmoid(raw(0, j));

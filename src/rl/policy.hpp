@@ -123,6 +123,10 @@ class GaussianPolicy {
   Matrix log_std_;       ///< state-independent mode only
   Matrix grad_log_std_;
   Workspace ws_;         ///< activation/gradient buffers for batch passes
+  Workspace infer_ws_;   ///< single-row buffers for mean_action (kept
+                         ///< separate so inference between training passes
+                         ///< never invalidates cached_out_)
+  Matrix infer_in_;      ///< persistent 1xS input row for mean_action
   /// Raw output of the last forward_log_probs batch — a pointer into
   /// ws_, valid until the next cached pass.
   const Matrix* cached_out_ = nullptr;

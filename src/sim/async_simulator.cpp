@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/ledger.hpp"
+#include "obs/record_builders.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/contracts.hpp"
 
@@ -31,6 +33,12 @@ IterationResult AsyncFlSimulator::step(const std::vector<double>& freqs_hz,
       /*barrier_idle=*/false);
   now_ += result.iteration_time;
   ++iteration_;
+  FEDRA_TELEMETRY_IF {
+    if (obs::RunLedger::enabled()) {
+      obs::RunLedger::record_round(
+          obs::make_round_record(iteration_ - 1, result, params(), "async"));
+    }
+  }
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include "obs/ledger.hpp"
+#include "obs/record_builders.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fedra {
@@ -90,7 +92,13 @@ IterationResult FlSimulator::step(const std::vector<double>& freqs_hz,
   // Constraint (11): t^{k+1} = t^k + T^k.
   now_ += result.iteration_time;
   ++iteration_;
-  FEDRA_TELEMETRY_IF record_iteration(result);
+  FEDRA_TELEMETRY_IF {
+    record_iteration(result);
+    if (obs::RunLedger::enabled()) {
+      obs::RunLedger::record_round(
+          obs::make_round_record(iteration_ - 1, result, params(), "sim"));
+    }
+  }
   return result;
 }
 

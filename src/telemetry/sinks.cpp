@@ -118,6 +118,47 @@ void write_chrome_trace(std::ostream& os,
   os << "]}\n";
 }
 
+std::string prometheus_sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& metrics) {
+  for (const auto& [name, value] : metrics.counters) {
+    const std::string n = prometheus_sanitize(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    const std::string n = prometheus_sanitize(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << fmt_double(value)
+       << '\n';
+  }
+  for (const auto& h : metrics.histograms) {
+    const std::string n = prometheus_sanitize(h.name);
+    os << "# TYPE " << n << " histogram\n";
+    // Exposition buckets are CUMULATIVE, unlike the per-bucket counts the
+    // registry stores; the +Inf bucket always equals the total count.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      os << n << "_bucket{le=\"" << fmt_double(h.bounds[i]) << "\"} "
+         << cumulative << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << n << "_sum " << fmt_double(h.sum) << '\n';
+    os << n << "_count " << h.count << '\n';
+  }
+}
+
 std::string format_text_summary(const MetricsSnapshot& metrics,
                                 const std::vector<SpanRecord>& spans) {
   std::ostringstream out;

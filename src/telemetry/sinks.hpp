@@ -11,6 +11,10 @@
 //     events); load the file at chrome://tracing or ui.perfetto.dev.
 //   - format_text_summary: fixed-width human-readable dump used by
 //     Telemetry::summary().
+//   - write_prometheus: Prometheus text exposition format 0.0.4 —
+//     counters/gauges as single samples, histograms as cumulative
+//     `_bucket{le=...}` series plus `_sum`/`_count`, names sanitized to
+//     the [a-zA-Z0-9_:] metric-name alphabet.
 #pragma once
 
 #include <ostream>
@@ -30,6 +34,15 @@ void write_chrome_trace(std::ostream& os,
 
 std::string format_text_summary(const MetricsSnapshot& metrics,
                                 const std::vector<SpanRecord>& spans);
+
+/// Prometheus text exposition (scrape) format. Spans are not exported —
+/// every TraceSpan already feeds a duration histogram of the same name.
+void write_prometheus(std::ostream& os, const MetricsSnapshot& metrics);
+
+/// Maps an arbitrary metric name onto the Prometheus metric-name alphabet
+/// ([a-zA-Z0-9_:], not starting with a digit): every other byte becomes
+/// '_' ("sim.iter_time_s" -> "sim_iter_time_s").
+std::string prometheus_sanitize(const std::string& name);
 
 /// Escapes `"` `\` and control characters for embedding in JSON strings.
 std::string json_escape(const std::string& s);

@@ -288,5 +288,122 @@ TEST_F(TelemetryTest, ExponentialBoundsAreGeometricAndSorted) {
   EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
 }
 
+TEST_F(TelemetryTest, PrometheusSinkMatchesGoldenString) {
+  // Built by hand so the exposition text is fully deterministic: one
+  // counter, one gauge with characters outside the Prometheus name
+  // alphabet, one histogram whose per-bucket counts must come out
+  // CUMULATIVE with a +Inf terminal bucket.
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("sim.iterations", 3u);
+  snap.gauges.emplace_back("rl/kl weird-name", 0.5);
+  HistogramSnapshot h;
+  h.name = "sim.iter_time_s";
+  h.bounds = {1.0, 10.0};
+  h.counts = {1, 2, 1};  // two bounded buckets + overflow
+  h.count = 4;
+  h.sum = 17.5;
+  snap.histograms.push_back(h);
+
+  std::ostringstream os;
+  write_prometheus(os, snap);
+  const std::string golden =
+      "# TYPE sim_iterations counter\n"
+      "sim_iterations 3\n"
+      "# TYPE rl_kl_weird_name gauge\n"
+      "rl_kl_weird_name 0.5\n"
+      "# TYPE sim_iter_time_s histogram\n"
+      "sim_iter_time_s_bucket{le=\"1\"} 1\n"
+      "sim_iter_time_s_bucket{le=\"10\"} 3\n"
+      "sim_iter_time_s_bucket{le=\"+Inf\"} 4\n"
+      "sim_iter_time_s_sum 17.5\n"
+      "sim_iter_time_s_count 4\n";
+  EXPECT_EQ(os.str(), golden);
+}
+
+TEST_F(TelemetryTest, PrometheusSanitizeRules) {
+  EXPECT_EQ(prometheus_sanitize("sim.iter_time_s"), "sim_iter_time_s");
+  EXPECT_EQ(prometheus_sanitize("a:b"), "a:b");
+  EXPECT_EQ(prometheus_sanitize("9lives"), "_9lives");
+  EXPECT_EQ(prometheus_sanitize(""), "_");
+}
+
+TEST_F(TelemetryTest, SpanBufferConcurrentOverflowKeepsExactCounts) {
+  // Many workers push far past capacity at once; the bounded buffer must
+  // keep exactly `capacity` records and count every drop, with no lost or
+  // double-counted pushes under contention.
+  constexpr std::size_t kCapacity = 256;
+  constexpr std::size_t kPushes = 8 * 1024;
+  SpanBuffer buf(kCapacity);
+  ThreadPool pool(8);
+  pool.parallel_for(0, kPushes, [&](std::size_t i) {
+    SpanRecord r;
+    r.name = "contended";
+    r.start_us = static_cast<double>(i);
+    r.dur_us = 1.0;
+    buf.push(r);
+  });
+  EXPECT_EQ(buf.size(), kCapacity);
+  EXPECT_EQ(buf.dropped(), kPushes - kCapacity);
+  EXPECT_EQ(buf.snapshot().size(), kCapacity);
+  EXPECT_EQ(buf.capacity(), kCapacity);
+}
+
+TEST_F(TelemetryTest, ConcurrentSnapshotsWhileWritersRun) {
+  // Readers taking consistent snapshots while writers hammer the same
+  // buffer: sizes observed must never exceed capacity and the final
+  // totals must balance.
+  constexpr std::size_t kCapacity = 128;
+  constexpr std::size_t kPushes = 4096;
+  SpanBuffer buf(kCapacity);
+  ThreadPool pool(8);
+  pool.parallel_for(0, kPushes, [&](std::size_t i) {
+    if (i % 16 == 0) {
+      const auto snap = buf.snapshot();
+      EXPECT_LE(snap.size(), kCapacity);
+    }
+    SpanRecord r;
+    r.name = "mixed";
+    buf.push(r);
+  });
+  EXPECT_EQ(buf.size() + buf.dropped(), kPushes);
+}
+
+TEST_F(TelemetryTest, JsonlSinkRoundTripUnderPoolContention) {
+  // Spans + metrics recorded from 8 workers, flushed repeatedly while
+  // writers are still running, then once at the end: the final file must
+  // be whole (every line one complete JSON object) and the metric totals
+  // exact.
+  const std::string path =
+      ::testing::TempDir() + "fedra_telemetry_contended.jsonl";
+  TelemetryConfig cfg;
+  cfg.jsonl_path = path;
+  Telemetry::enable(cfg);
+  Telemetry::reset();
+
+  Counter c = Telemetry::metrics().counter("contend.counter");
+  constexpr std::size_t kTasks = 2000;
+  ThreadPool pool(8);
+  pool.parallel_for(0, kTasks, [&](std::size_t i) {
+    FEDRA_TRACE_SPAN("contend_phase");
+    c.add();
+    if (i % 256 == 0) Telemetry::flush();  // concurrent with writers
+  });
+  Telemetry::flush();
+
+  EXPECT_EQ(c.value(), kTasks);
+  const std::string content = read_file(path);
+  EXPECT_NE(content.find("\"name\":\"contend.counter\",\"value\":2000"),
+            std::string::npos);
+  std::istringstream lines(content);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ASSERT_FALSE(line.size() < 2);
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace fedra::telemetry

@@ -2,11 +2,14 @@
 // jsonl_path sink) and prints a per-phase wall-clock breakdown plus the
 // metric tables. Usage:
 //
-//   telemetry_report <run.jsonl> [--top N] [--no-metrics]
+//   telemetry_report <run.jsonl> [--top N] [--no-metrics] [--strict]
 //
 // The JSONL is produced by fedra itself (telemetry/sinks.cpp), so the
 // parser is a deliberately small line-oriented key extractor, not a
-// general JSON parser.
+// general JSON parser. Truncated or interleaved lines (torn writes from
+// a crashed or concurrent run) are skipped and counted; the report still
+// renders from whatever parsed. `--strict` turns any skipped line into a
+// nonzero exit for CI use.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -84,11 +87,12 @@ struct HistRow {
 int main(int argc, char** argv) {
   fedra::ArgParser args(argc, argv);
   const bool show_metrics = !args.flag("no-metrics");
+  const bool strict = args.flag("strict");
   const auto top = static_cast<std::size_t>(args.get_int("top", 0));
   if (args.positionals().empty()) {
     std::fprintf(stderr,
                  "usage: telemetry_report <run.jsonl> [--top N] "
-                 "[--no-metrics]\n");
+                 "[--no-metrics] [--strict]\n");
     return 2;
   }
   const std::string path = args.positionals().front();
@@ -106,7 +110,20 @@ int main(int argc, char** argv) {
 
   std::string line;
   while (std::getline(in, line)) {
+    // Strip the trailing \r of CRLF files before the torn-line check.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
     if (line.empty()) continue;
+    // A sink line is exactly one JSON object. A torn write (crashed run,
+    // interleaved appends) loses the tail or splices two objects; both
+    // fail this shape check and are skipped instead of feeding the key
+    // extractor garbage.
+    if (line.front() != '{' || line.back() != '}' ||
+        line.find('{', 1) != std::string::npos) {
+      ++bad_lines;
+      continue;
+    }
     std::string type;
     if (!extract_token(line, "type", type)) {
       ++bad_lines;
@@ -252,6 +269,7 @@ int main(int argc, char** argv) {
   if (bad_lines > 0) {
     std::fprintf(stderr, "telemetry_report: skipped %zu unparseable lines\n",
                  bad_lines);
+    if (strict) return 1;
   }
   return 0;
 }
