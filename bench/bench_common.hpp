@@ -140,6 +140,22 @@ inline void print_summary_table(const char* metric,
   }
 }
 
+/// Prints controller decide() wall-clock latency percentiles. Tail
+/// percentiles, not the mean: a served federation blocks on decide(), so
+/// p99 is what a straggler round actually waits.
+inline void print_decide_latency_table(const std::vector<EvalSeries>& roster) {
+  std::printf("\n== controller decide() latency (us) ==\n");
+  std::printf("%-12s %10s %10s %10s %10s\n", "policy", "p50", "p90", "p99",
+              "max");
+  for (const auto& s : roster) {
+    if (s.decide_us.empty()) continue;
+    std::printf("%-12s %10.2f %10.2f %10.2f %10.2f\n", s.policy.c_str(),
+                percentile(s.decide_us, 50.0), percentile(s.decide_us, 90.0),
+                percentile(s.decide_us, 99.0),
+                percentile(s.decide_us, 100.0));
+  }
+}
+
 /// Prints an empirical CDF as fixed fractiles per policy (the paper's
 /// Figs. 7d-7f are CDF plots; these rows re-draw them).
 inline void print_cdf_table(const char* metric,

@@ -34,6 +34,7 @@ int main() {
                              &EvalSeries::times);
   bench::print_summary_table("computational energy per iteration (J)",
                              roster, &EvalSeries::compute_energies);
+  bench::print_decide_latency_table(roster);
 
   std::printf("\n== averages (paper: DRL 11.2 < heuristic 14.3 < "
               "static 17.3) ==\n");

@@ -230,11 +230,11 @@ enum class KeyClass { kExact, kUpperBound, kTimingLower, kTimingHigher };
 // keys, then allocation/size keys; everything else must match exactly.
 KeyClass classify(const std::string& key) {
   if (contains(key, "gflops") || contains(key, "speedup") ||
-      contains(key, "reduction")) {
+      contains(key, "reduction") || contains(key, "per_sec")) {
     return KeyClass::kTimingHigher;
   }
   if (contains(key, "ns_") || contains(key, "_ns") ||
-      contains(key, "overhead")) {
+      contains(key, "overhead") || contains(key, "_us")) {
     return KeyClass::kTimingLower;
   }
   if (contains(key, "alloc") || contains(key, "bytes")) {

@@ -2,9 +2,15 @@
 # One-command verification, the same three legs a PR must pass:
 #
 #   1. tier-1: default configure + build + full ctest;
-#   2. sanitize: address,undefined build, `sanitize`-labeled suites;
+#   2. sanitize: address,undefined build, `sanitize`-labeled suites
+#      (`-L sanitize` regex-matches the combined sanitize_ckpt /
+#      sanitize_serve labels, so the checkpoint and serving suites —
+#      including the serve admission/shutdown threading tests — run
+#      under ASan/UBSan here);
 #   3. perf: smoke-run the perf harnesses and diff them against the
-#      checked-in bench/baselines/ snapshots (`-L perf`).
+#      checked-in bench/baselines/ snapshots (`-L perf`); this leg also
+#      enforces bench_serve's batched-vs-sequential speedup floor and
+#      bit-exactness flag via the bench's own exit code.
 #
 #   scripts/check.sh          # all three legs
 #   scripts/check.sh --fast   # tier-1 only

@@ -10,6 +10,7 @@
 // a comparison.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -30,6 +31,10 @@ struct EvalSeries {
   std::vector<double> total_energies;   ///< sum_i E_i
   std::vector<double> idle_times;       ///< sum_i idle per iteration
   std::vector<std::size_t> failed_devices;  ///< updates lost per iteration
+  /// Wall-clock microseconds per controller.decide() call — the serving
+  /// metric. Summarize with percentiles (p50/p90/p99), not the mean: the
+  /// tail is what a served federation waits on.
+  std::vector<double> decide_us;
 
   double avg_cost() const;
   double avg_time() const;
@@ -49,6 +54,9 @@ struct EvalOptions {
   /// Fault model forwarded to every step; reset() at the start of the run
   /// so each controller faces the identical fault sequence. Non-owning.
   fault::FaultModel* fault_model = nullptr;
+  /// When set, receives one wall-clock decide() latency (microseconds)
+  /// per iteration. run_controller wires this into EvalSeries.decide_us.
+  std::vector<double>* decide_us_out = nullptr;
 
   EvalOptions() = default;
   EvalOptions(double start) : start_time(start) {}  // NOLINT(runtime/explicit)
@@ -73,8 +81,19 @@ std::vector<IterationResult> run_controller_detailed(
   step_options.fault_model = options.fault_model;
   std::vector<IterationResult> results;
   results.reserve(iterations);
+  if (options.decide_us_out != nullptr) {
+    options.decide_us_out->clear();
+    options.decide_us_out->reserve(iterations);
+  }
   for (std::size_t k = 0; k < iterations; ++k) {
+    using EvalClock = std::chrono::steady_clock;
+    const auto t0 = EvalClock::now();
     const auto freqs = controller.decide(run);
+    if (options.decide_us_out != nullptr) {
+      options.decide_us_out->push_back(
+          std::chrono::duration<double, std::micro>(EvalClock::now() - t0)
+              .count());
+    }
     IterationResult r = run.step(freqs, step_options);
     controller.observe(r);
     results.push_back(std::move(r));
@@ -87,9 +106,13 @@ std::vector<IterationResult> run_controller_detailed(
 template <SteppableSimulator Sim>
 EvalSeries run_controller(const Sim& sim, Controller& controller,
                           std::size_t iterations, EvalOptions options = {}) {
-  return fold_eval_series(
+  std::vector<double> decide_us;
+  if (options.decide_us_out == nullptr) options.decide_us_out = &decide_us;
+  EvalSeries series = fold_eval_series(
       controller.name(),
       run_controller_detailed(sim, controller, iterations, options));
+  series.decide_us = std::move(*options.decide_us_out);
+  return series;
 }
 
 }  // namespace fedra

@@ -44,8 +44,11 @@ std::vector<double> A2cAgent::mean_action(const std::vector<double>& state) {
 }
 
 double A2cAgent::value(const std::vector<double>& state) {
-  Matrix s = Matrix::row_vector(state);
-  return critic_.forward(s)(0, 0);
+  critic_infer_in_.resize_reuse(1, state.size());
+  for (std::size_t j = 0; j < state.size(); ++j) {
+    critic_infer_in_(0, j) = state[j];
+  }
+  return critic_.forward_cached(critic_infer_in_, critic_infer_ws_)(0, 0);
 }
 
 UpdateStats A2cAgent::update(const RolloutBuffer& buffer, Rng& /*rng*/) {

@@ -23,6 +23,8 @@ class A2cAgent {
            std::uint64_t seed);
 
   PolicySample act(const std::vector<double>& state, Rng& rng);
+  /// Deterministic mean action, via GaussianPolicy's persistent inference
+  /// workspace (zero-alloc steady state, bit-identical to the legacy path).
   std::vector<double> mean_action(const std::vector<double>& state);
   double value(const std::vector<double>& state);
 
@@ -36,6 +38,8 @@ class A2cAgent {
   Mlp critic_;
   Adam actor_opt_;
   Adam critic_opt_;
+  Workspace critic_infer_ws_;  ///< single-row V(s) inference buffers
+  Matrix critic_infer_in_;     ///< persistent 1xS input row for value()
 };
 
 }  // namespace fedra

@@ -58,8 +58,11 @@ DdpgAgent::DdpgAgent(std::size_t state_dim, std::size_t action_dim,
 
 std::vector<double> DdpgAgent::act(const std::vector<double>& state) {
   FEDRA_EXPECTS(state.size() == state_dim_);
-  Matrix s = Matrix::row_vector(state);
-  Matrix a = actor_.forward(s);
+  actor_infer_in_.resize_reuse(1, state_dim_);
+  for (std::size_t j = 0; j < state_dim_; ++j) {
+    actor_infer_in_(0, j) = state[j];
+  }
+  const Matrix& a = actor_.forward_cached(actor_infer_in_, actor_infer_ws_);
   std::vector<double> action(action_dim_);
   for (std::size_t j = 0; j < action_dim_; ++j) {
     action[j] = std::clamp(a(0, j), config_.action_floor, 1.0);
@@ -201,9 +204,14 @@ double DdpgAgent::q_value(const std::vector<double>& state,
                           const std::vector<double>& action) {
   FEDRA_EXPECTS(state.size() == state_dim_);
   FEDRA_EXPECTS(action.size() == action_dim_);
-  Matrix s = Matrix::row_vector(state);
-  Matrix a = Matrix::row_vector(action);
-  return critic_.forward(concat(s, a))(0, 0);
+  critic_infer_in_.resize_reuse(1, state_dim_ + action_dim_);
+  for (std::size_t j = 0; j < state_dim_; ++j) {
+    critic_infer_in_(0, j) = state[j];
+  }
+  for (std::size_t j = 0; j < action_dim_; ++j) {
+    critic_infer_in_(0, state_dim_ + j) = action[j];
+  }
+  return critic_.forward_cached(critic_infer_in_, critic_infer_ws_)(0, 0);
 }
 
 }  // namespace fedra

@@ -47,7 +47,9 @@ class DdpgAgent {
   std::size_t state_dim() const { return state_dim_; }
   std::size_t action_dim() const { return action_dim_; }
 
-  /// Deterministic action mu(s) in (action_floor, 1]^A.
+  /// Deterministic action mu(s) in (action_floor, 1]^A. Runs through a
+  /// persistent inference workspace: zero heap traffic at steady state,
+  /// bit-identical to the legacy allocating path.
   std::vector<double> act(const std::vector<double>& state);
 
   /// mu(s) + Gaussian noise, clamped (training-time exploration).
@@ -83,6 +85,13 @@ class DdpgAgent {
   Adam critic_opt_;
   ReplayBuffer replay_;                 ///< used when !config.prioritized
   PrioritizedReplayBuffer per_replay_;  ///< used when config.prioritized
+
+  // Single-row inference buffers (act / q_value), separate from the
+  // batch update path so interleaved calls never disturb cached state.
+  Workspace actor_infer_ws_;
+  Matrix actor_infer_in_;    ///< persistent 1xS input row
+  Workspace critic_infer_ws_;
+  Matrix critic_infer_in_;   ///< persistent 1x(S+A) concat row
 };
 
 }  // namespace fedra

@@ -105,6 +105,17 @@ std::vector<double> GaussianPolicy::mean_action(
   return action;
 }
 
+void GaussianPolicy::mean_action_batch(const Matrix& states, Matrix& actions) {
+  FEDRA_EXPECTS(states.cols() == state_dim_);
+  const Matrix& raw = mean_net_.forward_cached(states, batch_infer_ws_);
+  actions.resize_reuse(states.rows(), action_dim_);
+  for (std::size_t b = 0; b < states.rows(); ++b) {
+    for (std::size_t j = 0; j < action_dim_; ++j) {
+      actions(b, j) = sigmoid(raw(b, j));
+    }
+  }
+}
+
 std::vector<double> GaussianPolicy::log_probs(const Matrix& states,
                                               const Matrix& actions_u) {
   return forward_log_probs(states, actions_u);

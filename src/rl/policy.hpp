@@ -56,6 +56,14 @@ class GaussianPolicy {
   /// Section V-B2).
   std::vector<double> mean_action(const std::vector<double>& state);
 
+  /// Batched deterministic actions: row b of `actions` is bit-identical to
+  /// mean_action(states.row(b)) — every tensor kernel on this path sums in
+  /// the same ascending-k order per output row, so batch composition never
+  /// changes a row's bits. Routed through a persistent batched inference
+  /// workspace (zero heap traffic once capacities warm up). NOT
+  /// thread-safe: callers (the serve engine's batcher) must serialize.
+  void mean_action_batch(const Matrix& states, Matrix& actions);
+
   /// log pi(u|s) for a batch, WITHOUT caching for backward (evaluation).
   std::vector<double> log_probs(const Matrix& states, const Matrix& actions_u);
 
@@ -127,6 +135,9 @@ class GaussianPolicy {
                          ///< separate so inference between training passes
                          ///< never invalidates cached_out_)
   Matrix infer_in_;      ///< persistent 1xS input row for mean_action
+  Workspace batch_infer_ws_;  ///< NxS buffers for mean_action_batch (own
+                              ///< workspace so serving never disturbs the
+                              ///< single-row or training buffers)
   /// Raw output of the last forward_log_probs batch — a pointer into
   /// ws_, valid until the next cached pass.
   const Matrix* cached_out_ = nullptr;

@@ -62,6 +62,10 @@ class PpoAgent {
   /// Deterministic mean action from theta_a (online reasoning).
   std::vector<double> mean_action(const std::vector<double>& state);
 
+  /// Batched deterministic mean actions (fedra::serve): row b is
+  /// bit-identical to mean_action(states.row(b)). Not thread-safe.
+  void mean_action_batch(const Matrix& states, Matrix& actions);
+
   /// V(s; theta_v) for rollout bookkeeping.
   double value(const std::vector<double>& state);
 
@@ -93,6 +97,10 @@ class PpoAgent {
   // steady-state iteration performs no tensor heap allocation (the
   // tensor.alloc_bytes counter tracks the residual).
   Workspace critic_ws_;
+  Workspace critic_infer_ws_;  ///< single-row V(s) buffers, kept separate
+                               ///< so value() between update passes never
+                               ///< touches the minibatch workspace
+  Matrix critic_infer_in_;     ///< persistent 1xS input row for value()
   Matrix states_;
   Matrix next_states_;
   Matrix actions_u_;
