@@ -101,7 +101,7 @@ int main() {
       auto fractions = agent_.mean_action(state);
       std::vector<double> freqs(fractions.size());
       for (std::size_t i = 0; i < fractions.size(); ++i) {
-        freqs[i] = fractions[i] * sim_ref.devices()[i].max_freq_hz;
+        freqs[i] = fractions[i] * sim_ref.fleet().max_freq_hz(i);
       }
       return freqs;
     }

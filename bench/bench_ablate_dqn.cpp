@@ -25,7 +25,7 @@ class DqnController final : public Controller {
     auto fractions = agent_.act(state);
     std::vector<double> freqs(fractions.size());
     for (std::size_t i = 0; i < fractions.size(); ++i) {
-      freqs[i] = fractions[i] * sim.devices()[i].max_freq_hz;
+      freqs[i] = fractions[i] * sim.fleet().max_freq_hz(i);
     }
     return freqs;
   }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "sched/deadline_solver.hpp"
+#include "sim/fleet_state.hpp"
 #include "util/rng.hpp"
 
 int main() {
@@ -18,7 +19,7 @@ int main() {
     FleetModel fm;
     const std::size_t n =
         static_cast<std::size_t>(rng.uniform_int(1, 8));
-    auto devices = make_fleet(n, fm, rng);
+    const FleetState devices(make_fleet(n, fm, rng));
     std::vector<double> comm;
     for (std::size_t i = 0; i < n; ++i) comm.push_back(rng.uniform(0.2, 12.0));
     CostParams params;
@@ -45,7 +46,7 @@ int main() {
   // Throughput: how many per-iteration solves per second (matters because
   // the heuristic baseline solves every iteration).
   FleetModel fm;
-  auto devices = make_fleet(50, fm, rng);
+  const FleetState devices(make_fleet(50, fm, rng));
   std::vector<double> comm(50);
   for (auto& c : comm) c = rng.uniform(0.5, 10.0);
   CostParams params;

@@ -46,8 +46,8 @@ int main() {
   cfg.trace_samples = 2000;
   auto sync_sim = build_simulator(cfg);
   std::vector<double> full_freqs;
-  for (const auto& d : sync_sim.devices()) {
-    full_freqs.push_back(d.max_freq_hz);
+  for (std::size_t i = 0; i < sync_sim.num_devices(); ++i) {
+    full_freqs.push_back(sync_sim.fleet().max_freq_hz(i));
   }
   const auto spec = model_spec();
   LocalTrainConfig ltc;
@@ -78,7 +78,7 @@ int main() {
     acfg.base_mix = 0.35;
     acfg.staleness_decay = decay;
     AsyncFedAvgServer server(make_clients(spec), spec, acfg, 7);
-    AsyncFlSimulator sim(sync_sim.devices(), sync_sim.traces(),
+    AsyncFlSimulator sim(sync_sim.fleet_state(), sync_sim.trace_table(),
                          sync_sim.params());
     // Long horizon; walk events until the loss target is met.
     auto run = sim.run(full_freqs, 3000.0);

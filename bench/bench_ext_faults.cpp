@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   // a healthy round, binding once stragglers/blackouts stretch it.
   std::vector<double> full_freqs(sim.num_devices());
   for (std::size_t i = 0; i < sim.num_devices(); ++i) {
-    full_freqs[i] = sim.devices()[i].max_freq_hz;
+    full_freqs[i] = sim.fleet().max_freq_hz(i);
   }
   const double deadline =
       3.0 * sim.preview(full_freqs, StepOptions::dry_run(0.0)).iteration_time;
@@ -108,8 +108,8 @@ int main(int argc, char** argv) {
       // every policy: identical fault draws, fair comparison.
       fault::FaultModel fm(scaled, 555);
       EvalOptions opts;
-      opts.deadline = deadline;
-      opts.fault_model = &fm;
+      opts.round.deadline = deadline;
+      opts.round.fault_model = &fm;
       auto series = run_controller(sim, *controller, iterations, opts);
       std::printf("%-10.2f %-12s %12.3f %12.3f %12.3f %9.2f%%\n", intensity,
                   series.policy.c_str(), series.avg_cost(),

@@ -142,7 +142,8 @@ void BM_SimulatorStep(benchmark::State& state) {
   cfg.trace_samples = 2000;
   auto sim = build_simulator(cfg);
   std::vector<double> freqs;
-  for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz * 0.8);
+  for (std::size_t i = 0; i < sim.num_devices(); ++i)
+    freqs.push_back(sim.fleet().max_freq_hz(i) * 0.8);
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim.step(freqs, {}));
     if (sim.now() > 1e7) sim.reset(0.0);

@@ -61,7 +61,7 @@ int main() {
   auto freqs = drl.decide(sim);
   std::printf("\nsample DRL decision (fraction of delta_max per device):");
   for (std::size_t i = 0; i < freqs.size(); ++i) {
-    std::printf(" %.2f", freqs[i] / sim.devices()[i].max_freq_hz);
+    std::printf(" %.2f", freqs[i] / sim.fleet().max_freq_hz(i));
   }
   std::printf("\n");
   return 0;

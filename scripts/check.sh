@@ -10,7 +10,9 @@
 #   3. perf: smoke-run the perf harnesses and diff them against the
 #      checked-in bench/baselines/ snapshots (`-L perf`); this leg also
 #      enforces bench_serve's batched-vs-sequential speedup floor and
-#      bit-exactness flag via the bench's own exit code.
+#      bit-exactness flag, and bench_fleet's engine-vs-scalar-oracle
+#      bitwise pricing contract (50 → 1M devices, pools {1,2,8}), via
+#      each bench's own exit code.
 #
 #   scripts/check.sh          # all three legs
 #   scripts/check.sh --fast   # tier-1 only

@@ -32,7 +32,7 @@ std::vector<double> DrlController::decide(const SimulatorBase& sim) {
   FEDRA_ENSURES(fractions.size() == sim.num_devices());
   std::vector<double> freqs(fractions.size());
   for (std::size_t i = 0; i < fractions.size(); ++i) {
-    freqs[i] = fractions[i] * sim.devices()[i].max_freq_hz;
+    freqs[i] = fractions[i] * sim.fleet().max_freq_hz(i);
   }
   FEDRA_TELEMETRY_IF {
     if (obs::RunLedger::enabled()) {

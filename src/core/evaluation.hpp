@@ -47,13 +47,18 @@ struct EvalSeries {
 /// Shared run conditions for one evaluation. Implicitly constructible from
 /// a double so legacy run_controller(sim, c, iters, start_time) calls keep
 /// compiling.
+///
+/// Round conditions (deadline, fault model, outcome layout, thread pool)
+/// live in the embedded StepOptions rather than drifting copies of its
+/// fields: whatever `round` carries is forwarded verbatim to every
+/// step(). round.fault_model is reset() at the start of the run so each
+/// controller faces the identical fault sequence.
 struct EvalOptions {
   double start_time = 0.0;
-  /// Round deadline forwarded to every step (<= 0 = none).
-  double deadline = 0.0;
-  /// Fault model forwarded to every step; reset() at the start of the run
-  /// so each controller faces the identical fault sequence. Non-owning.
-  fault::FaultModel* fault_model = nullptr;
+  /// Per-round options forwarded to every step() of the run. Set
+  /// participating/dry_run_at at your own peril — the harness forwards
+  /// the struct as-is.
+  StepOptions round;
   /// When set, receives one wall-clock decide() latency (microseconds)
   /// per iteration. run_controller wires this into EvalSeries.decide_us.
   std::vector<double>* decide_us_out = nullptr;
@@ -75,10 +80,8 @@ std::vector<IterationResult> run_controller_detailed(
     EvalOptions options = {}) {
   Sim run = sim;  // value copy: identical conditions per controller
   run.reset(options.start_time);
-  if (options.fault_model != nullptr) options.fault_model->reset();
-  StepOptions step_options;
-  step_options.deadline = options.deadline;
-  step_options.fault_model = options.fault_model;
+  if (options.round.fault_model != nullptr) options.round.fault_model->reset();
+  const StepOptions& step_options = options.round;
   std::vector<IterationResult> results;
   results.reserve(iterations);
   if (options.decide_us_out != nullptr) {

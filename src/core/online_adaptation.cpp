@@ -63,7 +63,7 @@ std::vector<double> OnlineAdaptiveController::decide(const SimulatorBase& sim) {
   FEDRA_ENSURES(fractions.size() == sim.num_devices());
   std::vector<double> freqs(fractions.size());
   for (std::size_t i = 0; i < fractions.size(); ++i) {
-    freqs[i] = fractions[i] * sim.devices()[i].max_freq_hz;
+    freqs[i] = fractions[i] * sim.fleet().max_freq_hz(i);
   }
   return freqs;
 }

@@ -20,14 +20,15 @@ std::vector<double> bandwidth_history_state(
     double bandwidth_ref, const IterationResult* last_result) {
   FEDRA_EXPECTS(bandwidth_ref > 0.0);
   if (last_result != nullptr) {
-    FEDRA_EXPECTS(last_result->devices.size() == sim.num_devices());
+    FEDRA_EXPECTS(last_result->has_device_outcomes());
+    FEDRA_EXPECTS(last_result->num_device_slots() == sim.num_devices());
   }
   const auto now_slot =
       static_cast<long long>(std::floor(now / config.slot_seconds));
   std::vector<double> state;
   state.reserve(sim.num_devices() * state_features_per_device(config));
   for (std::size_t i = 0; i < sim.num_devices(); ++i) {
-    const auto& trace = sim.traces()[i];
+    const auto& trace = sim.trace(i);
     for (std::size_t j = 0; j <= config.history_slots; ++j) {
       const long long slot = now_slot - static_cast<long long>(j);
       state.push_back(trace.slot_average(slot, config.slot_seconds) /
@@ -37,7 +38,7 @@ std::vector<double> bandwidth_history_state(
       // Static per-device profile, scaled to O(1): compute volume per
       // round (cycles / 1e10), frequency cap (/ 2 GHz, the fleet-model
       // maximum), radio power (W, already O(1)).
-      const auto& dev = sim.devices()[i];
+      const DeviceProfile dev = sim.fleet().device(i);
       state.push_back(dev.cycles_per_round(sim.params().tau) / 1e10);
       state.push_back(dev.max_freq_hz / 2e9);
       state.push_back(dev.tx_power_w);
@@ -48,10 +49,12 @@ std::vector<double> bandwidth_history_state(
       // devices that sat the round out.
       double delivered = 1.0;
       double retry_load = 0.0;
-      if (last_result != nullptr && last_result->devices[i].participated) {
-        const auto& d = last_result->devices[i];
-        delivered = d.completed ? 1.0 : 0.0;
-        retry_load = std::min(1.0, static_cast<double>(d.retries) / 3.0);
+      if (last_result != nullptr) {
+        const DeviceOutcome d = last_result->outcome(i);
+        if (d.participated) {
+          delivered = d.completed ? 1.0 : 0.0;
+          retry_load = std::min(1.0, static_cast<double>(d.retries) / 3.0);
+        }
       }
       state.push_back(delivered);
       state.push_back(retry_load);
@@ -70,7 +73,7 @@ FlEnv::FlEnv(FlSimulator simulator, FlEnvConfig config)
     bandwidth_ref_ = config_.bandwidth_ref;
   } else {
     double ref = 0.0;
-    for (const auto& t : sim_.traces()) {
+    for (const auto& t : sim_.trace_table().pool()) {
       ref = std::max(ref, t.max_bandwidth());
     }
     bandwidth_ref_ = std::max(ref, 1.0);
@@ -81,7 +84,7 @@ std::vector<double> FlEnv::reset(Rng& rng) {
   // Random start phase within one trace period. Traces are periodic, so
   // any non-negative time works; staying inside [0, period) keeps slot
   // indices small.
-  const double period = sim_.traces().front().duration();
+  const double period = sim_.trace(0).duration();
   return reset_at(rng.uniform(0.0, period));
 }
 
@@ -160,16 +163,20 @@ StepResult FlEnv::step(const std::vector<double>& action) {
 void FlEnv::restore_episode(std::size_t steps_in_episode, bool has_result,
                             IterationResult last_result) {
   FEDRA_EXPECTS(!has_result ||
-                last_result.devices.size() == sim_.num_devices());
+                (last_result.has_device_outcomes() &&
+                 last_result.num_device_slots() == sim_.num_devices()));
   steps_in_episode_ = steps_in_episode;
   has_result_ = has_result;
   last_result_ = std::move(last_result);
 }
 
 std::vector<double> FlEnv::max_freqs() const {
+  const FleetView fleet = sim_.fleet();
   std::vector<double> caps;
-  caps.reserve(sim_.num_devices());
-  for (const auto& d : sim_.devices()) caps.push_back(d.max_freq_hz);
+  caps.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    caps.push_back(fleet.max_freq_hz(i));
+  }
   return caps;
 }
 

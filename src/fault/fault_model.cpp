@@ -92,21 +92,35 @@ DeviceFault FaultModel::draw_device(std::size_t iteration, std::size_t device,
   return f;
 }
 
+void FaultModel::draw_range(std::size_t iteration, std::size_t begin,
+                            std::size_t end,
+                            const std::vector<bool>& was_crashed,
+                            RoundFaults* round,
+                            std::vector<bool>* now_crashed) const {
+  FEDRA_EXPECTS(round != nullptr && begin <= end);
+  FEDRA_EXPECTS(round->devices.size() >= end);
+  FEDRA_EXPECTS(now_crashed == nullptr || now_crashed->size() >= end);
+  if (!enabled()) return;
+  for (std::size_t i = begin; i < end; ++i) {
+    const bool was = i < was_crashed.size() && was_crashed[i];
+    bool now = false;
+    round->devices[i] = draw_device(iteration, i, was, &now);
+    if (now_crashed != nullptr) (*now_crashed)[i] = now;
+  }
+}
+
 RoundFaults FaultModel::draw_round(std::size_t iteration,
                                    std::size_t num_devices,
                                    std::vector<bool>* crash_state) const {
   RoundFaults round;
   round.devices.resize(num_devices);
   if (!enabled()) return round;
-  for (std::size_t i = 0; i < num_devices; ++i) {
-    const bool was_crashed = i < crashed_.size() && crashed_[i];
-    bool now_crashed = false;
-    round.devices[i] = draw_device(iteration, i, was_crashed, &now_crashed);
-    if (crash_state != nullptr) {
-      if (crash_state->size() < num_devices) crash_state->resize(num_devices);
-      (*crash_state)[i] = now_crashed;
-    }
+  if (crash_state != nullptr && crash_state->size() < num_devices) {
+    crash_state->resize(num_devices);
   }
+  // When crash_state aliases crashed_ (advance), each index is read from
+  // the old state before it is overwritten, so the alias is benign.
+  draw_range(iteration, 0, num_devices, crashed_, &round, crash_state);
   return round;
 }
 

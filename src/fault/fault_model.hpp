@@ -127,6 +127,21 @@ class FaultModel {
   /// crash chain (used by previews / dry runs).
   RoundFaults peek(std::size_t iteration, std::size_t num_devices) const;
 
+  /// Batched range draw: fills devices [begin, end) of `iteration`'s
+  /// assignment into round->devices (sized >= end), reading the prior
+  /// crash state from `was_crashed` (indices past its size = healthy) and
+  /// writing the evolved state into `now_crashed` (sized >= end) when
+  /// non-null. Every device is a pure function of (seed, iteration,
+  /// device, its own prior crash bit), so disjoint ranges commute: any
+  /// shard schedule produces the same assignment bitwise as one
+  /// sequential draw_range(0, n). No-op when the model is disabled.
+  /// NOTE: now_crashed is bit-packed (std::vector<bool>), so concurrent
+  /// shard-parallel writers must either pass nullptr or use ranges
+  /// aligned to 64-device multiples.
+  void draw_range(std::size_t iteration, std::size_t begin, std::size_t end,
+                  const std::vector<bool>& was_crashed, RoundFaults* round,
+                  std::vector<bool>* now_crashed) const;
+
   /// Draws the fault assignment for `iteration` and advances the crash
   /// chain. Call once per real simulator step, in iteration order.
   RoundFaults advance(std::size_t iteration, std::size_t num_devices);

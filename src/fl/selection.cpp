@@ -28,15 +28,15 @@ DeadlineSelector::DeadlineSelector(const SimulatorBase& sim, double deadline)
     : deadline_(deadline) {
   FEDRA_EXPECTS(deadline > 0.0);
   est_bandwidth_.reserve(sim.num_devices());
-  for (const auto& trace : sim.traces()) {
-    est_bandwidth_.push_back(trace.mean_bandwidth());
+  for (std::size_t i = 0; i < sim.num_devices(); ++i) {
+    est_bandwidth_.push_back(sim.trace(i).mean_bandwidth());
   }
 }
 
 double DeadlineSelector::estimated_completion(const SimulatorBase& sim,
                                               std::size_t i) const {
   FEDRA_EXPECTS(i < sim.num_devices());
-  const auto& dev = sim.devices()[i];
+  const DeviceProfile dev = sim.fleet().device(i);
   const double compute = dev.min_compute_time(sim.params().tau);
   const double comm = sim.params().model_bytes / est_bandwidth_[i];
   return compute + comm;
@@ -65,9 +65,10 @@ std::vector<bool> DeadlineSelector::select(const SimulatorBase& sim) {
 }
 
 void DeadlineSelector::observe(const IterationResult& result) {
-  FEDRA_EXPECTS(result.devices.size() == est_bandwidth_.size());
-  for (std::size_t i = 0; i < result.devices.size(); ++i) {
-    const auto& d = result.devices[i];
+  FEDRA_EXPECTS(result.has_device_outcomes());
+  FEDRA_EXPECTS(result.num_device_slots() == est_bandwidth_.size());
+  for (std::size_t i = 0; i < result.num_device_slots(); ++i) {
+    const DeviceOutcome d = result.outcome(i);
     if (d.participated && d.avg_bandwidth > 0.0) {
       est_bandwidth_[i] = d.avg_bandwidth;
     }

@@ -190,6 +190,10 @@ std::string round_record_json(const RoundRecord& r) {
   append_kv(out, "upload_failures", r.num_upload_failures);
   out += ',';
   append_kv(out, "retries", r.total_retries);
+  if (r.devices_omitted > 0) {
+    out += ',';
+    append_kv(out, "devices_omitted", r.devices_omitted);
+  }
   out += ",\"devices\":[";
   for (std::size_t i = 0; i < r.devices.size(); ++i) {
     const DeviceRoundRecord& d = r.devices[i];
@@ -310,6 +314,7 @@ RoundRecord parse_round(const JsonValue& obj) {
   r.num_timeouts = get_index(obj, "timeouts");
   r.num_upload_failures = get_index(obj, "upload_failures");
   r.total_retries = get_index(obj, "retries");
+  r.devices_omitted = get_index(obj, "devices_omitted");
   if (const JsonValue* devices = obj.find("devices");
       devices != nullptr && devices->is_array()) {
     r.devices.reserve(devices->array.size());

@@ -77,6 +77,10 @@ struct RoundRecord {
   std::size_t num_upload_failures = 0;
   std::size_t total_retries = 0;
   std::vector<DeviceRoundRecord> devices;
+  /// Per-device rows NOT recorded (fleet-scale rounds summarize: the
+  /// builder caps rows at LedgerConfig::max_device_rows, and summary-layout
+  /// results carry no per-device outcomes at all).
+  std::size_t devices_omitted = 0;
 };
 
 /// One control decision: what the agent saw, what it chose, what
@@ -113,6 +117,10 @@ struct LedgerConfig {
   std::string run_id;    ///< free-form run identifier for the header
   double lambda = 0.0;   ///< cost weight, recorded in the header
   bool log_state = true; ///< include observed state vectors in decisions
+  /// Per-device rows recorded per round before summarizing (a 10^6-device
+  /// round must not write a million JSON objects per line); the remainder
+  /// is counted in RoundRecord::devices_omitted. 0 = no per-device rows.
+  std::size_t max_device_rows = 1024;
 };
 
 /// Process-global ledger sink, modeled on telemetry::Telemetry: one

@@ -10,9 +10,12 @@ namespace fedra {
 // ---------------------------------------------------------------- FullSpeed
 
 std::vector<double> FullSpeedController::decide(const SimulatorBase& sim) {
+  const FleetView fleet = sim.fleet();
   std::vector<double> freqs;
-  freqs.reserve(sim.num_devices());
-  for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz);
+  freqs.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    freqs.push_back(fleet.max_freq_hz(i));
+  }
   return freqs;
 }
 
@@ -23,14 +26,14 @@ StaticController::StaticController(const SimulatorBase& sim,
   FEDRA_EXPECTS(probe_samples > 0);
   std::vector<double> est(sim.num_devices());
   for (std::size_t i = 0; i < sim.num_devices(); ++i) {
-    const auto& trace = sim.traces()[i];
+    const auto& trace = sim.trace(i);
     double acc = 0.0;
     for (std::size_t s = 0; s < probe_samples; ++s) {
       acc += trace.bandwidth_at(rng.uniform(0.0, trace.duration()));
     }
     est[i] = acc / static_cast<double>(probe_samples);
   }
-  freqs_ = solve_with_bandwidths(sim.devices(), est, sim.params(),
+  freqs_ = solve_with_bandwidths(sim.fleet(), est, sim.params(),
                                  SimulatorBase::kMinFreqFraction)
                .freqs_hz;
 }
@@ -44,24 +47,24 @@ std::vector<double> StaticController::decide(const SimulatorBase& sim) {
 
 HeuristicController::HeuristicController(const SimulatorBase& sim) {
   last_bandwidths_.reserve(sim.num_devices());
-  for (const auto& trace : sim.traces()) {
-    last_bandwidths_.push_back(trace.mean_bandwidth());
+  for (std::size_t i = 0; i < sim.num_devices(); ++i) {
+    last_bandwidths_.push_back(sim.trace(i).mean_bandwidth());
   }
 }
 
 std::vector<double> HeuristicController::decide(const SimulatorBase& sim) {
   FEDRA_EXPECTS(last_bandwidths_.size() == sim.num_devices());
-  return solve_with_bandwidths(sim.devices(), last_bandwidths_, sim.params(),
+  return solve_with_bandwidths(sim.fleet(), last_bandwidths_, sim.params(),
                                SimulatorBase::kMinFreqFraction)
       .freqs_hz;
 }
 
 void HeuristicController::observe(const IterationResult& result) {
-  FEDRA_EXPECTS(result.devices.size() == last_bandwidths_.size());
-  for (std::size_t i = 0; i < result.devices.size(); ++i) {
-    if (result.devices[i].avg_bandwidth > 0.0) {
-      last_bandwidths_[i] = result.devices[i].avg_bandwidth;
-    }
+  FEDRA_EXPECTS(result.has_device_outcomes());
+  FEDRA_EXPECTS(result.num_device_slots() == last_bandwidths_.size());
+  for (std::size_t i = 0; i < result.num_device_slots(); ++i) {
+    const double bw = result.outcome(i).avg_bandwidth;
+    if (bw > 0.0) last_bandwidths_[i] = bw;
   }
 }
 
@@ -81,8 +84,8 @@ std::vector<double> OracleController::freqs_for_true_deadline(
   const auto& params = sim.params();
   std::vector<double> freqs(sim.num_devices());
   for (std::size_t i = 0; i < sim.num_devices(); ++i) {
-    const DeviceProfile& d = sim.devices()[i];
-    const auto& trace = sim.traces()[i];
+    const DeviceProfile d = sim.fleet().device(i);
+    const auto& trace = sim.trace(i);
     const auto completion = [&](double f) {
       const double cmp = d.compute_time(f, params.tau);
       return cmp + trace.upload_duration(start + cmp, params.model_bytes);
@@ -125,8 +128,8 @@ std::vector<double> OracleController::decide(const SimulatorBase& sim) {
   double lo = 0.0;
   double hi = 0.0;
   for (std::size_t i = 0; i < sim.num_devices(); ++i) {
-    const DeviceProfile& d = sim.devices()[i];
-    const auto& trace = sim.traces()[i];
+    const DeviceProfile d = sim.fleet().device(i);
+    const auto& trace = sim.trace(i);
     const double cmp_fast = d.min_compute_time(params.tau);
     lo = std::max(lo, cmp_fast + trace.upload_duration(start + cmp_fast,
                                                        params.model_bytes));

@@ -3,76 +3,79 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/fleet_pricing.hpp"
 #include "util/contracts.hpp"
 
 namespace fedra {
 
 std::vector<double> freqs_for_deadline(
-    const std::vector<DeviceProfile>& devices,
-    const std::vector<double>& est_comm_times, double deadline, double tau,
-    double min_freq_fraction) {
+    FleetView devices, const std::vector<double>& est_comm_times,
+    double deadline, double tau, double min_freq_fraction) {
   FEDRA_EXPECTS(devices.size() == est_comm_times.size());
   FEDRA_EXPECTS(deadline > 0.0 && tau > 0.0);
   std::vector<double> freqs(devices.size());
-  for (std::size_t i = 0; i < devices.size(); ++i) {
-    const DeviceProfile& d = devices[i];
-    const double floor_hz = min_freq_fraction * d.max_freq_hz;
-    const double budget = deadline - est_comm_times[i];
-    double f;
-    if (budget <= 0.0) {
-      f = d.max_freq_hz;  // cannot make the deadline; run flat out
-    } else {
-      f = d.freq_for_compute_time(budget, tau);
-    }
-    freqs[i] = std::clamp(f, floor_hz, d.max_freq_hz);
-  }
+  fleet::deadline_freqs(devices.size(), tau, min_freq_fraction, deadline,
+                        devices.cycles_per_bit().data(),
+                        devices.dataset_bits().data(),
+                        devices.max_freq_hz().data(), est_comm_times.data(),
+                        freqs.data());
   return freqs;
 }
 
-double predicted_cost(const std::vector<DeviceProfile>& devices,
+double predicted_cost(FleetView devices,
                       const std::vector<double>& est_comm_times,
                       const std::vector<double>& freqs_hz,
                       const CostParams& params) {
   FEDRA_EXPECTS(devices.size() == est_comm_times.size());
   FEDRA_EXPECTS(devices.size() == freqs_hz.size());
+  const std::size_t n = devices.size();
+  std::vector<double> time(n);
+  std::vector<double> energy_terms(n);
+  fleet::predicted_terms(n, params.tau, devices.cycles_per_bit().data(),
+                         devices.dataset_bits().data(),
+                         devices.capacitance().data(),
+                         devices.tx_power_w().data(), est_comm_times.data(),
+                         freqs_hz.data(), time.data(), energy_terms.data());
+  // Sequential reductions in device order — bit-identical to the legacy
+  // per-device loop regardless of the SIMD tier above.
   double makespan = 0.0;
   double energy = 0.0;
-  for (std::size_t i = 0; i < devices.size(); ++i) {
-    const DeviceProfile& d = devices[i];
-    const double t =
-        d.compute_time(freqs_hz[i], params.tau) + est_comm_times[i];
-    makespan = std::max(makespan, t);
-    energy += d.compute_energy(freqs_hz[i], params.tau) +
-              d.comm_energy(est_comm_times[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    makespan = std::max(makespan, time[i]);
+    energy += energy_terms[i];
   }
   return iteration_cost(makespan, energy, params);
 }
 
-double min_deadline(const std::vector<DeviceProfile>& devices,
+double min_deadline(FleetView devices,
                     const std::vector<double>& est_comm_times, double tau) {
   FEDRA_EXPECTS(devices.size() == est_comm_times.size());
   double t = 0.0;
   for (std::size_t i = 0; i < devices.size(); ++i) {
-    t = std::max(t, devices[i].min_compute_time(tau) + est_comm_times[i]);
+    const double min_cmp =
+        tau * devices.cycles_per_bit(i) * devices.dataset_bits(i) /
+        devices.max_freq_hz(i);
+    t = std::max(t, min_cmp + est_comm_times[i]);
   }
   return t;
 }
 
-double max_deadline(const std::vector<DeviceProfile>& devices,
+double max_deadline(FleetView devices,
                     const std::vector<double>& est_comm_times, double tau,
                     double min_freq_fraction) {
   FEDRA_EXPECTS(min_freq_fraction > 0.0);
   FEDRA_EXPECTS(devices.size() == est_comm_times.size());
   double t = 0.0;
   for (std::size_t i = 0; i < devices.size(); ++i) {
-    const double floor_hz = min_freq_fraction * devices[i].max_freq_hz;
-    t = std::max(t, devices[i].compute_time(floor_hz, tau) +
-                        est_comm_times[i]);
+    const double floor_hz = min_freq_fraction * devices.max_freq_hz(i);
+    const double slow_cmp =
+        tau * devices.cycles_per_bit(i) * devices.dataset_bits(i) / floor_hz;
+    t = std::max(t, slow_cmp + est_comm_times[i]);
   }
   return t;
 }
 
-DeadlineSolution solve_deadline(const std::vector<DeviceProfile>& devices,
+DeadlineSolution solve_deadline(FleetView devices,
                                 const std::vector<double>& est_comm_times,
                                 const CostParams& params,
                                 double min_freq_fraction, double tolerance) {
@@ -133,9 +136,8 @@ DeadlineSolution solve_deadline(const std::vector<DeviceProfile>& devices,
 }
 
 DeadlineSolution solve_with_bandwidths(
-    const std::vector<DeviceProfile>& devices,
-    const std::vector<double>& est_bandwidths, const CostParams& params,
-    double min_freq_fraction) {
+    FleetView devices, const std::vector<double>& est_bandwidths,
+    const CostParams& params, double min_freq_fraction) {
   FEDRA_EXPECTS(devices.size() == est_bandwidths.size());
   std::vector<double> comm_times(devices.size());
   for (std::size_t i = 0; i < devices.size(); ++i) {

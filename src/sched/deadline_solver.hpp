@@ -14,12 +14,19 @@
 // strictly convex and golden-section search finds the optimum. Both
 // paper baselines (Heuristic [3] and Static [4]) reduce to this solver —
 // they differ only in where t_hat_i comes from.
+//
+// The solver takes the fleet as a FleetView (SoA columns), so the inner
+// per-device maps run through the vectorized fleet kernels; the makespan
+// and energy reductions stay sequential scalar sums, which keeps every
+// result bit-identical to the per-device legacy loop. Call sites holding
+// an AoS vector columnize once via FleetState and pass the view.
 #pragma once
 
 #include <vector>
 
 #include "sim/cost_model.hpp"
 #include "sim/device.hpp"
+#include "sim/fleet_state.hpp"
 
 namespace fedra {
 
@@ -31,31 +38,31 @@ struct DeadlineSolution {
 
 /// Minimal feasible frequencies for finishing by `deadline` given the
 /// estimated comm times (clamped to [floor, delta_i^max]).
-std::vector<double> freqs_for_deadline(
-    const std::vector<DeviceProfile>& devices,
-    const std::vector<double>& est_comm_times, double deadline, double tau,
-    double min_freq_fraction);
+std::vector<double> freqs_for_deadline(FleetView devices,
+                                       const std::vector<double>& est_comm_times,
+                                       double deadline, double tau,
+                                       double min_freq_fraction);
 
 /// Predicted cost of running `freqs_hz` when comm times equal the
 /// estimates (makespan = max_i of estimated completion).
-double predicted_cost(const std::vector<DeviceProfile>& devices,
+double predicted_cost(FleetView devices,
                       const std::vector<double>& est_comm_times,
                       const std::vector<double>& freqs_hz,
                       const CostParams& params);
 
 /// Earliest feasible deadline: every device at delta_i^max.
-double min_deadline(const std::vector<DeviceProfile>& devices,
+double min_deadline(FleetView devices,
                     const std::vector<double>& est_comm_times, double tau);
 
 /// Latest deadline worth considering: every device at its frequency floor.
-double max_deadline(const std::vector<DeviceProfile>& devices,
+double max_deadline(FleetView devices,
                     const std::vector<double>& est_comm_times, double tau,
                     double min_freq_fraction);
 
 /// Golden-section minimization of cost(T) over [min_deadline,
 /// max_deadline]. `tolerance` is the absolute bracket width at which the
 /// search stops.
-DeadlineSolution solve_deadline(const std::vector<DeviceProfile>& devices,
+DeadlineSolution solve_deadline(FleetView devices,
                                 const std::vector<double>& est_comm_times,
                                 const CostParams& params,
                                 double min_freq_fraction = 0.01,
@@ -63,9 +70,9 @@ DeadlineSolution solve_deadline(const std::vector<DeviceProfile>& devices,
 
 /// Convenience: turns estimated bandwidths (bytes/s) into comm times
 /// xi / B_hat and solves.
-DeadlineSolution solve_with_bandwidths(
-    const std::vector<DeviceProfile>& devices,
-    const std::vector<double>& est_bandwidths, const CostParams& params,
-    double min_freq_fraction = 0.01);
+DeadlineSolution solve_with_bandwidths(FleetView devices,
+                                       const std::vector<double>& est_bandwidths,
+                                       const CostParams& params,
+                                       double min_freq_fraction = 0.01);
 
 }  // namespace fedra

@@ -127,8 +127,8 @@ PredictiveController::PredictiveController(
   FEDRA_EXPECTS(predictor_ != nullptr);
   std::vector<double> means;
   means.reserve(sim.num_devices());
-  for (const auto& trace : sim.traces()) {
-    means.push_back(trace.mean_bandwidth());
+  for (std::size_t i = 0; i < sim.num_devices(); ++i) {
+    means.push_back(sim.trace(i).mean_bandwidth());
   }
   predictor_->initialize(means);
 }
@@ -137,15 +137,18 @@ std::vector<double> PredictiveController::decide(const SimulatorBase& sim) {
   auto estimates = predictor_->predict();
   FEDRA_EXPECTS(estimates.size() == sim.num_devices());
   for (auto& e : estimates) e = std::max(e, kMinPrediction);
-  return solve_with_bandwidths(sim.devices(), estimates, sim.params(),
+  return solve_with_bandwidths(sim.fleet(), estimates, sim.params(),
                                SimulatorBase::kMinFreqFraction)
       .freqs_hz;
 }
 
 void PredictiveController::observe(const IterationResult& result) {
+  FEDRA_EXPECTS(result.has_device_outcomes());
   std::vector<double> realized;
-  realized.reserve(result.devices.size());
-  for (const auto& d : result.devices) realized.push_back(d.avg_bandwidth);
+  realized.reserve(result.num_device_slots());
+  for (std::size_t i = 0; i < result.num_device_slots(); ++i) {
+    realized.push_back(result.outcome(i).avg_bandwidth);
+  }
   predictor_->observe(realized);
 }
 

@@ -42,7 +42,7 @@ std::vector<double> ServedDrlController::decide(const SimulatorBase& sim) {
   if (res.ok()) {
     FEDRA_ENSURES(res.action.size() == sim.num_devices());
     for (std::size_t i = 0; i < freqs.size(); ++i) {
-      freqs[i] = res.action[i] * sim.devices()[i].max_freq_hz;
+      freqs[i] = res.action[i] * sim.fleet().max_freq_hz(i);
     }
     last_freqs_ = freqs;
   } else {
@@ -53,7 +53,7 @@ std::vector<double> ServedDrlController::decide(const SimulatorBase& sim) {
       freqs = last_freqs_;
     } else {
       for (std::size_t i = 0; i < freqs.size(); ++i) {
-        freqs[i] = sim.devices()[i].max_freq_hz;
+        freqs[i] = sim.fleet().max_freq_hz(i);
       }
       last_freqs_ = freqs;
     }

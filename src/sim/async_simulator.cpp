@@ -23,6 +23,10 @@ AsyncFlSimulator::AsyncFlSimulator(std::vector<DeviceProfile> devices,
     : SimulatorBase(std::move(devices), std::move(traces), params,
                     start_time) {}
 
+AsyncFlSimulator::AsyncFlSimulator(FleetState fleet, TraceTable traces,
+                                   CostParams params, double start_time)
+    : SimulatorBase(std::move(fleet), std::move(traces), params, start_time) {}
+
 IterationResult AsyncFlSimulator::step(const std::vector<double>& freqs_hz,
                                        const StepOptions& options) {
   if (options.dry_run_at.has_value()) return preview(freqs_hz, options);
@@ -36,7 +40,8 @@ IterationResult AsyncFlSimulator::step(const std::vector<double>& freqs_hz,
   FEDRA_TELEMETRY_IF {
     if (obs::RunLedger::enabled()) {
       obs::RunLedger::record_round(
-          obs::make_round_record(iteration_ - 1, result, params(), "async"));
+          obs::make_round_record(iteration_ - 1, result, params(), "async",
+                                 obs::RunLedger::config().max_device_rows));
     }
   }
   return result;
@@ -74,12 +79,12 @@ AsyncRunResult AsyncFlSimulator::run(const std::vector<double>& freqs_hz,
   // completion immediately schedules the device's next cycle.
   const auto schedule = [&](std::size_t i, double start,
                             std::size_t version) -> Pending {
-    const DeviceProfile& dev = devices()[i];
-    const double floor_hz = 0.01 * dev.max_freq_hz;
+    const DeviceProfile dev = fleet().device(i);
+    const double floor_hz = kMinFreqFraction * dev.max_freq_hz;
     const double f = std::clamp(freqs_hz[i], floor_hz, dev.max_freq_hz);
     const double cmp = dev.compute_time(f, params().tau);
     const double upload_end =
-        traces()[i].upload_finish_time(start + cmp, params().model_bytes);
+        trace(i).upload_finish_time(start + cmp, params().model_bytes);
     Pending p;
     p.finish = upload_end;
     p.device = i;

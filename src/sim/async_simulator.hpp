@@ -59,6 +59,11 @@ class AsyncFlSimulator : public SimulatorBase {
                    std::vector<BandwidthTrace> traces, CostParams params,
                    double start_time = 0.0);
 
+  /// Fleet-scale construction: SoA device columns plus a shared-pool trace
+  /// table (no per-device trace copies).
+  AsyncFlSimulator(FleetState fleet, TraceTable traces, CostParams params,
+                   double start_time = 0.0);
+
   /// One concurrent train-upload cycle per scheduled device, no barrier:
   /// idle_time is 0 for every device and the clock advances by the
   /// slowest resolution time (the next pull point for a lockstep policy).

@@ -1,0 +1,56 @@
+#include "sim/cohort.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+namespace {
+
+/// Rank key of device `id` in `round` — one SplitMix64 step over the
+/// order-free (seed, round, id) combine also used by the fault model.
+std::uint64_t cohort_key(std::uint64_t seed, std::size_t round,
+                         std::uint64_t id) {
+  const std::uint64_t a = seed ^ (static_cast<std::uint64_t>(round) *
+                                  0x9e3779b97f4a7c15ULL);
+  SplitMix64 sm(a ^ (id + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+  return sm.next();
+}
+
+}  // namespace
+
+std::vector<bool> Cohort::mask(std::size_t fleet_size) const {
+  std::vector<bool> m(fleet_size, false);
+  for (const std::size_t i : indices) {
+    FEDRA_EXPECTS(i < fleet_size);
+    m[i] = true;
+  }
+  return m;
+}
+
+Cohort sample_cohort(std::size_t fleet_size, std::size_t k,
+                     std::uint64_t seed, std::size_t round) {
+  FEDRA_EXPECTS(fleet_size > 0 && k > 0);
+  Cohort cohort;
+  if (k >= fleet_size) {
+    cohort.indices.resize(fleet_size);
+    for (std::size_t i = 0; i < fleet_size; ++i) cohort.indices[i] = i;
+    return cohort;
+  }
+
+  // Rank all devices by (key, id) and keep the k smallest. nth_element
+  // keeps this O(n) instead of a full sort of the fleet.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ranked(fleet_size);
+  for (std::size_t i = 0; i < fleet_size; ++i) {
+    ranked[i] = {cohort_key(seed, round, i), i};
+  }
+  std::nth_element(ranked.begin(), ranked.begin() + (k - 1), ranked.end());
+  cohort.indices.resize(k);
+  for (std::size_t i = 0; i < k; ++i) cohort.indices[i] = ranked[i].second;
+  std::sort(cohort.indices.begin(), cohort.indices.end());
+  return cohort;
+}
+
+}  // namespace fedra

@@ -1,0 +1,40 @@
+// Cohort sampling — the bridge between fleet-scale pricing and
+// testbed-scale training.
+//
+// At population scale the server does not train every device each round:
+// FedAvg aggregates a sampled cohort, while the cost model (and the DRL
+// controller's reward) still prices the full fleet's round. sample_cohort
+// picks k of n devices per (seed, round) by ranking a per-device
+// SplitMix64 key — a pure function of (seed, round, device_id), so the
+// cohort is independent of iteration order, device count elsewhere, and
+// platform, and two shards sampling the same round agree without
+// coordination. The k chosen devices are returned sorted by id, ready to
+// drive a StepOptions participation mask or an fl::FedAvg roster.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fedra {
+
+/// A sampled per-round training cohort: `indices` are the chosen device
+/// ids in increasing order.
+struct Cohort {
+  std::vector<std::size_t> indices;
+
+  std::size_t size() const { return indices.size(); }
+  bool empty() const { return indices.empty(); }
+
+  /// Participation mask over an n-device fleet (true = in the cohort) —
+  /// the shape StepOptions::participating consumes.
+  std::vector<bool> mask(std::size_t fleet_size) const;
+};
+
+/// Samples k of `fleet_size` devices for `round`. Deterministic in
+/// (seed, round): device i's rank key is a SplitMix64 hash of the triple,
+/// ties broken by id, the k smallest win. k >= fleet_size returns everyone.
+Cohort sample_cohort(std::size_t fleet_size, std::size_t k,
+                     std::uint64_t seed, std::size_t round);
+
+}  // namespace fedra

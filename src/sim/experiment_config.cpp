@@ -1,6 +1,10 @@
 #include "sim/experiment_config.hpp"
 
+#include <cstdint>
+
+#include "sim/fleet_state.hpp"
 #include "trace/generator.hpp"
+#include "trace/trace_table.hpp"
 
 namespace fedra {
 
@@ -54,6 +58,44 @@ FlSimulator build_simulator(const ExperimentConfig& config) {
     }
   }
   return FlSimulator(std::move(fleet), std::move(traces), config.cost);
+}
+
+FlSimulator build_fleet_simulator(const ExperimentConfig& config) {
+  FEDRA_EXPECTS(config.num_devices > 0);
+  FEDRA_EXPECTS(config.trace_samples > 0);
+  // Keep the trace pool on the same seed-derived stream slot as
+  // build_simulator so both builds upload against identical traces.
+  Rng rng(config.seed);
+  (void)rng.split();  // legacy fleet stream slot (fleet is counter-based)
+  Rng trace_rng = rng.split();
+
+  FleetState fleet =
+      make_fleet_state(config.num_devices, config.fleet, config.seed);
+
+  const std::size_t pool_size =
+      config.trace_pool > 0 ? config.trace_pool : config.num_devices;
+  auto pool = generate_trace_set(config.trace_preset, pool_size,
+                                 config.trace_samples, trace_rng);
+
+  std::vector<std::uint32_t> assignment(config.num_devices);
+  if (config.trace_pool == 0) {
+    for (std::size_t i = 0; i < config.num_devices; ++i) {
+      assignment[i] = static_cast<std::uint32_t>(i);
+    }
+  } else {
+    // Pure per-device pick: a salted SplitMix64 of (seed, device), so the
+    // assignment is independent of fill order (and of the profile stream,
+    // which hashes the same pair without the salt).
+    constexpr std::uint64_t kTraceAssignSalt = 0x7f4a7c159e3779b9ULL;
+    for (std::size_t i = 0; i < config.num_devices; ++i) {
+      SplitMix64 sm((config.seed ^ kTraceAssignSalt) ^
+                    (static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL));
+      assignment[i] = static_cast<std::uint32_t>(sm.next() % pool.size());
+    }
+  }
+  return FlSimulator(std::move(fleet),
+                     TraceTable(std::move(pool), std::move(assignment)),
+                     config.cost);
 }
 
 }  // namespace fedra

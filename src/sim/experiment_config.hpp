@@ -48,4 +48,13 @@ ExperimentConfig scale_config();
 /// trace pool, assigns one trace per device, and wires the cost model.
 FlSimulator build_simulator(const ExperimentConfig& config);
 
+/// Fleet-scale build: samples the fleet with order-independent per-device
+/// draws (make_fleet_state) and assigns pool traces by a pure
+/// (seed, device) hash into a shared TraceTable — no per-device trace
+/// copies, so num_devices can be 10^6. The trace pool itself is generated
+/// from the same seed-derived stream as build_simulator; the fleet and
+/// assignment use the counter-based path (build_simulator's sequential
+/// golden fleets are unchanged).
+FlSimulator build_fleet_simulator(const ExperimentConfig& config);
+
 }  // namespace fedra

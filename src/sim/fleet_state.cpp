@@ -1,0 +1,98 @@
+#include "sim/fleet_state.hpp"
+
+#include "util/rng.hpp"
+
+namespace fedra {
+
+namespace {
+
+void validate_model(const FleetModel& model) {
+  FEDRA_EXPECTS(model.dataset_mb_min > 0.0 &&
+                model.dataset_mb_min <= model.dataset_mb_max);
+  FEDRA_EXPECTS(model.processed_fraction > 0.0 &&
+                model.processed_fraction <= 1.0);
+  FEDRA_EXPECTS(model.cycles_per_bit_min > 0.0 &&
+                model.cycles_per_bit_min <= model.cycles_per_bit_max);
+  FEDRA_EXPECTS(model.max_freq_ghz_min > 0.0 &&
+                model.max_freq_ghz_min <= model.max_freq_ghz_max);
+}
+
+}  // namespace
+
+FleetState::FleetState(const std::vector<DeviceProfile>& devices) {
+  reserve(devices.size());
+  for (const auto& d : devices) push_back(d);
+}
+
+void FleetState::reserve(std::size_t n) {
+  cycles_per_bit_.reserve(n);
+  dataset_bits_.reserve(n);
+  capacitance_.reserve(n);
+  max_freq_hz_.reserve(n);
+  tx_power_w_.reserve(n);
+}
+
+void FleetState::push_back(const DeviceProfile& d) {
+  cycles_per_bit_.push_back(d.cycles_per_bit);
+  dataset_bits_.push_back(d.dataset_bits);
+  capacitance_.push_back(d.capacitance);
+  max_freq_hz_.push_back(d.max_freq_hz);
+  tx_power_w_.push_back(d.tx_power_w);
+}
+
+void FleetState::resize(std::size_t n) {
+  const DeviceProfile d;
+  cycles_per_bit_.resize(n, d.cycles_per_bit);
+  dataset_bits_.resize(n, d.dataset_bits);
+  capacitance_.resize(n, d.capacitance);
+  max_freq_hz_.resize(n, d.max_freq_hz);
+  tx_power_w_.resize(n, d.tx_power_w);
+}
+
+std::vector<DeviceProfile> FleetState::to_profiles() const {
+  std::vector<DeviceProfile> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(device(i));
+  return out;
+}
+
+DeviceProfile sample_device(const FleetModel& model, std::uint64_t seed,
+                            std::uint64_t device_id) {
+  // Pure hash of (seed, device_id): two SplitMix64 steps mix the pair into
+  // a stream seed that is stable across fill order and fleet size.
+  SplitMix64 mix(seed ^ (device_id * 0x9e3779b97f4a7c15ULL));
+  Rng rng(mix.next());
+  constexpr double kBitsPerMb = 8e6;
+  constexpr double kHzPerGhz = 1e9;
+  DeviceProfile d;
+  d.dataset_bits =
+      rng.uniform(model.dataset_mb_min, model.dataset_mb_max) * kBitsPerMb *
+      model.processed_fraction;
+  d.cycles_per_bit =
+      rng.uniform(model.cycles_per_bit_min, model.cycles_per_bit_max);
+  d.max_freq_hz =
+      rng.uniform(model.max_freq_ghz_min, model.max_freq_ghz_max) * kHzPerGhz;
+  d.capacitance = model.capacitance;
+  d.tx_power_w = rng.uniform(model.tx_power_w_min, model.tx_power_w_max);
+  return d;
+}
+
+void fill_fleet_range(FleetState& out, std::size_t begin, std::size_t end,
+                      const FleetModel& model, std::uint64_t seed) {
+  FEDRA_EXPECTS(begin <= end && end <= out.size());
+  validate_model(model);
+  for (std::size_t i = begin; i < end; ++i) {
+    out.set_device(i, sample_device(model, seed, i));
+  }
+}
+
+FleetState make_fleet_state(std::size_t n, const FleetModel& model,
+                            std::uint64_t seed) {
+  FEDRA_EXPECTS(n > 0);
+  FleetState fleet;
+  fleet.resize(n);
+  fill_fleet_range(fleet, 0, n, model, seed);
+  return fleet;
+}
+
+}  // namespace fedra

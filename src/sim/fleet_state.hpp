@@ -1,0 +1,184 @@
+// Structure-of-arrays device state — the storage of record for fleets.
+//
+// The paper's evaluation stops at 50 devices, where an array of
+// DeviceProfile structs is fine. Pricing Eqs. (1)-(6) for 10^5-10^6
+// devices per round wants the opposite layout: one contiguous column per
+// per-device constant (cycles_per_bit, dataset_bits, capacitance,
+// max_freq_hz, tx_power_w), so the cost kernels stream each column once
+// and the SIMD lanes load neighbours, not strided struct fields.
+//
+// FleetState owns the columns; FleetView is the non-owning read surface
+// handed to kernels, controllers, and the simulator API (indexed getters
+// plus raw column spans). DeviceProfile survives as the single-device
+// value type: view.device(i) materializes one on demand.
+//
+// make_fleet_state() samples a fleet with per-device COUNTER-BASED draws:
+// device i's profile is a pure function of (seed, i) via SplitMix64, so a
+// million-device fleet can be filled shard-parallel (fill_fleet_range on
+// disjoint ranges) and still be bit-identical to the sequential fill —
+// unlike the legacy make_fleet(), whose single Rng stream makes device i
+// depend on every draw before it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+class FleetState {
+ public:
+  FleetState() = default;
+
+  /// Column-izes an existing AoS fleet (legacy construction path).
+  explicit FleetState(const std::vector<DeviceProfile>& devices);
+
+  std::size_t size() const { return cycles_per_bit_.size(); }
+  bool empty() const { return cycles_per_bit_.empty(); }
+
+  void reserve(std::size_t n);
+  /// Appends one device (all five columns stay equal-length).
+  void push_back(const DeviceProfile& d);
+  /// Grows to n devices (new slots default-constructed DeviceProfile).
+  void resize(std::size_t n);
+
+  /// Materializes device i as the single-device value type.
+  DeviceProfile device(std::size_t i) const {
+    FEDRA_EXPECTS(i < size());
+    return DeviceProfile{cycles_per_bit_[i], dataset_bits_[i],
+                         capacitance_[i], max_freq_hz_[i], tx_power_w_[i]};
+  }
+
+  /// Materializes the whole fleet as AoS (the deprecated devices() shim
+  /// and tests that still want rows).
+  std::vector<DeviceProfile> to_profiles() const;
+
+  // Column access (const reads for kernels, mutable for fillers).
+  const std::vector<double>& cycles_per_bit() const { return cycles_per_bit_; }
+  const std::vector<double>& dataset_bits() const { return dataset_bits_; }
+  const std::vector<double>& capacitance() const { return capacitance_; }
+  const std::vector<double>& max_freq_hz() const { return max_freq_hz_; }
+  const std::vector<double>& tx_power_w() const { return tx_power_w_; }
+
+  void set_device(std::size_t i, const DeviceProfile& d) {
+    FEDRA_EXPECTS(i < size());
+    cycles_per_bit_[i] = d.cycles_per_bit;
+    dataset_bits_[i] = d.dataset_bits;
+    capacitance_[i] = d.capacitance;
+    max_freq_hz_[i] = d.max_freq_hz;
+    tx_power_w_[i] = d.tx_power_w;
+  }
+
+ private:
+  std::vector<double> cycles_per_bit_;
+  std::vector<double> dataset_bits_;
+  std::vector<double> capacitance_;
+  std::vector<double> max_freq_hz_;
+  std::vector<double> tx_power_w_;
+};
+
+/// Non-owning read view over a contiguous device range of a FleetState —
+/// the fleet-facing accessor SimulatorBase exposes instead of a raw
+/// std::vector<DeviceProfile>&. Cheap to copy (six pointers); must not
+/// outlive the FleetState it views.
+class FleetView {
+ public:
+  FleetView() = default;
+
+  // NOLINTNEXTLINE(runtime/explicit) — a FleetState IS a whole-fleet view.
+  FleetView(const FleetState& state)
+      : cycles_per_bit_(state.cycles_per_bit().data()),
+        dataset_bits_(state.dataset_bits().data()),
+        capacitance_(state.capacitance().data()),
+        max_freq_hz_(state.max_freq_hz().data()),
+        tx_power_w_(state.tx_power_w().data()),
+        size_(state.size()) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// View of devices [begin, end) — the cohort/shard window.
+  FleetView subview(std::size_t begin, std::size_t end) const {
+    FEDRA_EXPECTS(begin <= end && end <= size_);
+    FleetView v = *this;
+    v.cycles_per_bit_ += begin;
+    v.dataset_bits_ += begin;
+    v.capacitance_ += begin;
+    v.max_freq_hz_ += begin;
+    v.tx_power_w_ += begin;
+    v.size_ = end - begin;
+    return v;
+  }
+
+  // Column spans (for the vectorized kernels).
+  std::span<const double> cycles_per_bit() const {
+    return {cycles_per_bit_, size_};
+  }
+  std::span<const double> dataset_bits() const {
+    return {dataset_bits_, size_};
+  }
+  std::span<const double> capacitance() const { return {capacitance_, size_}; }
+  std::span<const double> max_freq_hz() const { return {max_freq_hz_, size_}; }
+  std::span<const double> tx_power_w() const { return {tx_power_w_, size_}; }
+
+  // Indexed getters (for per-device call sites).
+  double cycles_per_bit(std::size_t i) const {
+    FEDRA_EXPECTS(i < size_);
+    return cycles_per_bit_[i];
+  }
+  double dataset_bits(std::size_t i) const {
+    FEDRA_EXPECTS(i < size_);
+    return dataset_bits_[i];
+  }
+  double capacitance(std::size_t i) const {
+    FEDRA_EXPECTS(i < size_);
+    return capacitance_[i];
+  }
+  double max_freq_hz(std::size_t i) const {
+    FEDRA_EXPECTS(i < size_);
+    return max_freq_hz_[i];
+  }
+  double tx_power_w(std::size_t i) const {
+    FEDRA_EXPECTS(i < size_);
+    return tx_power_w_[i];
+  }
+
+  /// Materializes device i (for slow paths that want the value type).
+  DeviceProfile device(std::size_t i) const {
+    FEDRA_EXPECTS(i < size_);
+    return DeviceProfile{cycles_per_bit_[i], dataset_bits_[i],
+                         capacitance_[i], max_freq_hz_[i], tx_power_w_[i]};
+  }
+
+ private:
+  const double* cycles_per_bit_ = nullptr;
+  const double* dataset_bits_ = nullptr;
+  const double* capacitance_ = nullptr;
+  const double* max_freq_hz_ = nullptr;
+  const double* tx_power_w_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Samples device `device_id` of the fleet keyed by `seed` — a pure
+/// function of (seed, device_id), independent of every other device.
+/// Field draws match make_fleet()'s order (dataset, cycles, freq, power)
+/// against a stream seeded by two SplitMix64 steps over the pair, the
+/// same (base_seed, id) hash serve::SessionManager uses for sessions.
+DeviceProfile sample_device(const FleetModel& model, std::uint64_t seed,
+                            std::uint64_t device_id);
+
+/// Fills devices [begin, end) of `out` (sized >= end) via sample_device.
+/// Disjoint ranges commute: any shard-parallel schedule produces the same
+/// fleet bitwise as one sequential fill_fleet_range(out, 0, n, ...).
+void fill_fleet_range(FleetState& out, std::size_t begin, std::size_t end,
+                      const FleetModel& model, std::uint64_t seed);
+
+/// Samples an n-device fleet with order-independent per-device draws.
+FleetState make_fleet_state(std::size_t n, const FleetModel& model,
+                            std::uint64_t seed);
+
+}  // namespace fedra

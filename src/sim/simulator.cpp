@@ -56,7 +56,8 @@ void record_iteration(const IterationResult& result) {
   m.iterations.add();
   m.iter_time_s.record(result.iteration_time);
   m.iter_energy_j.record(result.total_energy);
-  for (const auto& out : result.devices) {
+  for (std::size_t i = 0; i < result.num_device_slots(); ++i) {
+    const DeviceOutcome out = result.outcome(i);
     if (!out.participated) continue;
     m.compute_time_s.record(out.compute_time);
     m.comm_time_s.record(out.comm_time);
@@ -79,6 +80,10 @@ FlSimulator::FlSimulator(std::vector<DeviceProfile> devices,
     : SimulatorBase(std::move(devices), std::move(traces), params,
                     start_time) {}
 
+FlSimulator::FlSimulator(FleetState fleet, TraceTable traces,
+                         CostParams params, double start_time)
+    : SimulatorBase(std::move(fleet), std::move(traces), params, start_time) {}
+
 IterationResult FlSimulator::step(const std::vector<double>& freqs_hz,
                                   const StepOptions& options) {
   if (options.dry_run_at.has_value()) return preview(freqs_hz, options);
@@ -96,7 +101,8 @@ IterationResult FlSimulator::step(const std::vector<double>& freqs_hz,
     record_iteration(result);
     if (obs::RunLedger::enabled()) {
       obs::RunLedger::record_round(
-          obs::make_round_record(iteration_ - 1, result, params(), "sim"));
+          obs::make_round_record(iteration_ - 1, result, params(), "sim",
+                                 obs::RunLedger::config().max_device_rows));
     }
   }
   return result;

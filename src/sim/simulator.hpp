@@ -12,13 +12,13 @@
 // Everything beyond the frequency vector rides in StepOptions: the
 // participation mask (client selection), the round deadline tau (devices
 // still running at t^k + tau are timed out and excluded from the barrier),
-// fault injection, and dry runs. The old step(freqs),
-// step(freqs, participating) and preview(freqs, start_time) overloads
-// survive as thin deprecated wrappers.
+// fault injection, dry runs, outcome layout and the pricing thread pool.
+// (The pre-StepOptions step(freqs) / step(freqs, participating) /
+// preview(freqs, start_time) wrappers completed their deprecation cycle
+// and are gone.)
 #pragma once
 
 #include <cstddef>
-#include <type_traits>
 #include <vector>
 
 #include "sim/cost_model.hpp"
@@ -36,6 +36,11 @@ class FlSimulator : public SimulatorBase {
               std::vector<BandwidthTrace> traces, CostParams params,
               double start_time = 0.0);
 
+  /// Fleet-scale construction: SoA device columns plus a shared-pool trace
+  /// table (no per-device trace copies).
+  FlSimulator(FleetState fleet, TraceTable traces, CostParams params,
+              double start_time = 0.0);
+
   /// Runs one synchronized iteration. The round closes when every
   /// scheduled device has delivered its update or definitively failed
   /// (crash / dropout / deadline / retry exhaustion); the makespan is the
@@ -48,30 +53,6 @@ class FlSimulator : public SimulatorBase {
   /// set, else at now().
   IterationResult preview(const std::vector<double>& freqs_hz,
                           StepOptions options) const override;
-
-  // --- Deprecated pre-StepOptions surface (thin wrappers) ---------------
-
-  [[deprecated("use step(freqs, StepOptions{})")]]
-  IterationResult step(const std::vector<double>& freqs_hz) {
-    return step(freqs_hz, StepOptions{});
-  }
-
-  /// Template so that a braced `{}` second argument cannot deduce to a
-  /// participation mask: `step(freqs, {})` resolves to the StepOptions
-  /// overload unambiguously.
-  template <typename Mask,
-            std::enable_if_t<std::is_same_v<Mask, std::vector<bool>>, int> = 0>
-  [[deprecated("use step(freqs, StepOptions::with_participants(mask))")]]
-  IterationResult step(const std::vector<double>& freqs_hz,
-                       const Mask& participating) {
-    return step(freqs_hz, StepOptions::with_participants(participating));
-  }
-
-  [[deprecated("use preview(freqs, StepOptions::dry_run(start_time))")]]
-  IterationResult preview(const std::vector<double>& freqs_hz,
-                          double start_time) const {
-    return preview(freqs_hz, StepOptions::dry_run(start_time));
-  }
 };
 
 }  // namespace fedra

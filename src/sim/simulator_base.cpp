@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/fleet_pricing.hpp"
 #include "trace/transforms.hpp"
 #include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fedra {
 
@@ -55,17 +57,61 @@ void apply_timeline(const std::vector<TimelinePhase>& phases, double cut,
   out.energy = out.compute_energy + out.comm_energy;
 }
 
+/// Per-thread scratch columns for one pricing block (reused across blocks
+/// and rounds; capacity grows to kPricingBlock once and stays).
+struct BlockScratch {
+  std::vector<double> freq;
+  std::vector<double> tcmp;
+  std::vector<double> ecmp;
+  std::vector<std::size_t> solve_idx;
+  std::vector<double> solve_start;
+  std::vector<double> solve_end;
+
+  void ensure(std::size_t n) {
+    if (freq.size() < n) {
+      freq.resize(n);
+      tcmp.resize(n);
+      ecmp.resize(n);
+    }
+  }
+};
+
+BlockScratch& block_scratch() {
+  thread_local BlockScratch s;
+  return s;
+}
+
 }  // namespace
+
+/// Partial round totals for one pricing block, accumulated sequentially in
+/// device order and combined across blocks in block order.
+struct SimulatorBase::BlockTotals {
+  double energy = 0.0;
+  double compute_energy = 0.0;
+  double makespan = 0.0;
+  std::size_t scheduled = 0;
+  std::size_t completed = 0;
+  std::size_t crashes = 0;
+  std::size_t dropouts = 0;
+  std::size_t timeouts = 0;
+  std::size_t upload_failures = 0;
+  std::size_t retries = 0;
+};
 
 SimulatorBase::SimulatorBase(std::vector<DeviceProfile> devices,
                              std::vector<BandwidthTrace> traces,
                              CostParams params, double start_time)
+    : SimulatorBase(FleetState(devices), TraceTable(std::move(traces)),
+                    params, start_time) {}
+
+SimulatorBase::SimulatorBase(FleetState fleet, TraceTable traces,
+                             CostParams params, double start_time)
     : now_(start_time),
-      devices_(std::move(devices)),
+      fleet_(std::move(fleet)),
       traces_(std::move(traces)),
       params_(params) {
-  FEDRA_EXPECTS(!devices_.empty());
-  FEDRA_EXPECTS(devices_.size() == traces_.size());
+  FEDRA_EXPECTS(!fleet_.empty());
+  FEDRA_EXPECTS(fleet_.size() == traces_.size());
   FEDRA_EXPECTS(params_.tau > 0.0);
   FEDRA_EXPECTS(params_.model_bytes > 0.0);
   FEDRA_EXPECTS(start_time >= 0.0);
@@ -80,7 +126,7 @@ void SimulatorBase::reset(double start_time) {
 bool SimulatorBase::resolve_faults(const StepOptions& options, bool advance,
                                    fault::RoundFaults* storage) const {
   if (options.faults != nullptr) {
-    FEDRA_EXPECTS(options.faults->devices.size() == devices_.size());
+    FEDRA_EXPECTS(options.faults->devices.size() == fleet_.size());
     *storage = *options.faults;
     return true;
   }
@@ -93,19 +139,18 @@ bool SimulatorBase::resolve_faults(const StepOptions& options, bool advance,
   return false;
 }
 
-void SimulatorBase::faulty_device_round(std::size_t device,
+void SimulatorBase::faulty_device_round(const DeviceProfile& dev,
+                                        const BandwidthTrace& base_trace,
                                         const fault::DeviceFault& f,
                                         double start_time, double deadline,
                                         DeviceOutcome& out) const {
-  const DeviceProfile& dev = devices_[device];
-
   // Radio outage: the device uploads against a blacked-out copy of its
   // trace for this round only (the DRL state keeps seeing the measured
   // base trace — outages are not announced in advance).
   BandwidthTrace blacked;
-  const BandwidthTrace* trace = &traces_[device];
+  const BandwidthTrace* trace = &base_trace;
   if (f.blackout_duration > 0.0) {
-    blacked = blackout_trace(traces_[device], start_time + f.blackout_offset,
+    blacked = blackout_trace(base_trace, start_time + f.blackout_offset,
                              f.blackout_duration);
     trace = &blacked;
   }
@@ -176,38 +221,73 @@ void SimulatorBase::faulty_device_round(std::size_t device,
           : 0.0;
 }
 
-IterationResult SimulatorBase::compute_round(
-    const std::vector<double>& freqs_hz, const StepOptions& options,
-    const fault::RoundFaults* faults, double start_time,
-    bool barrier_idle) const {
-  FEDRA_EXPECTS(freqs_hz.size() == devices_.size());
-  const std::vector<bool>* participating = options.participating;
-  if (participating != nullptr) {
-    FEDRA_EXPECTS(participating->size() == devices_.size());
-    FEDRA_EXPECTS(std::find(participating->begin(), participating->end(),
-                            true) != participating->end());
-  }
-  if (faults != nullptr) {
-    FEDRA_EXPECTS(faults->devices.size() == devices_.size());
-  }
-  const double deadline = options.deadline > 0.0
-                              ? options.deadline
-                              : std::numeric_limits<double>::infinity();
+void SimulatorBase::price_block(std::size_t begin, std::size_t end,
+                                const std::vector<double>& freqs_hz,
+                                const std::vector<bool>* participating,
+                                const fault::RoundFaults* faults,
+                                double start_time, double deadline,
+                                IterationResult& result,
+                                BlockTotals& totals) const {
+  const std::size_t bn = end - begin;
+  BlockScratch& s = block_scratch();
+  s.ensure(bn);
 
-  IterationResult result;
-  result.start_time = start_time;
-  result.devices.resize(devices_.size());
+  // Compute-side pricing for the whole block through the SIMD-dispatched
+  // kernel. Masked/crashed lanes are priced too and overwritten below —
+  // the kernel is pure, so the dead lanes cost cycles, not correctness.
+  const FleetView view(fleet_);
+  fleet::price_compute(bn, params_.tau, kMinFreqFraction,
+                       view.cycles_per_bit().data() + begin,
+                       view.dataset_bits().data() + begin,
+                       view.capacitance().data() + begin,
+                       view.max_freq_hz().data() + begin,
+                       freqs_hz.data() + begin, s.freq.data(), s.tcmp.data(),
+                       s.ecmp.data());
 
-  double makespan = 0.0;
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    const DeviceProfile& dev = devices_[i];
-    DeviceOutcome& out = result.devices[i];
+  // Collect the lanes that take the fault-free upload path and solve their
+  // trace integrals in lockstep batches (device order preserved).
+  s.solve_idx.clear();
+  s.solve_start.clear();
+  for (std::size_t k = 0; k < bn; ++k) {
+    const std::size_t i = begin + k;
+    if (participating != nullptr && !(*participating)[i]) continue;
+    const fault::DeviceFault* df =
+        faults != nullptr ? &faults->devices[i] : nullptr;
+    if (df != nullptr && (df->crashed || df->faulty())) continue;
+    s.solve_idx.push_back(i);
+    s.solve_start.push_back(start_time + s.tcmp[k]);
+  }
+  s.solve_end.resize(s.solve_idx.size());
+  traces_.upload_finish_times(s.solve_idx.data(), s.solve_idx.size(),
+                              s.solve_start.data(), params_.model_bytes,
+                              s.solve_end.data());
+
+  const auto store = [&result](std::size_t i, const DeviceOutcome& out) {
+    switch (result.layout) {
+      case OutcomeLayout::kRows:
+        result.devices[i] = out;
+        break;
+      case OutcomeLayout::kColumns:
+        result.columns.set_row(i, out);
+        break;
+      default:
+        break;  // kSummary: aggregates only
+    }
+  };
+
+  // Assembly pass: per-device branch structure and accumulation order
+  // identical to the legacy sequential engine.
+  std::size_t solve_pos = 0;
+  for (std::size_t k = 0; k < bn; ++k) {
+    const std::size_t i = begin + k;
+    DeviceOutcome out;
     if (participating != nullptr && !(*participating)[i]) {
       out.participated = false;  // all fields stay zero; no barrier share
       out.completed = false;
+      store(i, out);
       continue;
     }
-    ++result.num_scheduled;
+    ++totals.scheduled;
 
     const fault::DeviceFault* df =
         faults != nullptr ? &faults->devices[i] : nullptr;
@@ -216,29 +296,28 @@ IterationResult SimulatorBase::compute_round(
       // connection — no time, no energy, no barrier contribution.
       out.completed = false;
       out.failure = DeviceFailure::kCrash;
-      ++result.num_crashes;
+      ++totals.crashes;
+      store(i, out);
       continue;
     }
 
-    const double floor_hz = kMinFreqFraction * dev.max_freq_hz;
-    out.freq_hz = std::clamp(freqs_hz[i], floor_hz, dev.max_freq_hz);
+    out.freq_hz = s.freq[k];
 
     if (df == nullptr || !df->faulty()) {
-      // Fault-free timeline — kept operation-for-operation identical to
-      // the pre-StepOptions engine so step(freqs, {}) is bit-exact with
-      // the legacy step(freqs).
-      out.compute_time = dev.compute_time(out.freq_hz, params_.tau);
-      const double upload_start = start_time + out.compute_time;
-      const double upload_end =
-          traces_[i].upload_finish_time(upload_start, params_.model_bytes);
+      // Fault-free timeline from the precomputed columns — same values,
+      // same operation order as the per-device scalar path.
+      out.compute_time = s.tcmp[k];
+      const double upload_start = s.solve_start[solve_pos];
+      const double upload_end = s.solve_end[solve_pos];
+      ++solve_pos;
       out.comm_time = upload_end - upload_start;
       out.total_time = out.compute_time + out.comm_time;
       out.avg_bandwidth = out.comm_time > 0.0
                               ? params_.model_bytes / out.comm_time
                               : traces_[i].bandwidth_at(upload_start);
 
-      out.compute_energy = dev.compute_energy(out.freq_hz, params_.tau);
-      out.comm_energy = dev.comm_energy(out.comm_time);
+      out.compute_energy = s.ecmp[k];
+      out.comm_energy = view.tx_power_w(i) * out.comm_time;
       out.energy = out.compute_energy + out.comm_energy;
 
       if (out.total_time > deadline) {
@@ -253,29 +332,109 @@ IterationResult SimulatorBase::compute_round(
         out.avg_bandwidth = 0.0;  // no completed upload to estimate from
       }
     } else {
-      faulty_device_round(i, *df, start_time, deadline, out);
+      faulty_device_round(fleet_.device(i), traces_[i], *df, start_time,
+                          deadline, out);
     }
 
     switch (out.failure) {
-      case DeviceFailure::kDropout: ++result.num_dropouts; break;
-      case DeviceFailure::kTimeout: ++result.num_timeouts; break;
-      case DeviceFailure::kUpload: ++result.num_upload_failures; break;
+      case DeviceFailure::kDropout: ++totals.dropouts; break;
+      case DeviceFailure::kTimeout: ++totals.timeouts; break;
+      case DeviceFailure::kUpload: ++totals.upload_failures; break;
       case DeviceFailure::kNone:
       case DeviceFailure::kCrash: break;
     }
-    result.total_retries += out.retries;
-    if (out.completed) ++result.num_completed;
+    totals.retries += out.retries;
+    if (out.completed) ++totals.completed;
 
-    result.total_energy += out.energy;
-    result.total_compute_energy += out.compute_energy;
-    makespan = std::max(makespan, out.total_time);
+    totals.energy += out.energy;
+    totals.compute_energy += out.compute_energy;
+    totals.makespan = std::max(totals.makespan, out.total_time);
+    store(i, out);
+  }
+}
+
+IterationResult SimulatorBase::compute_round(
+    const std::vector<double>& freqs_hz, const StepOptions& options,
+    const fault::RoundFaults* faults, double start_time,
+    bool barrier_idle) const {
+  const std::size_t n = fleet_.size();
+  FEDRA_EXPECTS(freqs_hz.size() == n);
+  const std::vector<bool>* participating = options.participating;
+  if (participating != nullptr) {
+    FEDRA_EXPECTS(participating->size() == n);
+    FEDRA_EXPECTS(std::find(participating->begin(), participating->end(),
+                            true) != participating->end());
+  }
+  if (faults != nullptr) {
+    FEDRA_EXPECTS(faults->devices.size() == n);
+  }
+  const double deadline = options.deadline > 0.0
+                              ? options.deadline
+                              : std::numeric_limits<double>::infinity();
+
+  IterationResult result;
+  result.start_time = start_time;
+  OutcomeLayout layout = options.outcomes;
+  if (layout == OutcomeLayout::kAuto) {
+    layout = n <= kColumnarThreshold ? OutcomeLayout::kRows
+                                     : OutcomeLayout::kColumns;
+  }
+  result.layout = layout;
+  if (layout == OutcomeLayout::kRows) {
+    result.devices.resize(n);
+  } else if (layout == OutcomeLayout::kColumns) {
+    result.columns.resize(n);
+  }
+
+  // Price in fixed blocks. Boundaries depend only on n, blocks write
+  // disjoint slots and their own totals, and partials combine in block
+  // order below — so any pool size (or none) produces identical bits.
+  const std::size_t nblocks = (n + kPricingBlock - 1) / kPricingBlock;
+  std::vector<BlockTotals> totals(nblocks);
+  const auto run_block = [&](std::size_t b) {
+    const std::size_t begin = b * kPricingBlock;
+    const std::size_t end = std::min(n, begin + kPricingBlock);
+    price_block(begin, end, freqs_hz, participating, faults, start_time,
+                deadline, result, totals[b]);
+  };
+  if (nblocks <= 1) {
+    run_block(0);
+  } else {
+    ThreadPool& pool =
+        options.pool != nullptr ? *options.pool : global_pool();
+    pool.parallel_for(0, nblocks, run_block);
+  }
+
+  double makespan = 0.0;
+  for (const BlockTotals& t : totals) {
+    result.num_scheduled += t.scheduled;
+    result.num_completed += t.completed;
+    result.num_crashes += t.crashes;
+    result.num_dropouts += t.dropouts;
+    result.num_timeouts += t.timeouts;
+    result.num_upload_failures += t.upload_failures;
+    result.total_retries += t.retries;
+    result.total_energy += t.energy;
+    result.total_compute_energy += t.compute_energy;
+    makespan = std::max(makespan, t.makespan);
   }
 
   result.iteration_time = makespan;
-  for (auto& out : result.devices) {
-    out.idle_time = barrier_idle && out.participated && out.completed
-                        ? makespan - out.total_time
-                        : 0.0;
+  // Second pass: idle time needs the round makespan.
+  if (layout == OutcomeLayout::kRows) {
+    for (auto& out : result.devices) {
+      out.idle_time = barrier_idle && out.participated && out.completed
+                          ? makespan - out.total_time
+                          : 0.0;
+    }
+  } else if (layout == OutcomeLayout::kColumns) {
+    auto& c = result.columns;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      c.idle_time[i] =
+          barrier_idle && c.participated[i] != 0 && c.completed[i] != 0
+              ? makespan - c.total_time[i]
+              : 0.0;
+    }
   }
   result.cost = iteration_cost(makespan, result.total_energy, params_);
   result.reward = iteration_reward(makespan, result.total_energy, params_);

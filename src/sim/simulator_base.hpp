@@ -11,14 +11,21 @@
 //                                deadline, fault injection, dry runs all
 //                                ride in the options bag;
 //   preview(freqs, StepOptions)— the same round computed WITHOUT touching
-//                                simulator or fault-model state.
+//                                simulator or fault-model state;
+//   fleet()/trace_table()      — the fleet-facing state surface: SoA
+//                                device columns and shared trace storage.
 //
-// The protected compute_round() implements the full per-device timeline:
-// compute (optionally straggler-degraded), upload attempts with
-// exponential backoff against the (optionally blacked-out) trace, and
-// cutoffs for mid-round dropouts and the server deadline. Failed devices
-// are charged the energy they actually spent; the round closes when every
-// scheduled device has delivered or definitively failed.
+// Device state is stored as a structure-of-arrays FleetState and traces
+// as a shared-pool TraceTable, so a 10^6-device fleet costs O(columns +
+// trace pool), not a million structs and trace copies. The protected
+// compute_round() prices rounds in fixed device blocks of kPricingBlock:
+// within a block the compute-side math runs through the SIMD-dispatched
+// fleet kernels and the upload solves in lockstep batches, faults and
+// deadlines take the scalar per-device path, and accumulation is
+// sequential in device order within the block with block partials combined
+// in block order. Block boundaries depend only on fleet size, so results
+// are bit-identical across thread-pool sizes — and, for fleets up to one
+// block, bit-identical to the legacy sequential per-device loop.
 #pragma once
 
 #include <concepts>
@@ -28,8 +35,10 @@
 #include "fault/fault_model.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/device.hpp"
+#include "sim/fleet_state.hpp"
 #include "sim/step_options.hpp"
 #include "trace/bandwidth_trace.hpp"
+#include "trace/trace_table.hpp"
 
 namespace fedra {
 
@@ -37,9 +46,36 @@ class SimulatorBase {
  public:
   virtual ~SimulatorBase() = default;
 
-  std::size_t num_devices() const { return devices_.size(); }
-  const std::vector<DeviceProfile>& devices() const { return devices_; }
-  const std::vector<BandwidthTrace>& traces() const { return traces_; }
+  std::size_t num_devices() const { return fleet_.size(); }
+
+  /// The fleet-facing device surface: indexed getters plus raw column
+  /// spans over the SoA storage of record.
+  FleetView fleet() const { return FleetView(fleet_); }
+  const FleetState& fleet_state() const { return fleet_; }
+
+  /// Shared trace storage (pool + per-device assignment).
+  const TraceTable& trace_table() const { return traces_; }
+  /// Device i's upload trace.
+  const BandwidthTrace& trace(std::size_t i) const { return traces_[i]; }
+
+  [[deprecated("use fleet() / fleet_state(); this shim materializes an AoS "
+               "copy of the fleet")]]
+  const std::vector<DeviceProfile>& devices() const {
+    if (legacy_devices_.size() != fleet_.size()) {
+      legacy_devices_ = fleet_.to_profiles();
+    }
+    return legacy_devices_;
+  }
+
+  [[deprecated("use trace_table() / trace(i); this shim materializes one "
+               "trace copy per device")]]
+  const std::vector<BandwidthTrace>& traces() const {
+    if (legacy_traces_.size() != traces_.size()) {
+      legacy_traces_ = traces_.materialize();
+    }
+    return legacy_traces_;
+  }
+
   const CostParams& params() const { return params_; }
 
   /// Current wall-clock time t^k (start of the next round).
@@ -76,9 +112,21 @@ class SimulatorBase {
   /// Fraction of delta_i^max that non-positive actions are lifted to.
   static constexpr double kMinFreqFraction = 0.01;
 
+  /// Devices per pricing block — the fixed unit of SIMD kernel calls,
+  /// batched trace solves, and thread-pool sharding. Boundaries are a
+  /// function of fleet size only (never pool size), and accumulation is
+  /// sequential within a block and across block partials in block order,
+  /// so every pool size produces identical bits.
+  static constexpr std::size_t kPricingBlock = 4096;
+  /// kAuto outcome layout: rows up to this many devices, columns beyond.
+  static constexpr std::size_t kColumnarThreshold = 4096;
+
  protected:
   SimulatorBase(std::vector<DeviceProfile> devices,
                 std::vector<BandwidthTrace> traces, CostParams params,
+                double start_time);
+
+  SimulatorBase(FleetState fleet, TraceTable traces, CostParams params,
                 double start_time);
 
   /// The shared round engine. `faults` is the resolved per-device fault
@@ -100,14 +148,31 @@ class SimulatorBase {
   std::size_t iteration_ = 0;
 
  private:
-  /// Per-device timeline under a fault assignment (slow path).
-  void faulty_device_round(std::size_t device, const fault::DeviceFault& f,
-                           double start_time, double deadline,
-                           DeviceOutcome& out) const;
+  struct BlockTotals;
 
-  std::vector<DeviceProfile> devices_;
-  std::vector<BandwidthTrace> traces_;
+  /// Prices devices [begin, end) of one block (SIMD compute kernel,
+  /// batched upload solves, scalar fault/deadline paths) and accumulates
+  /// the block's partial totals sequentially in device order.
+  void price_block(std::size_t begin, std::size_t end,
+                   const std::vector<double>& freqs_hz,
+                   const std::vector<bool>* participating,
+                   const fault::RoundFaults* faults, double start_time,
+                   double deadline, IterationResult& result,
+                   BlockTotals& totals) const;
+
+  /// Per-device timeline under a fault assignment (slow path).
+  void faulty_device_round(const DeviceProfile& dev,
+                           const BandwidthTrace& trace,
+                           const fault::DeviceFault& f, double start_time,
+                           double deadline, DeviceOutcome& out) const;
+
+  FleetState fleet_;
+  TraceTable traces_;
   CostParams params_;
+  // Lazily-materialized AoS copies backing the deprecated devices() /
+  // traces() shims (kept one PR cycle).
+  mutable std::vector<DeviceProfile> legacy_devices_;
+  mutable std::vector<BandwidthTrace> legacy_traces_;
 };
 
 /// Code that needs to copy simulators by value (the evaluation harness

@@ -11,15 +11,20 @@
 //   sim.step(freqs, {.fault_model = &faults});             // churn injection
 //   sim.preview(freqs, StepOptions::dry_run(t));           // no state change
 //
-// The legacy overloads survive as thin deprecated wrappers.
+// Fleet-scale knobs ride in the same bag: `outcomes` picks how per-device
+// results are materialized (rows / columns / summary) and `pool` supplies
+// the thread pool the blocked round engine shards across.
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "fault/fault_model.hpp"
+#include "sim/cost_model.hpp"
 
 namespace fedra {
+
+class ThreadPool;
 
 struct StepOptions {
   /// Participation mask (client selection): devices with a false entry sit
@@ -48,6 +53,18 @@ struct StepOptions {
   /// advancing the clock, the iteration counter, or the fault model
   /// (what preview(freqs, start_time) used to do).
   std::optional<double> dry_run_at;
+
+  /// How the result stores per-device outcomes. kAuto keeps the familiar
+  /// row structs up to the engine's columnar threshold and switches to
+  /// columns beyond it; kSummary skips per-device storage entirely (the
+  /// cheapest way to price a million-device round). Aggregates, cost and
+  /// reward are bit-identical across layouts.
+  OutcomeLayout outcomes = OutcomeLayout::kAuto;
+
+  /// Thread pool the round engine shards device blocks across (results
+  /// are bit-identical for every pool size, including 1). nullptr = the
+  /// process-wide global_pool(). Non-owning.
+  ThreadPool* pool = nullptr;
 
   /// Convenience: options with only a participation mask (the old
   /// step(freqs, participating) call).

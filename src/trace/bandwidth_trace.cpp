@@ -77,6 +77,118 @@ double BandwidthTrace::upload_finish_time(double start, double bytes) const {
   return std::max(finish, start);
 }
 
+namespace {
+
+constexpr std::size_t kSolveLanes = 8;
+
+/// Lockstep solve for `lanes` uploads whose traces all have the same
+/// sample count. Every arithmetic expression mirrors upload_finish_time /
+/// cumulative_bytes operation for operation, so each lane's result is
+/// bit-identical to the scalar call; the lower_bound index is unique given
+/// the prefix array, so the branchless search lands on the same bin.
+void solve_lockstep(const BandwidthTrace* const* traces, const double* starts,
+                    std::size_t lanes, double bytes, double* out) {
+  const std::size_t m = traces[0]->num_samples();
+  const double* prefix[kSolveLanes];
+  const double* samples[kSolveLanes];
+  double dt[kSolveLanes];
+  double period[kSolveLanes];
+  double periods[kSolveLanes];
+  double remaining[kSolveLanes];
+  std::size_t base[kSolveLanes];
+  for (std::size_t k = 0; k < lanes; ++k) {
+    const BandwidthTrace& tr = *traces[k];
+    prefix[k] = tr.prefix_bytes().data();
+    samples[k] = tr.samples().data();
+    dt[k] = tr.resolution();
+    period[k] = tr.duration();
+    const double per_period = tr.prefix_bytes().back();
+    const double start = starts[k];
+    FEDRA_EXPECTS(start >= 0.0);
+    // cumulative_bytes(start), inlined with the member's exact op order.
+    const double full_periods = std::floor(start / period[k]);
+    const double local_t = start - full_periods * period[k];
+    const auto j =
+        std::min(static_cast<std::size_t>(local_t / dt[k]), m - 1);
+    const double within = local_t - static_cast<double>(j) * dt[k];
+    const double cum =
+        full_periods * per_period + (prefix[k][j] + samples[k][j] * within);
+    const double target = cum + bytes;
+    periods[k] = std::floor(target / per_period);
+    remaining[k] = target - periods[k] * per_period;
+    base[k] = 0;
+  }
+  // Branchless lower_bound over the m+1 prefix entries, all lanes in
+  // lockstep: the trip count depends only on m, never on the values.
+  std::size_t len = m + 1;
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t k = 0; k < lanes; ++k) {
+      base[k] += prefix[k][base[k] + half - 1] < remaining[k] ? half : 0;
+    }
+    len -= half;
+  }
+  for (std::size_t k = 0; k < lanes; ++k) {
+    const std::size_t idx =
+        base[k] + (prefix[k][base[k]] < remaining[k] ? 1 : 0);
+    double local;
+    if (idx == 0) {
+      local = 0.0;
+    } else {
+      const std::size_t j = idx - 1;
+      const double into = remaining[k] - prefix[k][j];
+      local = static_cast<double>(j) * dt[k] +
+              (samples[k][j] > 0.0 ? into / samples[k][j] : 0.0);
+    }
+    const double finish = periods[k] * period[k] + local;
+    out[k] = std::max(finish, starts[k]);
+  }
+}
+
+}  // namespace
+
+void upload_finish_times(const BandwidthTrace* const* traces,
+                         const double* starts, std::size_t n, double bytes,
+                         double* out) {
+  FEDRA_EXPECTS(bytes >= 0.0);
+  if (bytes == 0.0) {
+    for (std::size_t k = 0; k < n; ++k) {
+      FEDRA_EXPECTS(starts[k] >= 0.0);
+      out[k] = starts[k];
+    }
+    return;
+  }
+  std::size_t k = 0;
+  while (k < n) {
+    const std::size_t lanes = std::min(kSolveLanes, n - k);
+    const std::size_t m = traces[k]->num_samples();
+    bool uniform = true;
+    for (std::size_t l = 1; l < lanes; ++l) {
+      uniform = uniform && traces[k + l]->num_samples() == m;
+    }
+    if (uniform) {
+      solve_lockstep(traces + k, starts + k, lanes, bytes, out + k);
+    } else {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        out[k + l] = traces[k + l]->upload_finish_time(starts[k + l], bytes);
+      }
+    }
+    k += lanes;
+  }
+}
+
+void BandwidthTrace::upload_finish_times(const double* starts, std::size_t n,
+                                         double bytes, double* out) const {
+  const BandwidthTrace* lanes[kSolveLanes];
+  for (auto& lane : lanes) lane = this;
+  std::size_t k = 0;
+  while (k < n) {
+    const std::size_t batch = std::min(kSolveLanes, n - k);
+    fedra::upload_finish_times(lanes, starts + k, batch, bytes, out + k);
+    k += batch;
+  }
+}
+
 double BandwidthTrace::slot_average(long long slot, double h) const {
   FEDRA_EXPECTS(h > 0.0);
   const double period = duration();

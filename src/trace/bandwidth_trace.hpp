@@ -48,6 +48,17 @@ class BandwidthTrace {
   /// bandwidth is positive (guaranteed at construction).
   double upload_finish_time(double start, double bytes) const;
 
+  /// Batched form: out[k] = upload_finish_time(starts[k], bytes) for
+  /// k in [0, n), bit-identical to the scalar calls but solved in
+  /// interleaved lockstep batches (see the free upload_finish_times).
+  void upload_finish_times(const double* starts, std::size_t n, double bytes,
+                           double* out) const;
+
+  /// Prefix integral: prefix_bytes()[j] = bytes transferable over the
+  /// first j samples of one period (size num_samples() + 1). Exposed for
+  /// the batched fleet pricing kernels.
+  const std::vector<double>& prefix_bytes() const { return prefix_; }
+
   /// Upload duration (finish - start) for `bytes` starting at `start`.
   double upload_duration(double start, double bytes) const {
     return upload_finish_time(start, bytes) - start;
@@ -71,5 +82,16 @@ class BandwidthTrace {
   std::vector<double> prefix_;  // prefix_[j] = bytes over first j samples
   double dt_ = 1.0;
 };
+
+/// Batched Eq. (3) solve across (possibly distinct) traces:
+/// out[k] = traces[k]->upload_finish_time(starts[k], bytes), bit-identical
+/// to the scalar calls. Lanes whose traces share a sample count run their
+/// per-period binary searches in lockstep (a branchless lower_bound with
+/// one trip count for the whole batch, so 8 independent search chains keep
+/// the core busy instead of serializing on cache latency); mixed batches
+/// fall back to per-lane scalar solves.
+void upload_finish_times(const BandwidthTrace* const* traces,
+                         const double* starts, std::size_t n, double bytes,
+                         double* out);
 
 }  // namespace fedra

@@ -1,0 +1,50 @@
+#include "trace/trace_table.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fedra {
+
+TraceTable::TraceTable(std::vector<BandwidthTrace> traces)
+    : pool_(std::move(traces)) {
+  FEDRA_EXPECTS(pool_.size() <=
+                std::numeric_limits<std::uint32_t>::max());
+  assignment_.resize(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    assignment_[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+TraceTable::TraceTable(std::vector<BandwidthTrace> pool,
+                       std::vector<std::uint32_t> assignment)
+    : pool_(std::move(pool)), assignment_(std::move(assignment)) {
+  FEDRA_EXPECTS(!pool_.empty() || assignment_.empty());
+  for (const std::uint32_t id : assignment_) {
+    FEDRA_EXPECTS(id < pool_.size());
+  }
+}
+
+std::vector<BandwidthTrace> TraceTable::materialize() const {
+  std::vector<BandwidthTrace> out;
+  out.reserve(assignment_.size());
+  for (const std::uint32_t id : assignment_) out.push_back(pool_[id]);
+  return out;
+}
+
+void TraceTable::upload_finish_times(const std::size_t* devices,
+                                     std::size_t count, const double* starts,
+                                     double bytes, double* out) const {
+  constexpr std::size_t kChunk = 64;
+  const BandwidthTrace* traces[kChunk];
+  std::size_t k = 0;
+  while (k < count) {
+    const std::size_t batch = std::min(kChunk, count - k);
+    for (std::size_t l = 0; l < batch; ++l) {
+      traces[l] = &(*this)[devices[k + l]];
+    }
+    fedra::upload_finish_times(traces, starts + k, batch, bytes, out + k);
+    k += batch;
+  }
+}
+
+}  // namespace fedra

@@ -1,0 +1,66 @@
+// Shared bandwidth-trace storage for fleets.
+//
+// The legacy simulator construction gave every device a private
+// BandwidthTrace COPY — fine at 3 or 50 devices, ruinous at 10^6 (a
+// 3000-sample trace is ~48 KB; a million private copies is ~48 GB). The
+// paper's own setup is the shared form anyway: 50 devices draw from 5
+// walking traces. TraceTable stores the distinct traces once (the pool)
+// plus one uint32 trace id per device, so fleet memory is
+// O(pool + devices), and hands the pricing engine batched upload solves
+// over device ranges.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/bandwidth_trace.hpp"
+#include "util/contracts.hpp"
+
+namespace fedra {
+
+class TraceTable {
+ public:
+  TraceTable() = default;
+
+  /// One private pool entry per device (identity assignment) — the legacy
+  /// vector-of-traces construction path.
+  explicit TraceTable(std::vector<BandwidthTrace> traces);
+
+  /// Shared pool: device i uploads against pool[assignment[i]].
+  TraceTable(std::vector<BandwidthTrace> pool,
+             std::vector<std::uint32_t> assignment);
+
+  /// Number of devices (assignment length), not pool entries.
+  std::size_t size() const { return assignment_.size(); }
+  bool empty() const { return assignment_.empty(); }
+  std::size_t pool_size() const { return pool_.size(); }
+
+  const BandwidthTrace& operator[](std::size_t device) const {
+    FEDRA_EXPECTS(device < assignment_.size());
+    return pool_[assignment_[device]];
+  }
+  std::uint32_t trace_id(std::size_t device) const {
+    FEDRA_EXPECTS(device < assignment_.size());
+    return assignment_[device];
+  }
+
+  const std::vector<BandwidthTrace>& pool() const { return pool_; }
+  const std::vector<std::uint32_t>& assignment() const { return assignment_; }
+
+  /// One private trace copy per device (the deprecated traces() shim).
+  std::vector<BandwidthTrace> materialize() const;
+
+  /// Batched Eq. (3) solve for `count` uploads:
+  /// out[k] = (*this)[devices[k]].upload_finish_time(starts[k], bytes),
+  /// bit-identical to the scalar calls (see free upload_finish_times).
+  void upload_finish_times(const std::size_t* devices, std::size_t count,
+                           const double* starts, double bytes,
+                           double* out) const;
+
+ private:
+  std::vector<BandwidthTrace> pool_;
+  std::vector<std::uint32_t> assignment_;
+};
+
+}  // namespace fedra

@@ -82,10 +82,12 @@ TEST(AsyncSim, NoBarrierMeansMoreUpdatesThanSync) {
   ExperimentConfig cfg = testbed_config();
   cfg.trace_samples = 600;
   auto sync = build_simulator(cfg);
-  AsyncFlSimulator async_sim(sync.devices(), sync.traces(), sync.params());
+  AsyncFlSimulator async_sim(sync.fleet_state(), sync.trace_table(),
+                             sync.params());
 
   std::vector<double> freqs;
-  for (const auto& d : sync.devices()) freqs.push_back(d.max_freq_hz);
+  for (std::size_t i = 0; i < sync.num_devices(); ++i)
+    freqs.push_back(sync.fleet().max_freq_hz(i));
 
   const double horizon = 300.0;
   auto async_result = async_sim.run(freqs, horizon);
@@ -176,9 +178,11 @@ TEST(AsyncFedAvg, EventDrivenTrainingConverges) {
   ExperimentConfig cfg = testbed_config();
   cfg.trace_samples = 600;
   auto sync = build_simulator(cfg);
-  AsyncFlSimulator sim(sync.devices(), sync.traces(), sync.params());
+  AsyncFlSimulator sim(sync.fleet_state(), sync.trace_table(),
+                       sync.params());
   std::vector<double> freqs;
-  for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz);
+  for (std::size_t i = 0; i < sim.num_devices(); ++i)
+    freqs.push_back(sim.fleet().max_freq_hz(i));
   auto run = sim.run(freqs, 250.0);
   ASSERT_GT(run.events.size(), 10u);
 
@@ -199,7 +203,8 @@ TEST(AsyncFedAvg, EventDrivenTrainingConverges) {
 
 TEST(AsyncDeathTest, BadInputsAbort) {
   EXPECT_DEATH(
-      AsyncFlSimulator({}, {}, tiny_params()), "precondition");
+      AsyncFlSimulator(FleetState{}, TraceTable{}, tiny_params()),
+      "precondition");
   AsyncFlSimulator sim({uniform_device(1e9, 1e9)},
                        {constant_trace(100.0, 50)}, tiny_params());
   EXPECT_DEATH(sim.run({1e9, 1e9}, 10.0), "precondition");

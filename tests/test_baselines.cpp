@@ -25,7 +25,7 @@ TEST(FullSpeed, AlwaysAtCap) {
   auto freqs = c.decide(sim);
   ASSERT_EQ(freqs.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
-    EXPECT_DOUBLE_EQ(freqs[i], sim.devices()[i].max_freq_hz);
+    EXPECT_DOUBLE_EQ(freqs[i], sim.fleet().max_freq_hz(i));
   }
 }
 
@@ -47,7 +47,7 @@ TEST(Static, FrequenciesWithinDeviceBounds) {
   const auto freqs = c.decide(sim);
   for (std::size_t i = 0; i < freqs.size(); ++i) {
     EXPECT_GT(freqs[i], 0.0);
-    EXPECT_LE(freqs[i], sim.devices()[i].max_freq_hz);
+    EXPECT_LE(freqs[i], sim.fleet().max_freq_hz(i));
   }
 }
 
@@ -55,8 +55,9 @@ TEST(Heuristic, FirstDecisionUsesMeanBandwidth) {
   auto sim = make_sim();
   HeuristicController c(sim);
   std::vector<double> means;
-  for (const auto& t : sim.traces()) means.push_back(t.mean_bandwidth());
-  auto expected = solve_with_bandwidths(sim.devices(), means, sim.params(),
+  for (std::size_t i = 0; i < sim.num_devices(); ++i)
+    means.push_back(sim.trace(i).mean_bandwidth());
+  auto expected = solve_with_bandwidths(sim.fleet(), means, sim.params(),
                                         FlSimulator::kMinFreqFraction)
                       .freqs_hz;
   EXPECT_EQ(c.decide(sim), expected);
@@ -71,7 +72,7 @@ TEST(Heuristic, UsesLastIterationBandwidth) {
   // bandwidths of the previous iteration ([3]'s rule).
   std::vector<double> realized;
   for (const auto& d : r.devices) realized.push_back(d.avg_bandwidth);
-  auto expected = solve_with_bandwidths(sim.devices(), realized, sim.params(),
+  auto expected = solve_with_bandwidths(sim.fleet(), realized, sim.params(),
                                         FlSimulator::kMinFreqFraction)
                       .freqs_hz;
   EXPECT_EQ(c.decide(sim), expected);
@@ -105,8 +106,8 @@ TEST(Oracle, FrequenciesWithinBounds) {
   ASSERT_EQ(freqs.size(), sim.num_devices());
   for (std::size_t i = 0; i < freqs.size(); ++i) {
     EXPECT_GE(freqs[i],
-              FlSimulator::kMinFreqFraction * sim.devices()[i].max_freq_hz);
-    EXPECT_LE(freqs[i], sim.devices()[i].max_freq_hz);
+              FlSimulator::kMinFreqFraction * sim.fleet().max_freq_hz(i));
+    EXPECT_LE(freqs[i], sim.fleet().max_freq_hz(i));
   }
 }
 

@@ -21,7 +21,7 @@ DeviceProfile device_with(double cycles, double max_freq, double alpha = 1e-28,
 }
 
 TEST(DeadlineSolver, FreqsInvertComputeTime) {
-  std::vector<DeviceProfile> devices{device_with(2e9, 2e9)};
+  const FleetState devices(std::vector<DeviceProfile>{device_with(2e9, 2e9)});
   // comm takes 1 s; deadline 3 s leaves 2 s of compute -> 1 GHz.
   auto freqs = freqs_for_deadline(devices, {1.0}, 3.0, 1.0, 0.01);
   ASSERT_EQ(freqs.size(), 1u);
@@ -29,7 +29,7 @@ TEST(DeadlineSolver, FreqsInvertComputeTime) {
 }
 
 TEST(DeadlineSolver, FreqsClampToCap) {
-  std::vector<DeviceProfile> devices{device_with(2e9, 1e9)};
+  const FleetState devices(std::vector<DeviceProfile>{device_with(2e9, 1e9)});
   // Needs 2 GHz to fit but cap is 1 GHz.
   auto freqs = freqs_for_deadline(devices, {1.0}, 2.0, 1.0, 0.01);
   EXPECT_DOUBLE_EQ(freqs[0], 1e9);
@@ -39,15 +39,15 @@ TEST(DeadlineSolver, FreqsClampToCap) {
 }
 
 TEST(DeadlineSolver, FreqsClampToFloor) {
-  std::vector<DeviceProfile> devices{device_with(1e6, 1e9)};
+  const FleetState devices(std::vector<DeviceProfile>{device_with(1e6, 1e9)});
   // Tiny job, huge deadline: wants ~0 Hz, floor kicks in.
   auto freqs = freqs_for_deadline(devices, {0.0}, 1e6, 1.0, 0.01);
   EXPECT_DOUBLE_EQ(freqs[0], 0.01 * 1e9);
 }
 
 TEST(DeadlineSolver, MinMaxDeadlineOrdering) {
-  std::vector<DeviceProfile> devices{device_with(1e9, 1e9),
-                                     device_with(4e9, 2e9)};
+  const FleetState devices(std::vector<DeviceProfile>{device_with(1e9, 1e9),
+                                     device_with(4e9, 2e9)});
   std::vector<double> comm{1.0, 0.5};
   const double lo = min_deadline(devices, comm, 1.0);
   const double hi = max_deadline(devices, comm, 1.0, 0.01);
@@ -57,7 +57,7 @@ TEST(DeadlineSolver, MinMaxDeadlineOrdering) {
 }
 
 TEST(DeadlineSolver, PredictedCostDecomposition) {
-  std::vector<DeviceProfile> devices{device_with(1e9, 1e9)};
+  const FleetState devices(std::vector<DeviceProfile>{device_with(1e9, 1e9)});
   CostParams params;
   params.lambda = 0.5;
   const std::vector<double> comm{2.0};
@@ -75,7 +75,7 @@ TEST(DeadlineSolver, SingleDeviceAnalyticOptimum) {
   const double cycles = 1e9;
   const double lambda = 10.0;  // large lambda -> interior optimum
   const double alpha = 1e-27;
-  std::vector<DeviceProfile> devices{device_with(cycles, 5e9, alpha)};
+  const FleetState devices(std::vector<DeviceProfile>{device_with(cycles, 5e9, alpha)});
   CostParams params;
   params.lambda = lambda;
   const double comm = 1.0;
@@ -88,8 +88,8 @@ TEST(DeadlineSolver, SingleDeviceAnalyticOptimum) {
 
 TEST(DeadlineSolver, TinyLambdaRunsFullSpeed) {
   // lambda ~ 0: time dominates; every device should run at (or near) cap.
-  std::vector<DeviceProfile> devices{device_with(1e9, 1e9),
-                                     device_with(2e9, 1.5e9)};
+  const FleetState devices(std::vector<DeviceProfile>{device_with(1e9, 1e9),
+                                     device_with(2e9, 1.5e9)});
   CostParams params;
   params.lambda = 1e-12;
   auto sol = solve_deadline(devices, {0.5, 0.5}, params);
@@ -102,8 +102,8 @@ TEST(DeadlineSolver, TinyLambdaRunsFullSpeed) {
 TEST(DeadlineSolver, FasterDevicesThrottleToStraggler) {
   // The heart of the paper: the non-straggler lowers frequency to just
   // meet the straggler's finish time, saving energy for free.
-  std::vector<DeviceProfile> devices{device_with(1e9, 2e9),
-                                     device_with(4e9, 1e9)};
+  const FleetState devices(std::vector<DeviceProfile>{device_with(1e9, 2e9),
+                                     device_with(4e9, 1e9)});
   CostParams params;
   params.lambda = 0.1;
   auto sol = solve_deadline(devices, {1.0, 1.0}, params);
@@ -123,7 +123,7 @@ TEST_P(SolverVsGrid, GoldenSectionMatchesExhaustiveGrid) {
   Rng rng(GetParam());
   // Random fleet + random comm estimates + random lambda.
   FleetModel fm;
-  auto devices = make_fleet(4, fm, rng);
+  const FleetState devices(make_fleet(4, fm, rng));
   std::vector<double> comm;
   for (int i = 0; i < 4; ++i) comm.push_back(rng.uniform(0.5, 8.0));
   CostParams params;
@@ -148,7 +148,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SolverVsGrid,
                                            9999u));
 
 TEST(DeadlineSolver, SolveWithBandwidthsConvertsCorrectly) {
-  std::vector<DeviceProfile> devices{device_with(1e9, 1e9)};
+  const FleetState devices(std::vector<DeviceProfile>{device_with(1e9, 1e9)});
   CostParams params;
   params.model_bytes = 100.0;
   // Bandwidth 50 B/s -> comm 2 s; same as solving with comm = {2}.
@@ -159,7 +159,7 @@ TEST(DeadlineSolver, SolveWithBandwidthsConvertsCorrectly) {
 }
 
 TEST(DeadlineSolverDeathTest, BadInputsAbort) {
-  std::vector<DeviceProfile> devices{device_with(1e9, 1e9)};
+  const FleetState devices(std::vector<DeviceProfile>{device_with(1e9, 1e9)});
   CostParams params;
   EXPECT_DEATH(solve_deadline({}, {}, params), "precondition");
   EXPECT_DEATH(solve_with_bandwidths(devices, {0.0}, params), "precondition");

@@ -48,7 +48,7 @@ TEST(DrlController, FrequenciesWithinDeviceCaps) {
     ASSERT_EQ(freqs.size(), sim.num_devices());
     for (std::size_t i = 0; i < freqs.size(); ++i) {
       EXPECT_GT(freqs[i], 0.0);
-      EXPECT_LE(freqs[i], sim.devices()[i].max_freq_hz);
+      EXPECT_LE(freqs[i], sim.fleet().max_freq_hz(i));
     }
     sim.step(freqs, {});
   }
@@ -68,7 +68,7 @@ TEST(DrlController, StateMatchesEnvObservation) {
   DrlController c(*f.agent, f.env_cfg, f.bw_ref);
   auto freqs = c.decide(sim);
   for (std::size_t i = 0; i < freqs.size(); ++i) {
-    EXPECT_NEAR(freqs[i], env_action[i] * sim.devices()[i].max_freq_hz,
+    EXPECT_NEAR(freqs[i], env_action[i] * sim.fleet().max_freq_hz(i),
                 1e-9);
   }
 }
@@ -94,7 +94,7 @@ TEST(DrlController, WorksWithStateDependentStdPolicy) {
   ASSERT_EQ(freqs.size(), sim.num_devices());
   for (std::size_t i = 0; i < freqs.size(); ++i) {
     EXPECT_GT(freqs[i], 0.0);
-    EXPECT_LE(freqs[i], sim.devices()[i].max_freq_hz);
+    EXPECT_LE(freqs[i], sim.fleet().max_freq_hz(i));
   }
 }
 

@@ -114,7 +114,8 @@ TEST(EndToEnd, FederatedTrainingUnderScheduledFrequencies) {
   spec.sizes = {6, 16, 3};
   auto data = make_gaussian_mixture(900, 6, 3, data_rng, 2.0, 1.1);
   std::vector<double> weights;
-  for (const auto& d : sim.devices()) weights.push_back(d.dataset_bits);
+  for (std::size_t i = 0; i < sim.num_devices(); ++i)
+    weights.push_back(sim.fleet().dataset_bits(i));
   auto shards = split_proportional(data, weights, data_rng);
   std::vector<FlClient> clients;
   for (std::size_t i = 0; i < shards.size(); ++i) {

@@ -86,7 +86,8 @@ TEST(Evaluation, ObserveIsCalledEachIteration) {
     std::vector<double> decide(const SimulatorBase& sim) override {
       ++decides;
       std::vector<double> f;
-      for (const auto& d : sim.devices()) f.push_back(d.max_freq_hz);
+      for (std::size_t i = 0; i < sim.num_devices(); ++i)
+        f.push_back(sim.fleet().max_freq_hz(i));
       return f;
     }
     void observe(const IterationResult&) override { ++observes; }

@@ -25,9 +25,11 @@ TEST(ExperimentConfig, BuildSimulatorWiresEverything) {
   c.trace_samples = 200;
   auto sim = build_simulator(c);
   EXPECT_EQ(sim.num_devices(), 3u);
-  EXPECT_EQ(sim.traces().size(), 3u);
+  EXPECT_EQ(sim.trace_table().size(), 3u);
   EXPECT_DOUBLE_EQ(sim.params().lambda, 0.25);
-  for (const auto& t : sim.traces()) EXPECT_EQ(t.num_samples(), 200u);
+  for (std::size_t i = 0; i < sim.num_devices(); ++i) {
+    EXPECT_EQ(sim.trace(i).num_samples(), 200u);
+  }
 }
 
 TEST(ExperimentConfig, DeterministicBySeed) {
@@ -36,8 +38,8 @@ TEST(ExperimentConfig, DeterministicBySeed) {
   auto a = build_simulator(c);
   auto b = build_simulator(c);
   for (std::size_t i = 0; i < a.num_devices(); ++i) {
-    EXPECT_DOUBLE_EQ(a.devices()[i].dataset_bits, b.devices()[i].dataset_bits);
-    EXPECT_EQ(a.traces()[i].samples(), b.traces()[i].samples());
+    EXPECT_DOUBLE_EQ(a.fleet().dataset_bits(i), b.fleet().dataset_bits(i));
+    EXPECT_EQ(a.trace(i).samples(), b.trace(i).samples());
   }
 }
 
@@ -49,7 +51,7 @@ TEST(ExperimentConfig, SeedChangesFleet) {
   auto b = build_simulator(c);
   bool differs = false;
   for (std::size_t i = 0; i < a.num_devices(); ++i) {
-    if (a.devices()[i].dataset_bits != b.devices()[i].dataset_bits) {
+    if (a.fleet().dataset_bits(i) != b.fleet().dataset_bits(i)) {
       differs = true;
     }
   }
@@ -65,7 +67,7 @@ TEST(ExperimentConfig, ZeroPoolGivesPrivateTraces) {
   // All four traces distinct (each device gets its own stream).
   for (std::size_t i = 0; i < 4; ++i) {
     for (std::size_t j = i + 1; j < 4; ++j) {
-      EXPECT_NE(sim.traces()[i].samples(), sim.traces()[j].samples());
+      EXPECT_NE(sim.trace(i).samples(), sim.trace(j).samples());
     }
   }
 }
@@ -80,7 +82,7 @@ TEST(ExperimentConfig, SharedPoolReusesTraces) {
   bool any_shared = false;
   for (std::size_t i = 0; i < 50 && !any_shared; ++i) {
     for (std::size_t j = i + 1; j < 50; ++j) {
-      if (sim.traces()[i].samples() == sim.traces()[j].samples()) {
+      if (sim.trace(i).samples() == sim.trace(j).samples()) {
         any_shared = true;
         break;
       }

@@ -227,20 +227,6 @@ TEST(FaultSimulator, DisabledModelMatchesPlainOptionsBitExact) {
   }
 }
 
-TEST(FaultSimulator, DeprecatedStepMatchesStepOptionsBitExact) {
-  // The acceptance golden: legacy step(freqs) == step(freqs, {}).
-  FlSimulator legacy = one_device_sim();
-  FlSimulator fresh = one_device_sim();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto ra = legacy.step({0.5e9});
-  auto pa = legacy.preview({0.25e9}, 7.0);
-#pragma GCC diagnostic pop
-  auto rb = fresh.step({0.5e9}, {});
-  auto pb = fresh.preview({0.25e9}, StepOptions::dry_run(7.0));
-  expect_result_eq(ra, rb);
-  expect_result_eq(pa, pb);
-}
 
 TEST(FaultSimulator, StepSequenceDeterministicUnderFaults) {
   FlSimulator a({simple_device(), simple_device(2e9)},

@@ -84,7 +84,7 @@ TEST(OfflineTrainer, TrainedAgentDrivesController) {
   ASSERT_EQ(freqs.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_GT(freqs[i], 0.0);
-    EXPECT_LE(freqs[i], sim.devices()[i].max_freq_hz);
+    EXPECT_LE(freqs[i], sim.fleet().max_freq_hz(i));
   }
   // End-to-end: the controller runs through the evaluation harness.
   auto series = run_controller(sim, controller, 10);

@@ -45,7 +45,7 @@ TEST(OnlineAdaptation, ProducesValidFrequencies) {
     ASSERT_EQ(freqs.size(), sim.num_devices());
     for (std::size_t i = 0; i < freqs.size(); ++i) {
       EXPECT_GT(freqs[i], 0.0);
-      EXPECT_LE(freqs[i], sim.devices()[i].max_freq_hz * 1.0 + 1e-9);
+      EXPECT_LE(freqs[i], sim.fleet().max_freq_hz(i) * 1.0 + 1e-9);
     }
     controller.observe(sim.step(freqs, {}));
   }

@@ -109,7 +109,8 @@ TEST(DeadlineSelector, ObserveUpdatesEstimates) {
 TEST(SimulatorParticipation, ExcludedDevicesCostNothing) {
   auto sim = make_sim(3, 7);
   std::vector<double> freqs;
-  for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz);
+  for (std::size_t i = 0; i < sim.num_devices(); ++i)
+    freqs.push_back(sim.fleet().max_freq_hz(i));
   const std::vector<bool> mask{true, false, true};
   auto r = sim.step(freqs, StepOptions::with_participants(mask));
   EXPECT_FALSE(r.devices[1].participated);
@@ -123,7 +124,8 @@ TEST(SimulatorParticipation, ExcludedDevicesCostNothing) {
 TEST(SimulatorParticipation, DroppingStragglerShrinksMakespan) {
   auto sim = make_sim(3, 11);
   std::vector<double> freqs;
-  for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz);
+  for (std::size_t i = 0; i < sim.num_devices(); ++i)
+    freqs.push_back(sim.fleet().max_freq_hz(i));
   auto full = sim.preview(freqs, StepOptions::dry_run(0.0));
   // Identify the straggler and rerun without it.
   std::size_t straggler = 0;

@@ -574,7 +574,7 @@ TEST(ServedDrlController, FallbackBeforeAnyDecisionIsMaxFrequency) {
   const auto freqs = served.decide(sim);
   ASSERT_EQ(freqs.size(), sim.num_devices());
   for (std::size_t i = 0; i < freqs.size(); ++i) {
-    EXPECT_EQ(freqs[i], sim.devices()[i].max_freq_hz);
+    EXPECT_EQ(freqs[i], sim.fleet().max_freq_hz(i));
   }
   EXPECT_EQ(served.fallbacks(), 1u);
 }

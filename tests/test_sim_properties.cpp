@@ -25,10 +25,10 @@ class SimProperties : public ::testing::TestWithParam<std::uint64_t> {
 
   std::vector<double> random_freqs(const SimulatorBase& sim, Rng& rng) {
     std::vector<double> freqs;
-    for (const auto& d : sim.devices()) {
+    for (std::size_t i = 0; i < sim.num_devices(); ++i) {
       // Deliberately out-of-range values included: negatives, zeros, and
       // absurdly high frequencies must all be handled by clamping.
-      freqs.push_back(rng.uniform(-1e9, 3.0 * d.max_freq_hz));
+      freqs.push_back(rng.uniform(-1e9, 3.0 * sim.fleet().max_freq_hz(i)));
     }
     return freqs;
   }
@@ -76,11 +76,11 @@ TEST_P(SimProperties, FrequenciesAlwaysClamped) {
   Rng rng(GetParam() ^ 0x1234ULL);
   for (int k = 0; k < 10; ++k) {
     auto r = sim.step(random_freqs(sim, rng), {});
-    for (std::size_t i = 0; i < r.devices.size(); ++i) {
-      const auto& dev = sim.devices()[i];
-      EXPECT_GE(r.devices[i].freq_hz,
-                FlSimulator::kMinFreqFraction * dev.max_freq_hz - 1e-9);
-      EXPECT_LE(r.devices[i].freq_hz, dev.max_freq_hz + 1e-9);
+    for (std::size_t i = 0; i < r.num_device_slots(); ++i) {
+      const double max_hz = sim.fleet().max_freq_hz(i);
+      EXPECT_GE(r.outcome(i).freq_hz,
+                FlSimulator::kMinFreqFraction * max_hz - 1e-9);
+      EXPECT_LE(r.outcome(i).freq_hz, max_hz + 1e-9);
     }
   }
 }

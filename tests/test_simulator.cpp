@@ -171,7 +171,8 @@ TEST(Simulator, RealisticTraceIterationSequence) {
   double t_prev = sim.now();
   for (int k = 0; k < 20; ++k) {
     std::vector<double> freqs;
-    for (const auto& d : sim.devices()) freqs.push_back(d.max_freq_hz);
+    for (std::size_t i = 0; i < sim.num_devices(); ++i)
+      freqs.push_back(sim.fleet().max_freq_hz(i));
     auto r = sim.step(freqs, {});
     EXPECT_GT(r.iteration_time, 0.0);
     EXPECT_GT(r.cost, 0.0);

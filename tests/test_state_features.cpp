@@ -32,7 +32,7 @@ TEST(StateFeatures, FeatureValuesMatchDeviceProfiles) {
   cfg.include_device_features = true;
   cfg.history_slots = 1;  // 2 bandwidth slots + 3 features per device
   auto sim = make_sim(2);
-  const auto devices = sim.devices();
+  const std::vector<DeviceProfile> devices = sim.fleet_state().to_profiles();
   const double tau = sim.params().tau;
   FlEnv env(std::move(sim), cfg);
   auto s = env.reset_at(50.0);

@@ -118,7 +118,7 @@ int cmd_solve(const ArgParser& args) {
   cfg.num_devices = bandwidths.size();
   cfg.trace_pool = 0;
   Rng rng(cfg.seed);
-  auto fleet = make_fleet(cfg.num_devices, cfg.fleet, rng);
+  const FleetState fleet(make_fleet(cfg.num_devices, cfg.fleet, rng));
   auto sol = solve_with_bandwidths(fleet, bandwidths, cfg.cost);
   std::printf("deadline T* = %.4f s, predicted cost = %.4f\n", sol.deadline,
               sol.predicted_cost);
@@ -126,8 +126,8 @@ int cmd_solve(const ArgParser& args) {
               "t_cmp (s)");
   for (std::size_t i = 0; i < fleet.size(); ++i) {
     std::printf("%-8zu %14.4f %14.4f %12.4f\n", i, sol.freqs_hz[i] / 1e9,
-                fleet[i].max_freq_hz / 1e9,
-                fleet[i].compute_time(sol.freqs_hz[i], cfg.cost.tau));
+                fleet.max_freq_hz()[i] / 1e9,
+                fleet.device(i).compute_time(sol.freqs_hz[i], cfg.cost.tau));
   }
   return 0;
 }
