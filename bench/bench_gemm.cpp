@@ -287,14 +287,19 @@ void write_json(const std::string& path, bool smoke, int reps,
         off.alloc_bytes_per_step > 0.0
             ? 1.0 - on.alloc_bytes_per_step / off.alloc_bytes_per_step
             : 0.0;
+    // Boolean gate (kExact in bench_obs --compare): the reuse path must
+    // not cost time for its allocation savings. 10% slack absorbs
+    // measurement noise on the short smoke runs.
+    const bool not_slower = on.ns_per_step <= off.ns_per_step * 1.10;
     os << "  \"" << key << "\": {\"ns_reuse\": " << on.ns_per_step
        << ", \"ns_legacy\": " << off.ns_per_step
        << ", \"alloc_bytes_reuse\": " << on.alloc_bytes_per_step
        << ", \"alloc_bytes_legacy\": " << off.alloc_bytes_per_step
        << ", \"allocs_reuse\": " << on.allocs_per_step
        << ", \"allocs_legacy\": " << off.allocs_per_step
-       << ", \"alloc_reduction\": " << reduction << "}"
-       << (last ? "" : ",") << "\n";
+       << ", \"alloc_reduction\": " << reduction
+       << ", \"reuse_not_slower\": " << (not_slower ? "true" : "false")
+       << "}" << (last ? "" : ",") << "\n";
   };
   train_obj("ppo_update", ppo_on, ppo_off, false);
   train_obj("fedavg_round", fed_on, fed_off, true);
@@ -349,12 +354,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::size_t train_steps = smoke ? 2 : 20;
+  // Four smoke steps, not two: the reuse_not_slower gate needs the mean to
+  // sit above scheduler noise, and a PPO update is ~6 ms either way.
+  const std::size_t train_steps = smoke ? 4 : 20;
   const std::size_t warmup = smoke ? 1 : 3;
-  const TrainStats ppo_on = measure_ppo(true, train_steps, warmup);
-  const TrainStats ppo_off = measure_ppo(false, train_steps, warmup);
-  const TrainStats fed_on = measure_fedavg(true, train_steps, warmup);
-  const TrainStats fed_off = measure_fedavg(false, train_steps, warmup);
+  // Each config is measured twice and keeps its best mean: the
+  // reuse_not_slower gates compare paths that are near time-parity, so a
+  // single noisy mean would flip them. Alloc counts are deterministic —
+  // either run reports the same ones.
+  auto best_of = [](TrainStats a, const TrainStats& b) {
+    if (b.ns_per_step < a.ns_per_step) a.ns_per_step = b.ns_per_step;
+    return a;
+  };
+  const TrainStats ppo_on = best_of(measure_ppo(true, train_steps, warmup),
+                                    measure_ppo(true, train_steps, warmup));
+  const TrainStats ppo_off = best_of(measure_ppo(false, train_steps, warmup),
+                                     measure_ppo(false, train_steps, warmup));
+  const TrainStats fed_on =
+      best_of(measure_fedavg(true, train_steps, warmup),
+              measure_fedavg(true, train_steps, warmup));
+  const TrainStats fed_off =
+      best_of(measure_fedavg(false, train_steps, warmup),
+              measure_fedavg(false, train_steps, warmup));
 
   auto print_train = [](const char* what, const TrainStats& on,
                         const TrainStats& off) {

@@ -10,9 +10,13 @@
 #   3. perf: smoke-run the perf harnesses and diff them against the
 #      checked-in bench/baselines/ snapshots (`-L perf`); this leg also
 #      enforces bench_serve's batched-vs-sequential speedup floor and
-#      bit-exactness flag, and bench_fleet's engine-vs-scalar-oracle
-#      bitwise pricing contract (50 → 1M devices, pools {1,2,8}), via
-#      each bench's own exit code.
+#      bit-exactness flag, bench_fleet's engine-vs-scalar-oracle
+#      bitwise pricing contract (50 → 1M devices, pools {1,2,8}),
+#      bench_gemm's reuse-not-slower gates, and bench_obs's async-ledger
+#      overhead ceiling plus hardware-graded training-speedup floor, via
+#      each bench's own exit code (gate booleans in the JSON are also
+#      compared one-way against the baselines: a holding gate must keep
+#      holding).
 #
 #   scripts/check.sh          # all three legs
 #   scripts/check.sh --fast   # tier-1 only

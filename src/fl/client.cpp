@@ -24,6 +24,14 @@ FlClient::FlClient(Dataset data, const ModelSpec& spec, std::uint64_t seed)
 ClientUpdate FlClient::train_round(const std::vector<Matrix>& global_params,
                                    const LocalTrainConfig& config,
                                    std::size_t round_index) {
+  ClientUpdate update;
+  train_round_into(global_params, config, round_index, update);
+  return update;
+}
+
+void FlClient::train_round_into(const std::vector<Matrix>& global_params,
+                                const LocalTrainConfig& config,
+                                std::size_t round_index, ClientUpdate& out) {
   FEDRA_EXPECTS(config.tau > 0.0);
   FEDRA_EXPECTS(config.batch_size > 0);
   namespace tel = fedra::telemetry;
@@ -48,8 +56,7 @@ ClientUpdate FlClient::train_round(const std::vector<Matrix>& global_params,
       config.tau * static_cast<double>(n) /
       static_cast<double>(config.batch_size)));
 
-  ClientUpdate update;
-  update.num_samples = n;
+  out.num_samples = n;
   double loss_acc = 0.0;
   std::size_t batches_done = 0;
   while (batches_done < total_batches) {
@@ -71,10 +78,15 @@ ClientUpdate FlClient::train_round(const std::vector<Matrix>& global_params,
       loss_acc += loss_.value;
     }
   }
-  update.avg_loss =
+  out.avg_loss =
       batches_done > 0 ? loss_acc / static_cast<double>(batches_done) : 0.0;
-  update.params = model_.param_values();
-  return update;
+  // Copy the trained parameters into the caller's (capacity-reused)
+  // buffers instead of deep-allocating a fresh snapshot every round.
+  const auto ps = model_.params();
+  out.params.resize(ps.size());
+  for (std::size_t p = 0; p < ps.size(); ++p) {
+    out.params[p].assign_from(*ps[p]);
+  }
 }
 
 double FlClient::local_loss(const std::vector<Matrix>& params) {

@@ -51,6 +51,14 @@ class FlClient {
                            const LocalTrainConfig& config,
                            std::size_t round_index);
 
+  /// Capacity-reusing variant: writes the update into `out`, reusing its
+  /// parameter matrices' heap blocks (shapes are fixed by the topology, so
+  /// after the first round this path performs zero tensor allocations —
+  /// the residual the fedavg_round bench used to charge to param_values()).
+  void train_round_into(const std::vector<Matrix>& global_params,
+                        const LocalTrainConfig& config,
+                        std::size_t round_index, ClientUpdate& out);
+
   /// F_i(w) of Eq. (7): mean loss of `params` on the local data.
   double local_loss(const std::vector<Matrix>& params);
 

@@ -60,7 +60,11 @@ RoundMetrics FedAvgServer::run_round(
   }
 
   const std::size_t n = roster.size();
-  std::vector<ClientUpdate> updates(n);
+  // Round-persistent update slots: grown once, never shrunk, so the
+  // parameter matrices inside keep their heap blocks across rounds
+  // (train_round_into assigns into them with capacity reuse).
+  if (updates_.size() < n) updates_.resize(n);
+  std::vector<ClientUpdate>& updates = updates_;
   // Per-device local training is embarrassingly parallel: each client owns
   // its model replica and dataset; `updates` slots are disjoint. Clients
   // whose upload will be lost still train — that compute is the waste the
@@ -68,8 +72,8 @@ RoundMetrics FedAvgServer::run_round(
   {
     FEDRA_TRACE_SPAN("local_train");
     pool.parallel_for(0, n, [&](std::size_t i) {
-      updates[i] =
-          clients_[roster[i]].train_round(global_params_, config, round_);
+      clients_[roster[i]].train_round_into(global_params_, config, round_,
+                                           updates[i]);
     });
   }
 
@@ -131,7 +135,7 @@ RoundMetrics FedAvgServer::run_round(
   m.global_loss = global_loss();
   m.global_accuracy = global_accuracy();
   double loss_sum = 0.0;
-  for (const auto& u : updates) loss_sum += u.avg_loss;
+  for (std::size_t i = 0; i < n; ++i) loss_sum += updates[i].avg_loss;
   m.mean_client_loss = loss_sum / static_cast<double>(n);
   FEDRA_TELEMETRY_IF {
     if (obs::RunLedger::enabled()) {

@@ -84,8 +84,11 @@ class FedAvgServer {
 
   // Server-side scratch reused across rounds: the aggregation accumulators
   // (swapped with global_params_ each round, so both sides keep their
-  // capacity) and the evaluation workspace for global_accuracy().
+  // capacity), the per-slot client updates (their parameter matrices keep
+  // their heap blocks via train_round_into), and the evaluation workspace
+  // for global_accuracy().
   std::vector<Matrix> agg_scratch_;
+  std::vector<ClientUpdate> updates_;
   Workspace eval_ws_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/fused.hpp"
 #include "tensor/ops.hpp"
 
 namespace fedra {
@@ -27,9 +28,8 @@ Matrix ReLU::backward(const Matrix& grad_output) {
 void ReLU::forward_into(const Matrix& input, Matrix& out) {
   input_ref_ = &input;
   out.resize_reuse(input.rows(), input.cols());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    out[i] = input[i] > 0.0 ? input[i] : 0.0;
-  }
+  // SIMD map, bit-identical to `x > 0 ? x : 0` (incl. NaN / -0.0).
+  relu_map(input.data(), out.data(), input.size());
 }
 
 void ReLU::backward_into(const Matrix& grad_output, Matrix& grad_in) {
@@ -37,9 +37,7 @@ void ReLU::backward_into(const Matrix& grad_output, Matrix& grad_in) {
   const Matrix& x = *input_ref_;
   FEDRA_EXPECTS(grad_output.same_shape(x));
   grad_in.resize_reuse(x.rows(), x.cols());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    grad_in[i] = x[i] <= 0.0 ? 0.0 : grad_output[i];
-  }
+  relu_backward_map(grad_output.data(), x.data(), grad_in.data(), x.size());
 }
 
 Matrix LeakyReLU::forward(const Matrix& input) {
@@ -58,9 +56,7 @@ Matrix LeakyReLU::backward(const Matrix& grad_output) {
 void LeakyReLU::forward_into(const Matrix& input, Matrix& out) {
   input_ref_ = &input;
   out.resize_reuse(input.rows(), input.cols());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    out[i] = input[i] > 0.0 ? input[i] : slope_ * input[i];
-  }
+  leaky_relu_map(input.data(), slope_, out.data(), input.size());
 }
 
 void LeakyReLU::backward_into(const Matrix& grad_output, Matrix& grad_in) {
@@ -68,9 +64,8 @@ void LeakyReLU::backward_into(const Matrix& grad_output, Matrix& grad_in) {
   const Matrix& x = *input_ref_;
   FEDRA_EXPECTS(grad_output.same_shape(x));
   grad_in.resize_reuse(x.rows(), x.cols());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    grad_in[i] = x[i] <= 0.0 ? slope_ * grad_output[i] : grad_output[i];
-  }
+  leaky_relu_backward_map(grad_output.data(), x.data(), slope_,
+                          grad_in.data(), x.size());
 }
 
 Matrix Tanh::forward(const Matrix& input) {
@@ -86,7 +81,13 @@ Matrix Tanh::backward(const Matrix& grad_output) {
 
 void Tanh::forward_into(const Matrix& input, Matrix& out) {
   out.resize_reuse(input.rows(), input.cols());
-  for (std::size_t i = 0; i < input.size(); ++i) out[i] = std::tanh(input[i]);
+  if (fast_activations_enabled()) {
+    fast_tanh_map(input.data(), out.data(), input.size());
+  } else {
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      out[i] = std::tanh(input[i]);
+    }
+  }
   output_ref_ = &out;  // derivative reads the output, wherever it lives
 }
 
@@ -95,9 +96,7 @@ void Tanh::backward_into(const Matrix& grad_output, Matrix& grad_in) {
   const Matrix& y = *output_ref_;
   FEDRA_EXPECTS(grad_output.same_shape(y));
   grad_in.resize_reuse(y.rows(), y.cols());
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    grad_in[i] = grad_output[i] * (1.0 - y[i] * y[i]);
-  }
+  tanh_backward_map(grad_output.data(), y.data(), grad_in.data(), y.size());
 }
 
 Matrix Sigmoid::forward(const Matrix& input) {
@@ -113,14 +112,18 @@ Matrix Sigmoid::backward(const Matrix& grad_output) {
 
 void Sigmoid::forward_into(const Matrix& input, Matrix& out) {
   out.resize_reuse(input.rows(), input.cols());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    const double x = input[i];
-    // Split on sign to avoid overflow in exp.
-    if (x >= 0.0) {
-      out[i] = 1.0 / (1.0 + std::exp(-x));
-    } else {
-      const double e = std::exp(x);
-      out[i] = e / (1.0 + e);
+  if (fast_activations_enabled()) {
+    fast_sigmoid_map(input.data(), out.data(), input.size());
+  } else {
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      const double x = input[i];
+      // Split on sign to avoid overflow in exp.
+      if (x >= 0.0) {
+        out[i] = 1.0 / (1.0 + std::exp(-x));
+      } else {
+        const double e = std::exp(x);
+        out[i] = e / (1.0 + e);
+      }
     }
   }
   output_ref_ = &out;
@@ -131,22 +134,30 @@ void Sigmoid::backward_into(const Matrix& grad_output, Matrix& grad_in) {
   const Matrix& y = *output_ref_;
   FEDRA_EXPECTS(grad_output.same_shape(y));
   grad_in.resize_reuse(y.rows(), y.cols());
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    grad_in[i] = grad_output[i] * (y[i] * (1.0 - y[i]));
-  }
+  sigmoid_backward_map(grad_output.data(), y.data(), grad_in.data(),
+                       y.size());
 }
 
 void softmax_rows_into(const Matrix& logits, Matrix& out) {
-  if (&out != &logits) out.assign_from(logits);
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    auto row = out.row(i);
-    const double mx = *std::max_element(row.begin(), row.end());
-    double z = 0.0;
-    for (auto& v : row) {
-      v = std::exp(v - mx);
-      z += v;
+  // No upfront copy: the shifted logits are written straight into `out`
+  // (aliasing-safe — each element is read once before it is overwritten),
+  // then exponentiated in place and normalized. With fast_activations off
+  // this computes exactly the legacy copy-then-transform element sequence.
+  if (&out != &logits) out.resize_reuse(logits.rows(), logits.cols());
+  const std::size_t cols = logits.cols();
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    auto src = logits.row(i);
+    const double mx = *std::max_element(src.begin(), src.end());
+    double* o = out.data() + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) o[j] = src[j] - mx;
+    if (fast_activations_enabled()) {
+      fast_exp_map(o, o, cols);
+    } else {
+      for (std::size_t j = 0; j < cols; ++j) o[j] = std::exp(o[j]);
     }
-    for (auto& v : row) v /= z;
+    double z = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) z += o[j];
+    for (std::size_t j = 0; j < cols; ++j) o[j] /= z;
   }
 }
 

@@ -43,6 +43,11 @@ class Tanh final : public Layer {
   void backward_into(const Matrix& grad_output, Matrix& grad_in) override;
   std::string name() const override { return "Tanh"; }
 
+  /// Fusion hook (nn/fused.hpp): when Sequential computes this layer's
+  /// output via the fused dense+bias+activation pass, it binds the fused
+  /// result here so a later backward_into reads the right y.
+  void bind_output(const Matrix& y) { output_ref_ = &y; }
+
  private:
   Matrix cached_output_;
   const Matrix* output_ref_ = nullptr;
@@ -55,6 +60,9 @@ class Sigmoid final : public Layer {
   void forward_into(const Matrix& input, Matrix& out) override;
   void backward_into(const Matrix& grad_output, Matrix& grad_in) override;
   std::string name() const override { return "Sigmoid"; }
+
+  /// Fusion hook; see Tanh::bind_output.
+  void bind_output(const Matrix& y) { output_ref_ = &y; }
 
  private:
   Matrix cached_output_;

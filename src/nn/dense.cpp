@@ -68,4 +68,20 @@ void Dense::backward_into(const Matrix& grad_output, Matrix& grad_in) {
   matmul_a_bt_into(grad_output, weight_, grad_in);
 }
 
+void Dense::forward_gemm_into(const Matrix& input, Matrix& pre) {
+  FEDRA_EXPECTS(input.cols() == weight_.rows());
+  input_ref_ = &input;  // caller keeps `input` alive until backward
+  matmul_into(input, weight_, pre);
+}
+
+void Dense::backward_gemms_into(const Matrix& grad_pre, Matrix& grad_in) {
+  FEDRA_EXPECTS(input_ref_ != nullptr);
+  const Matrix& x = *input_ref_;
+  FEDRA_EXPECTS(grad_pre.rows() == x.rows());
+  FEDRA_EXPECTS(grad_pre.cols() == weight_.cols());
+  matmul_at_b_into(x, grad_pre, gw_scratch_);
+  grad_weight_ += gw_scratch_;
+  matmul_a_bt_into(grad_pre, weight_, grad_in);
+}
+
 }  // namespace fedra

@@ -34,6 +34,18 @@ class Dense final : public Layer {
   Matrix& weight() { return weight_; }
   Matrix& bias() { return bias_; }
 
+  // --- fusion hooks (nn/fused.hpp; driven by Sequential) -------------------
+  // Forward split: GEMM only, bias folded into the activation pass by the
+  // caller. `pre` = x W (NO bias); input pointer cached as usual.
+  void forward_gemm_into(const Matrix& input, Matrix& pre);
+  // Backward split for a caller-computed dLoss/dPre: accumulates dW and
+  // writes dX. The bias gradient goes through bias_grad_scratch() +
+  // accumulate_bias_grad() (filled by the fused dAct·colsum pass), keeping
+  // the accumulate-into-scratch-then-add order of backward_into.
+  void backward_gemms_into(const Matrix& grad_pre, Matrix& grad_in);
+  Matrix& bias_grad_scratch() { return gb_scratch_; }
+  void accumulate_bias_grad() { grad_bias_ += gb_scratch_; }
+
  private:
   Matrix weight_;
   Matrix bias_;

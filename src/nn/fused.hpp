@@ -1,0 +1,129 @@
+// Fused / vectorized elementwise kernels for the NN training hot path.
+//
+// Two independent levers (both thread-safe, flip only between steps):
+//
+//  * fast_activations (default ON): exp-based tanh/sigmoid/softmax-exp
+//    evaluated by a shared polynomial operation DAG with runtime
+//    AVX-512F / AVX2 / scalar dispatch. The three tiers execute the SAME
+//    per-element operation sequence (explicit mul-then-add, no FMA
+//    contraction), so results are bit-identical across tiers and across
+//    any batch composition — but NOT bit-identical to libm (absolute
+//    error < ~1e-15; goldens are recorded with this lever ON). Turning it
+//    OFF restores the libm (std::tanh / std::exp) paths — the honest
+//    "before" lever bench_gemm and bench_obs use.
+//
+//  * fused_kernels (default ON): pass fusion on the Sequential workspace
+//    path — dense+bias+activation forward in one sweep, and the
+//    dGrad·dAct derivative map fused with the bias-gradient column sum on
+//    backward. Fusion only regroups traversals, never the per-element
+//    arithmetic, so this lever is bit-identical ON vs OFF (enforced by
+//    tests/test_fused_kernels.cpp against the *_reference oracles and by
+//    the golden-trajectory fusion check).
+//
+// ReLU-family maps and the pure-arithmetic derivative maps are SIMD'd
+// unconditionally: they are bit-identical to the naive scalar loops by
+// construction (including NaN and signed-zero semantics).
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/matrix.hpp"
+
+namespace fedra {
+
+bool fast_activations_enabled();
+void set_fast_activations(bool enabled);
+bool fused_kernels_enabled();
+void set_fused_kernels(bool enabled);
+
+/// Activation kinds the pass-fusion engine understands. Only
+/// output-derivative activations qualify: their backward reads the
+/// activation OUTPUT y, so the fused forward never needs to keep the
+/// pre-activation alive (ReLU-family backward reads the input x and has
+/// different NaN semantics through y, so it stays on the unfused path).
+enum class FusedAct { Tanh, Sigmoid };
+
+// ---------------------------------------------------------------------------
+// Vectorized transcendental maps (runtime AVX-512F / AVX2 / scalar
+// dispatch; in-place allowed, i.e. out may equal x). Each has a scalar
+// `_reference` executing the identical operation DAG — the oracle the
+// dispatch tiers must match bit-for-bit.
+// ---------------------------------------------------------------------------
+
+/// Saturating exp: the argument is clamped to [-745, 709] (full double
+/// range of finite exp results), so the map never produces inf from
+/// finite input. NaN propagates.
+void fast_exp_map(const double* x, double* out, std::size_t n);
+double fast_exp_reference(double x);
+
+void fast_tanh_map(const double* x, double* out, std::size_t n);
+double fast_tanh_reference(double x);
+
+void fast_sigmoid_map(const double* x, double* out, std::size_t n);
+double fast_sigmoid_reference(double x);
+
+// ---------------------------------------------------------------------------
+// ReLU-family forward maps and activation derivative maps: SIMD with
+// exact scalar semantics (bit-identical to the reference loops for every
+// input including NaN / ±0 / denormals).
+// ---------------------------------------------------------------------------
+
+void relu_map(const double* x, double* out, std::size_t n);
+void relu_map_reference(const double* x, double* out, std::size_t n);
+
+void leaky_relu_map(const double* x, double slope, double* out,
+                    std::size_t n);
+void leaky_relu_map_reference(const double* x, double slope, double* out,
+                              std::size_t n);
+
+/// grad_in[i] = g[i] for x[i] > 0 (or NaN), else 0 — the ReLU backward.
+void relu_backward_map(const double* g, const double* x, double* grad_in,
+                       std::size_t n);
+void relu_backward_map_reference(const double* g, const double* x,
+                                 double* grad_in, std::size_t n);
+
+void leaky_relu_backward_map(const double* g, const double* x, double slope,
+                             double* grad_in, std::size_t n);
+void leaky_relu_backward_map_reference(const double* g, const double* x,
+                                       double slope, double* grad_in,
+                                       std::size_t n);
+
+/// grad_in[i] = g[i] * (1 - y[i]*y[i]) — tanh derivative from the output.
+void tanh_backward_map(const double* g, const double* y, double* grad_in,
+                       std::size_t n);
+void tanh_backward_map_reference(const double* g, const double* y,
+                                 double* grad_in, std::size_t n);
+
+/// grad_in[i] = g[i] * (y[i] * (1 - y[i])) — sigmoid derivative.
+void sigmoid_backward_map(const double* g, const double* y, double* grad_in,
+                          std::size_t n);
+void sigmoid_backward_map_reference(const double* g, const double* y,
+                                    double* grad_in, std::size_t n);
+
+// ---------------------------------------------------------------------------
+// Fused passes (Sequential workspace path).
+// ---------------------------------------------------------------------------
+
+/// out = act(pre + bias), one sweep: the bias broadcast is folded into
+/// the activation pass instead of mutating `pre` in place first.
+/// Bit-identical to add_row_broadcast + the activation's forward map
+/// (same two ops per element, in the same order). `bias` is 1 x cols;
+/// `out` must not alias `pre`. Honors fast_activations for the
+/// transcendental.
+void bias_act_into(const Matrix& pre, const Matrix& bias, FusedAct act,
+                   Matrix& out);
+void bias_act_into_reference(const Matrix& pre, const Matrix& bias,
+                             FusedAct act, Matrix& out);
+
+/// dpre = g ⊙ act'(y) and colsum[j] = Σ_i dpre(i, j) in one traversal.
+/// Column sums accumulate rows in ascending order — exactly the order
+/// col_sum_into uses on the separately materialized dpre, so the fused
+/// bias gradient is bit-identical to the unfused one. `colsum` is
+/// re-dimensioned to 1 x cols.
+void act_backward_colsum_into(const Matrix& g, const Matrix& y, FusedAct act,
+                              Matrix& dpre, Matrix& colsum);
+void act_backward_colsum_into_reference(const Matrix& g, const Matrix& y,
+                                        FusedAct act, Matrix& dpre,
+                                        Matrix& colsum);
+
+}  // namespace fedra

@@ -2,9 +2,41 @@
 
 #include "nn/activations.hpp"
 #include "nn/dense.hpp"
+#include "nn/fused.hpp"
 #include "tensor/serialize.hpp"
 
 namespace fedra {
+
+namespace {
+
+// Pair-fusion probe: layers_[i] = Dense and layers_[i+1] = Tanh/Sigmoid
+// (the output-derivative activations; see nn/fused.hpp for why the ReLU
+// family stays layer-by-layer). Returns the activation kind and a hook to
+// bind the fused output so a later backward finds its y.
+struct FusablePair {
+  Dense* dense = nullptr;
+  FusedAct act{};
+  Tanh* tanh = nullptr;
+  Sigmoid* sigmoid = nullptr;
+};
+
+bool probe_fusable(Layer& a, Layer& b, FusablePair& pair) {
+  pair.dense = dynamic_cast<Dense*>(&a);
+  if (pair.dense == nullptr) return false;
+  pair.tanh = dynamic_cast<Tanh*>(&b);
+  if (pair.tanh != nullptr) {
+    pair.act = FusedAct::Tanh;
+    return true;
+  }
+  pair.sigmoid = dynamic_cast<Sigmoid*>(&b);
+  if (pair.sigmoid != nullptr) {
+    pair.act = FusedAct::Sigmoid;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 void Sequential::add(LayerPtr layer) {
   FEDRA_EXPECTS(layer != nullptr);
@@ -33,6 +65,26 @@ const Matrix& Sequential::forward_cached(const Matrix& input, Workspace& ws) {
   }
   const Matrix* cur = &input;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
+    FusablePair pair;
+    if (fused_kernels_enabled() && i + 1 < layers_.size() &&
+        probe_fusable(*layers_[i], *layers_[i + 1], pair)) {
+      // Fused dense+bias+activation: slot(i) receives the bias-free GEMM
+      // (nothing reads it again — the activation derivative comes from the
+      // OUTPUT), slot(i+1) = act(pre + b) in one sweep. Bit-identical to
+      // the layer-by-layer path.
+      Matrix& pre = ws.slot(i);
+      Matrix& out = ws.slot(i + 1);
+      pair.dense->forward_gemm_into(*cur, pre);
+      bias_act_into(pre, pair.dense->bias(), pair.act, out);
+      if (pair.tanh != nullptr) {
+        pair.tanh->bind_output(out);
+      } else {
+        pair.sigmoid->bind_output(out);
+      }
+      cur = &out;
+      ++i;
+      continue;
+    }
     Matrix& out = ws.slot(i);
     layers_[i]->forward_into(*cur, out);
     cur = &out;
@@ -49,9 +101,27 @@ const Matrix& Sequential::backward_cached(const Matrix& grad_output,
   }
   const Matrix* cur = &grad_output;
   std::size_t pp = 0;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+  for (std::size_t k = layers_.size(); k-- > 0;) {
+    FusablePair pair;
+    if (fused_kernels_enabled() && k >= 1 &&
+        probe_fusable(*layers_[k - 1], *layers_[k], pair)) {
+      // Fused activation-derivative + bias-gradient column sum in one
+      // sweep (y lives in slot(k) under the workspace contract), then the
+      // two dense GEMMs. Buffer parity matches the unfused pair exactly:
+      // dpre lands where the activation would have written, grad_in where
+      // the dense would have.
+      Matrix& dpre = ws.grad(pp);
+      act_backward_colsum_into(*cur, ws.slot(k), pair.act, dpre,
+                               pair.dense->bias_grad_scratch());
+      pair.dense->accumulate_bias_grad();
+      Matrix& gin = ws.grad(pp ^ 1);
+      pair.dense->backward_gemms_into(dpre, gin);
+      cur = &gin;  // pp flips twice across the pair — net unchanged
+      --k;
+      continue;
+    }
     Matrix& gin = ws.grad(pp);
-    (*it)->backward_into(*cur, gin);  // reads *cur, writes the other buffer
+    layers_[k]->backward_into(*cur, gin);  // reads *cur, writes the other
     cur = &gin;
     pp ^= 1;
   }

@@ -21,9 +21,20 @@
 // with telemetry off the hot path pays the same single relaxed load it
 // already paid, and zero heap allocations (verified in tests/test_obs.cpp).
 //
-// All doubles are written with "%.17g" so readers recover them bit-exactly;
-// tests/test_obs.cpp checks that the parsed per-round decomposition sums
-// bit-exactly to the simulator's reported T^k + lambda*Sigma E.
+// All doubles are written with std::to_chars shortest round-trip form, so
+// readers recover them bit-exactly (and formatting costs ~10x less than
+// the old "%.17g" snprintf); tests/test_obs.cpp checks that the parsed
+// per-round decomposition sums bit-exactly to the simulator's reported
+// T^k + lambda*Sigma E.
+//
+// Writing mode: by default (LedgerConfig::async) the hot thread only
+// serializes each record into a binary frame pushed into a bounded ring
+// (src/obs/async_writer.hpp); a background drainer formats the JSONL.
+// Overflowing frames are dropped whole and counted (dropped_records() +
+// the obs.ledger.dropped telemetry counter) — recording never blocks the
+// simulation. flush()/disable() wait for the drainer, so after either the
+// file is byte-identical to what the synchronous writer would have
+// produced. Set async=false for the strictly synchronous legacy behavior.
 #pragma once
 
 #include <atomic>
@@ -121,6 +132,12 @@ struct LedgerConfig {
   /// round must not write a million JSON objects per line); the remainder
   /// is counted in RoundRecord::devices_omitted. 0 = no per-device rows.
   std::size_t max_device_rows = 1024;
+  /// Hand records to a background drainer thread through a bounded binary
+  /// ring instead of formatting JSON on the recording thread. Overflow
+  /// drops (counted), never blocks.
+  bool async = true;
+  /// Ring capacity in bytes (rounded up to a power of two, min 4 KiB).
+  std::size_t ring_bytes = 1 << 20;
 };
 
 /// Process-global ledger sink, modeled on telemetry::Telemetry: one
@@ -136,12 +153,18 @@ class RunLedger {
   /// Opens `config.path` (truncating) and writes the header line.
   /// Returns false (and stays disabled) if the file cannot be opened.
   static bool enable(const LedgerConfig& config);
-  /// Flushes and closes the file.  Idempotent.
+  /// Drains the async writer (if any), flushes and closes the file.
+  /// Idempotent.
   static void disable();
+  /// Async mode: waits until every accepted record reached the file, then
+  /// flushes it. Sync mode: flushes the stream.
   static void flush();
   static const LedgerConfig& config();
-  /// Records written since enable() (header excluded).
+  /// Records accepted since enable() (header excluded). In async mode an
+  /// accepted record is guaranteed to reach the file by the next flush().
   static std::uint64_t records_written();
+  /// Records dropped by the async ring since enable() (0 in sync mode).
+  static std::uint64_t dropped_records();
 
   static void record_round(const RoundRecord& record);
   static void record_decision(const DecisionRecord& record);

@@ -1,0 +1,175 @@
+#include "rl/block_grads.hpp"
+
+#include <algorithm>
+
+#include "nn/workspace.hpp"
+#include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fedra {
+
+// One replica per block. Replicas persist across passes (grow-only), so a
+// steady-state update performs no tensor heap allocation beyond the first
+// minibatch of each distinct shape. The construction seed is irrelevant:
+// parameters are overwritten by copy_params_from at the start of every
+// pass.
+struct BlockGradEngine::Shard {
+  GaussianPolicy actor;
+  Mlp critic;
+  Workspace actor_ws_unused;  // GaussianPolicy carries its own workspaces
+  Workspace critic_ws;
+  Matrix states;
+  Matrix actions;
+  Matrix grad_v;
+  std::vector<double> logp;
+  std::vector<double> coeff;
+
+  Shard(std::size_t state_dim, std::size_t action_dim,
+        const PolicyConfig& policy_config,
+        const std::vector<std::size_t>& critic_sizes,
+        Activation critic_activation, std::uint64_t seed)
+      : actor([&] {
+          Rng rng(seed);
+          return GaussianPolicy(state_dim, action_dim, policy_config, rng);
+        }()),
+        critic([&] {
+          Rng rng(seed ^ 0xda3e39cb94b95bdbULL);
+          return Mlp(critic_sizes, critic_activation, rng);
+        }()) {}
+};
+
+BlockGradEngine::BlockGradEngine(std::size_t state_dim, std::size_t action_dim,
+                                 const PolicyConfig& policy_config,
+                                 const std::vector<std::size_t>& critic_sizes,
+                                 Activation critic_activation,
+                                 std::size_t block_rows)
+    : state_dim_(state_dim),
+      action_dim_(action_dim),
+      policy_config_(policy_config),
+      critic_sizes_(critic_sizes),
+      critic_activation_(critic_activation),
+      block_rows_(block_rows) {
+  FEDRA_EXPECTS(block_rows_ > 0);
+  FEDRA_EXPECTS(!policy_config_.state_dependent_std);
+  FEDRA_EXPECTS(critic_sizes_.size() >= 2);
+}
+
+BlockGradEngine::~BlockGradEngine() = default;
+
+void BlockGradEngine::ensure_shards(std::size_t count) {
+  while (shards_.size() < count) {
+    shards_.push_back(std::make_unique<Shard>(
+        state_dim_, action_dim_, policy_config_, critic_sizes_,
+        critic_activation_,
+        0x9e3779b97f4a7c15ULL + 0x100000001b3ULL * shards_.size()));
+  }
+}
+
+void BlockGradEngine::for_each_block(
+    std::size_t nblocks, const std::function<void(std::size_t)>& body) {
+  if (pool_ != nullptr && nblocks > 1) {
+    pool_->parallel_for(0, nblocks, body);
+  } else {
+    for (std::size_t k = 0; k < nblocks; ++k) body(k);
+  }
+}
+
+namespace {
+
+void gather_block_rows(const Matrix& src, std::size_t r0, std::size_t rows,
+                       Matrix& out) {
+  out.resize_reuse(rows, src.cols());
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto dst_row = out.row(r);
+    auto src_row = src.row(r0 + r);
+    std::copy(src_row.begin(), src_row.end(), dst_row.begin());
+  }
+}
+
+// dst[i] += src[i] for aligned parameter lists, elementwise ascending —
+// called once per block in ascending block order, which fixes the
+// summation grouping independently of how blocks were scheduled.
+void reduce_grads(const std::vector<Matrix*>& dst,
+                  const std::vector<Matrix*>& src) {
+  FEDRA_EXPECTS(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    *dst[i] += *src[i];
+  }
+}
+
+}  // namespace
+
+void BlockGradEngine::actor_pass(
+    GaussianPolicy& master, const Matrix& states, const Matrix& actions_u,
+    const std::function<double(std::size_t, double)>& coeff_fn,
+    double entropy_coeff, std::vector<double>& logp_out) {
+  const std::size_t batch = states.rows();
+  FEDRA_EXPECTS(batch > 0);
+  FEDRA_EXPECTS(actions_u.rows() == batch);
+  const std::size_t nblocks = (batch + block_rows_ - 1) / block_rows_;
+  ensure_shards(nblocks);
+  logp_out.resize(batch);
+
+  for_each_block(nblocks, [&](std::size_t k) {
+    Shard& sh = *shards_[k];
+    const std::size_t r0 = k * block_rows_;
+    const std::size_t rows = std::min(batch, r0 + block_rows_) - r0;
+    gather_block_rows(states, r0, rows, sh.states);
+    gather_block_rows(actions_u, r0, rows, sh.actions);
+    sh.actor.copy_params_from(master);
+    sh.actor.forward_log_probs(sh.states, sh.actions, sh.logp);
+    sh.coeff.resize(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      logp_out[r0 + r] = sh.logp[r];
+      sh.coeff[r] = coeff_fn(r0 + r, sh.logp[r]);
+    }
+    sh.actor.zero_grad();
+    // Entropy handled once at the reduction: H is state-independent here.
+    sh.actor.backward_log_probs(sh.states, sh.actions, sh.coeff, 0.0);
+  });
+
+  master.zero_grad();
+  auto dst = master.grads();
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    reduce_grads(dst, shards_[k]->actor.grads());
+  }
+  if (entropy_coeff != 0.0) {
+    // Matches the sequential path's grad_log_std[j] -= entropy_coeff.
+    master.accumulate_entropy_grad(-entropy_coeff);
+  }
+}
+
+void BlockGradEngine::critic_pass(
+    Mlp& master, const Matrix& states,
+    const std::function<double(std::size_t, double)>& dloss_dv,
+    std::vector<double>& v_out) {
+  const std::size_t batch = states.rows();
+  FEDRA_EXPECTS(batch > 0);
+  const std::size_t nblocks = (batch + block_rows_ - 1) / block_rows_;
+  ensure_shards(nblocks);
+  v_out.resize(batch);
+
+  for_each_block(nblocks, [&](std::size_t k) {
+    Shard& sh = *shards_[k];
+    const std::size_t r0 = k * block_rows_;
+    const std::size_t rows = std::min(batch, r0 + block_rows_) - r0;
+    gather_block_rows(states, r0, rows, sh.states);
+    sh.critic.copy_params_from(master);
+    const Matrix& v = sh.critic.forward_cached(sh.states, sh.critic_ws);
+    sh.grad_v.resize_reuse(rows, 1);
+    for (std::size_t r = 0; r < rows; ++r) {
+      v_out[r0 + r] = v(r, 0);
+      sh.grad_v(r, 0) = dloss_dv(r0 + r, v(r, 0));
+    }
+    sh.critic.zero_grad();
+    sh.critic.backward_cached(sh.grad_v, sh.critic_ws);
+  });
+
+  master.zero_grad();
+  auto dst = master.grads();
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    reduce_grads(dst, shards_[k]->critic.grads());
+  }
+}
+
+}  // namespace fedra

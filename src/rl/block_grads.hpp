@@ -1,0 +1,96 @@
+// Block-sharded minibatch backprop for the PPO/A2C update stage.
+//
+// The minibatch is split into fixed-size row blocks (kGradBlockRows rows
+// per block, configured via PpoConfig::grad_block_rows). Each block runs a
+// full forward+backward pass on its own REPLICA network (parameters copied
+// from the master at the start of the pass), so blocks share no mutable
+// state and can execute on any thread of a pool. The per-block gradients
+// are then reduced into the master's gradient buffers in ascending block
+// order on the calling thread.
+//
+// Determinism contract: block boundaries depend only on the batch size and
+// the configured block rows — never on the pool — and the reduction order
+// is fixed, so the accumulated gradient is BIT-IDENTICAL across pool sizes
+// (including no pool at all, where blocks run serially on the calling
+// thread). tests/test_parallel_backprop.cpp pins this across pools
+// {1, 2, 8}. The blocked result is a different (but equally valid)
+// summation grouping than the legacy whole-batch pass, which is why the
+// feature is opt-in: grad_block_rows = 0 preserves the legacy bits.
+//
+// The entropy bonus of a state-INDEPENDENT Gaussian policy does not depend
+// on the batch, so blocks run with entropy_coeff = 0 and the term is
+// applied exactly once after the reduction. State-dependent-sigma policies
+// are not supported here (their entropy is a batch mean that would couple
+// blocks); agents fall back to the sequential path for them.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "rl/policy.hpp"
+#include "tensor/matrix.hpp"
+
+namespace fedra {
+
+class ThreadPool;
+
+class BlockGradEngine {
+ public:
+  /// Replica topology must match the master networks passed to the
+  /// passes: actor replicas are built from (state_dim, action_dim,
+  /// policy_config), critic replicas from (critic_sizes,
+  /// critic_activation). Requires !policy_config.state_dependent_std.
+  BlockGradEngine(std::size_t state_dim, std::size_t action_dim,
+                  const PolicyConfig& policy_config,
+                  const std::vector<std::size_t>& critic_sizes,
+                  Activation critic_activation, std::size_t block_rows);
+  ~BlockGradEngine();
+
+  BlockGradEngine(const BlockGradEngine&) = delete;
+  BlockGradEngine& operator=(const BlockGradEngine&) = delete;
+
+  /// Blocks run on `pool` when set (the calling thread participates);
+  /// nullptr runs them serially. The result is bitwise the same either
+  /// way.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* pool() const { return pool_; }
+  std::size_t block_rows() const { return block_rows_; }
+
+  /// Computes log pi(u_b|s_b) for every row into `logp_out`, evaluates
+  /// `coeff_fn(b, logp_b)` per row (on the block's thread: it must be
+  /// pure and read only shared-const data), and leaves the gradient of
+  ///   sum_b coeff_b * log pi(u_b|s_b) - entropy_coeff * H
+  /// in `master.grads()` (master.zero_grad() is called here).
+  void actor_pass(GaussianPolicy& master, const Matrix& states,
+                  const Matrix& actions_u,
+                  const std::function<double(std::size_t, double)>& coeff_fn,
+                  double entropy_coeff, std::vector<double>& logp_out);
+
+  /// Computes v_b = V(s_b) for every row into `v_out`, evaluates
+  /// `dloss_dv(b, v_b)` per row (same purity requirement), and leaves the
+  /// gradient of the row-summed loss in `master.grads()`.
+  void critic_pass(Mlp& master, const Matrix& states,
+                   const std::function<double(std::size_t, double)>& dloss_dv,
+                   std::vector<double>& v_out);
+
+ private:
+  struct Shard;
+
+  void ensure_shards(std::size_t count);
+  void for_each_block(std::size_t nblocks,
+                      const std::function<void(std::size_t)>& body);
+
+  std::size_t state_dim_;
+  std::size_t action_dim_;
+  PolicyConfig policy_config_;
+  std::vector<std::size_t> critic_sizes_;
+  Activation critic_activation_;
+  std::size_t block_rows_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace fedra

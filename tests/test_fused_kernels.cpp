@@ -1,0 +1,311 @@
+// Oracle wall for the fused/vectorized activation kernels (nn/fused.hpp):
+// every SIMD map must be bitwise-equal to its *_reference scalar oracle on
+// every lane — including tile-straddling lengths, degenerate and prime
+// shapes, NaN/±0/denormal/saturation inputs — and flipping the fused
+// forward/backward pairing on or off must not move a single bit of a
+// training trajectory.
+#include "nn/fused.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "nn/workspace.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// Lengths that stop mid-lane for both 4-wide (AVX2) and 8-wide (AVX-512)
+// kernels, plus degenerate and prime sizes.
+const std::size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9,
+                                13, 16, 17, 31, 32, 33, 61, 64, 67, 127};
+
+// Inputs that exercise every special path: clamps, saturation, signed
+// zero, denormals, infinities, NaN — then a dense random fill.
+std::vector<double> adversarial_inputs(std::size_t n, std::uint64_t seed) {
+  const double specials[] = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      1e-308,
+      -1e-308,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      709.0,
+      710.0,
+      -745.0,
+      -746.0,
+      1000.0,
+      -1000.0,
+      19.0,
+      19.0625,
+      19.1,
+      -19.1,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::lowest(),
+  };
+  std::vector<double> v(n);
+  Rng rng(seed);
+  const std::size_t num_specials = sizeof(specials) / sizeof(specials[0]);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < num_specials) {
+      v[i] = specials[i];
+    } else {
+      v[i] = rng.uniform(-30.0, 30.0);
+    }
+  }
+  return v;
+}
+
+void expect_lanes_equal(const std::vector<double>& got,
+                        const std::vector<double>& want, const char* what,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(bits(got[i]), bits(want[i]))
+        << what << " lane " << i << " of " << n << " (x bits mismatch: got "
+        << got[i] << " want " << want[i] << ")";
+  }
+}
+
+TEST(FusedKernels, ExpMatchesReferenceEveryLane) {
+  for (std::size_t n : kLengths) {
+    auto x = adversarial_inputs(n, 100 + n);
+    std::vector<double> got(n), want(n);
+    fast_exp_map(x.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) want[i] = fast_exp_reference(x[i]);
+    expect_lanes_equal(got, want, "fast_exp", n);
+  }
+}
+
+TEST(FusedKernels, TanhMatchesReferenceEveryLane) {
+  for (std::size_t n : kLengths) {
+    auto x = adversarial_inputs(n, 200 + n);
+    std::vector<double> got(n), want(n);
+    fast_tanh_map(x.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) want[i] = fast_tanh_reference(x[i]);
+    expect_lanes_equal(got, want, "fast_tanh", n);
+  }
+}
+
+TEST(FusedKernels, SigmoidMatchesReferenceEveryLane) {
+  for (std::size_t n : kLengths) {
+    auto x = adversarial_inputs(n, 300 + n);
+    std::vector<double> got(n), want(n);
+    fast_sigmoid_map(x.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      want[i] = fast_sigmoid_reference(x[i]);
+    }
+    expect_lanes_equal(got, want, "fast_sigmoid", n);
+  }
+}
+
+TEST(FusedKernels, ReluFamilyMatchesReferenceEveryLane) {
+  const double slope = 0.03;
+  for (std::size_t n : kLengths) {
+    auto x = adversarial_inputs(n, 400 + n);
+    auto g = adversarial_inputs(n, 500 + n);
+    std::vector<double> got(n), want(n);
+
+    relu_map(x.data(), got.data(), n);
+    relu_map_reference(x.data(), want.data(), n);
+    expect_lanes_equal(got, want, "relu", n);
+
+    leaky_relu_map(x.data(), slope, got.data(), n);
+    leaky_relu_map_reference(x.data(), slope, want.data(), n);
+    expect_lanes_equal(got, want, "leaky_relu", n);
+
+    relu_backward_map(g.data(), x.data(), got.data(), n);
+    relu_backward_map_reference(g.data(), x.data(), want.data(), n);
+    expect_lanes_equal(got, want, "relu_backward", n);
+
+    leaky_relu_backward_map(g.data(), x.data(), slope, got.data(), n);
+    leaky_relu_backward_map_reference(g.data(), x.data(), slope, want.data(),
+                                      n);
+    expect_lanes_equal(got, want, "leaky_relu_backward", n);
+  }
+}
+
+TEST(FusedKernels, ActivationBackwardMatchesReferenceEveryLane) {
+  for (std::size_t n : kLengths) {
+    auto g = adversarial_inputs(n, 600 + n);
+    // Backward reads the forward OUTPUT y: feed it the actual range of
+    // each activation (plus NaN, which must propagate).
+    auto pre = adversarial_inputs(n, 700 + n);
+    std::vector<double> y_tanh(n), y_sig(n);
+    fast_tanh_map(pre.data(), y_tanh.data(), n);
+    fast_sigmoid_map(pre.data(), y_sig.data(), n);
+
+    std::vector<double> got(n), want(n);
+    tanh_backward_map(g.data(), y_tanh.data(), got.data(), n);
+    tanh_backward_map_reference(g.data(), y_tanh.data(), want.data(), n);
+    expect_lanes_equal(got, want, "tanh_backward", n);
+
+    sigmoid_backward_map(g.data(), y_sig.data(), got.data(), n);
+    sigmoid_backward_map_reference(g.data(), y_sig.data(), want.data(), n);
+    expect_lanes_equal(got, want, "sigmoid_backward", n);
+  }
+}
+
+// Saturation boundary: tanh must pin to exactly ±1.0 past the threshold
+// and NaN must survive every kernel.
+TEST(FusedKernels, TanhSaturationAndNanSemantics) {
+  EXPECT_EQ(fast_tanh_reference(20.0), 1.0);
+  EXPECT_EQ(fast_tanh_reference(-20.0), -1.0);
+  EXPECT_EQ(fast_tanh_reference(std::numeric_limits<double>::infinity()), 1.0);
+  EXPECT_TRUE(std::isnan(
+      fast_tanh_reference(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_TRUE(std::isnan(
+      fast_exp_reference(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_TRUE(std::isnan(
+      fast_sigmoid_reference(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_EQ(fast_exp_reference(-1000.0), fast_exp_reference(-745.0));
+  EXPECT_EQ(fast_exp_reference(1000.0), fast_exp_reference(709.0));
+  // Signed zero must round-trip: tanh(-0.0) = -0.0.
+  EXPECT_EQ(bits(fast_tanh_reference(-0.0)), bits(-0.0));
+  EXPECT_EQ(bits(fast_tanh_reference(0.0)), bits(0.0));
+}
+
+// Dense+activation pair fusion must be a pure scheduling change: the same
+// network, same data, same seeds, with fusion ON vs OFF, must produce
+// bit-identical outputs AND gradients — across prime/degenerate shapes
+// that straddle the GEMM tiles.
+TEST(FusedKernels, FusionToggleIsBitInvisible) {
+  struct Shape {
+    std::size_t batch, in, hidden, out;
+  };
+  const Shape shapes[] = {
+      {1, 1, 1, 1}, {1, 3, 5, 2}, {7, 13, 11, 3}, {17, 8, 16, 4},
+      {3, 31, 29, 7},
+  };
+  for (Activation act : {Activation::Tanh, Activation::Sigmoid}) {
+    for (const Shape& sh : shapes) {
+      auto make_net = [&] {
+        Rng rng(1234);
+        return Mlp({sh.in, sh.hidden, sh.out}, act, rng);
+      };
+      Matrix input(sh.batch, sh.in);
+      Matrix grad_out(sh.batch, sh.out);
+      Rng data_rng(4321);
+      for (std::size_t i = 0; i < input.size(); ++i) {
+        input.data()[i] = data_rng.uniform(-2.0, 2.0);
+      }
+      for (std::size_t i = 0; i < grad_out.size(); ++i) {
+        grad_out.data()[i] = data_rng.uniform(-1.0, 1.0);
+      }
+
+      auto run = [&](bool fused) {
+        set_fused_kernels(fused);
+        Mlp net = make_net();
+        Workspace ws;
+        Matrix out = net.forward_cached(input, ws);       // deep copy
+        Matrix gin = net.backward_cached(grad_out, ws);   // deep copy
+        std::vector<Matrix> grads;
+        for (Matrix* g : net.grads()) grads.push_back(*g);
+        set_fused_kernels(true);
+        return std::make_tuple(std::move(out), std::move(gin),
+                               std::move(grads));
+      };
+
+      auto [out_on, gin_on, grads_on] = run(true);
+      auto [out_off, gin_off, grads_off] = run(false);
+
+      ASSERT_EQ(out_on.size(), out_off.size());
+      for (std::size_t i = 0; i < out_on.size(); ++i) {
+        ASSERT_EQ(bits(out_on.data()[i]), bits(out_off.data()[i]))
+            << "forward element " << i;
+      }
+      ASSERT_EQ(gin_on.size(), gin_off.size());
+      for (std::size_t i = 0; i < gin_on.size(); ++i) {
+        ASSERT_EQ(bits(gin_on.data()[i]), bits(gin_off.data()[i]))
+            << "input-grad element " << i;
+      }
+      ASSERT_EQ(grads_on.size(), grads_off.size());
+      for (std::size_t m = 0; m < grads_on.size(); ++m) {
+        ASSERT_EQ(grads_on[m].size(), grads_off[m].size());
+        for (std::size_t i = 0; i < grads_on[m].size(); ++i) {
+          ASSERT_EQ(bits(grads_on[m].data()[i]), bits(grads_off[m].data()[i]))
+              << "param grad " << m << " element " << i;
+        }
+      }
+    }
+  }
+}
+
+// bias_act_into and act_backward_colsum_into (the fused row kernels) must
+// match their references on ragged shapes.
+TEST(FusedKernels, FusedRowKernelsMatchReference) {
+  for (FusedAct act : {FusedAct::Tanh, FusedAct::Sigmoid}) {
+    for (std::size_t rows : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                             std::size_t{16}}) {
+      for (std::size_t cols : {std::size_t{1}, std::size_t{5}, std::size_t{13},
+                               std::size_t{32}}) {
+        Rng rng(900 + rows * 64 + cols);
+        Matrix pre(rows, cols), bias(1, cols), g(rows, cols);
+        for (std::size_t i = 0; i < pre.size(); ++i) {
+          pre.data()[i] = rng.uniform(-3.0, 3.0);
+        }
+        for (std::size_t i = 0; i < bias.size(); ++i) {
+          bias.data()[i] = rng.uniform(-1.0, 1.0);
+        }
+        for (std::size_t i = 0; i < g.size(); ++i) {
+          g.data()[i] = rng.uniform(-1.0, 1.0);
+        }
+
+        Matrix out(rows, cols), out_ref(rows, cols);
+        bias_act_into(pre, bias, act, out);
+        bias_act_into_reference(pre, bias, act, out_ref);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          ASSERT_EQ(bits(out.data()[i]), bits(out_ref.data()[i]))
+              << "bias_act " << rows << "x" << cols << " element " << i;
+        }
+
+        Matrix dpre(rows, cols), dpre_ref(rows, cols);
+        Matrix cs(1, cols), cs_ref(1, cols);
+        act_backward_colsum_into(g, out, act, dpre, cs);
+        act_backward_colsum_into_reference(g, out_ref, act, dpre_ref, cs_ref);
+        for (std::size_t i = 0; i < dpre.size(); ++i) {
+          ASSERT_EQ(bits(dpre.data()[i]), bits(dpre_ref.data()[i]))
+              << "dpre " << rows << "x" << cols << " element " << i;
+        }
+        for (std::size_t i = 0; i < cs.size(); ++i) {
+          ASSERT_EQ(bits(cs.data()[i]), bits(cs_ref.data()[i]))
+              << "colsum " << rows << "x" << cols << " element " << i;
+        }
+      }
+    }
+  }
+}
+
+// The fast-activation lever is observable (it legitimately changes bits
+// vs libm) but must stay accurate: within ~1e-15 of libm across the
+// working range, exact at 0.
+TEST(FusedKernels, FastActivationsTrackLibm) {
+  EXPECT_EQ(fast_exp_reference(0.0), 1.0);
+  EXPECT_EQ(bits(fast_tanh_reference(0.0)), bits(0.0));
+  EXPECT_EQ(fast_sigmoid_reference(0.0), 0.5);
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-25.0, 25.0);
+    const double e = fast_exp_reference(x);
+    const double t = fast_tanh_reference(x);
+    const double s = fast_sigmoid_reference(x);
+    EXPECT_NEAR(e, std::exp(x), 2e-15 * std::exp(x) + 1e-300) << "exp " << x;
+    EXPECT_NEAR(t, std::tanh(x), 1e-15) << "tanh " << x;
+    EXPECT_NEAR(s, 1.0 / (1.0 + std::exp(-x)), 1e-15) << "sigmoid " << x;
+  }
+}
+
+}  // namespace
+}  // namespace fedra
