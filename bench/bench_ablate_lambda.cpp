@@ -4,27 +4,95 @@
 // energy. We sweep it and print the realized (time, energy) frontier per
 // policy: larger lambda must push every sane policy toward lower energy
 // and longer time.
+//
+// Each lambda arm is heavyweight (one full DRL training run + a roster
+// evaluation), so the sweep fans the arms out through run_arms() on a
+// work-stealing pool: arms share nothing mutable (each owns its env,
+// trainer, networks, and simulators), results come back in lambda order,
+// and concurrent arms run under ledger suppression.
+//
+// Flags: --smoke (120 training episodes, 60 eval iterations), --pool N
+//        (default hardware concurrency), --serial.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "core/sweep.hpp"
+#include "util/thread_pool.hpp"
 
-int main() {
+namespace {
+
+struct LambdaRow {
+  double lambda = 0.0;
+  std::vector<fedra::EvalSeries> roster;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace fedra;
-  std::printf("Ablation A2: lambda sweep (N=3, 300 eval iterations)\n");
+  bool smoke = false;
+  bool serial_only = false;
+  std::size_t pool_size = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--serial") {
+      serial_only = true;
+    } else if (arg == "--pool" && i + 1 < argc) {
+      pool_size = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_ablate_lambda [--smoke] [--serial] "
+                   "[--pool N]\n");
+      return 2;
+    }
+  }
+  const std::size_t episodes = smoke ? 120 : 1500;
+  const std::size_t iterations = smoke ? 60 : 300;
+  std::printf("Ablation A2: lambda sweep (N=3, %zu training episodes, %zu "
+              "eval iterations)\n",
+              episodes, iterations);
   std::printf("%-8s %-10s %12s %12s %12s %12s\n", "lambda", "policy", "cost",
               "time", "Ecmp", "Etot");
 
-  for (double lambda : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0}) {
+  const std::vector<double> lambdas = {0.05, 0.1, 0.25, 0.5, 1.0, 2.0};
+  const std::function<LambdaRow(std::size_t)> arm =
+      [&](std::size_t i) -> LambdaRow {
+    LambdaRow row;
+    row.lambda = lambdas[i];
     ExperimentConfig cfg = testbed_config();
-    cfg.trace_samples = 2000;
-    cfg.cost.lambda = lambda;
-    auto agent = bench::train_agent(cfg, 1500, /*seed=*/7);
-    auto roster = bench::evaluate_roster(agent, 300);
-    for (const auto& s : roster) {
-      std::printf("%-8.2f %-10s %12.4f %12.4f %12.4f %12.4f\n", lambda,
+    cfg.trace_samples = smoke ? 600 : 2000;
+    cfg.cost.lambda = row.lambda;
+    auto agent = bench::train_agent(cfg, episodes, /*seed=*/7);
+    row.roster = bench::evaluate_roster(agent, iterations);
+    return row;
+  };
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  std::vector<LambdaRow> rows;
+  if (serial_only) {
+    rows = run_arms(lambdas.size(), arm);
+  } else {
+    ThreadPool pool(pool_size);
+    rows = run_arms(lambdas.size(), arm, &pool);
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  for (const LambdaRow& row : rows) {
+    for (const auto& s : row.roster) {
+      std::printf("%-8.2f %-10s %12.4f %12.4f %12.4f %12.4f\n", row.lambda,
                   s.policy.c_str(), s.avg_cost(), s.avg_time(),
                   s.avg_compute_energy(), s.avg_total_energy());
     }
   }
+  std::printf("\n%zu lambda arms in %.1f ms (%s)\n", rows.size(), wall_ms,
+              serial_only ? "serial" : "work-stealing pool");
   return 0;
 }

@@ -1,24 +1,32 @@
 #!/usr/bin/env bash
-# One-command verification, the same three legs a PR must pass:
+# One-command verification, the same four legs a PR must pass:
 #
 #   1. tier-1: default configure + build + full ctest;
 #   2. sanitize: address,undefined build, `sanitize`-labeled suites
 #      (`-L sanitize` regex-matches the combined sanitize_ckpt /
-#      sanitize_serve labels, so the checkpoint and serving suites —
-#      including the serve admission/shutdown threading tests — run
-#      under ASan/UBSan here);
-#   3. perf: smoke-run the perf harnesses and diff them against the
+#      sanitize_serve / sanitize_tsan labels, so the checkpoint and
+#      serving suites — including the serve admission/shutdown
+#      threading tests — run under ASan/UBSan here);
+#   3. tsan: thread-sanitizer build, `tsan`-labeled suites — the
+#      concurrency-heavy tests (work-stealing scheduler, sweep engine,
+#      serving stack, fleet pricing pools, async ledger, telemetry)
+#      race-checked under TSan;
+#   4. perf: smoke-run the perf harnesses and diff them against the
 #      checked-in bench/baselines/ snapshots (`-L perf`); this leg also
 #      enforces bench_serve's batched-vs-sequential speedup floor and
 #      bit-exactness flag, bench_fleet's engine-vs-scalar-oracle
 #      bitwise pricing contract (50 → 1M devices, pools {1,2,8}),
-#      bench_gemm's reuse-not-slower gates, and bench_obs's async-ledger
-#      overhead ceiling plus hardware-graded training-speedup floor, via
-#      each bench's own exit code (gate booleans in the JSON are also
-#      compared one-way against the baselines: a holding gate must keep
-#      holding).
+#      bench_gemm's reuse-not-slower gates, bench_obs's async-ledger
+#      overhead ceiling plus hardware-graded training-speedup floor,
+#      and bench_sweep's serial≡parallel bitwise-aggregate contract
+#      plus hardware-graded sweep-speedup floor (the converted
+#      bench_multiseed / bench_ablate_tau / bench_ablate_lambda smokes
+#      assert the same serial≡parallel contract on their own grids),
+#      via each bench's own exit code (gate booleans in the JSON are
+#      also compared one-way against the baselines: a holding gate must
+#      keep holding).
 #
-#   scripts/check.sh          # all three legs
+#   scripts/check.sh          # all four legs
 #   scripts/check.sh --fast   # tier-1 only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -42,6 +50,12 @@ cmake -B build-asan -S . -DFEDRA_SANITIZE=address,undefined \
       -DFEDRA_BUILD_BENCH=OFF -DFEDRA_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan -L sanitize --output-on-failure -j "$jobs"
+
+echo "== tsan: thread (build-tsan/) =="
+cmake -B build-tsan -S . -DFEDRA_SANITIZE=thread \
+      -DFEDRA_BUILD_BENCH=OFF -DFEDRA_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j "$jobs"
+ctest --test-dir build-tsan -L tsan --output-on-failure -j "$jobs"
 
 echo "== perf: smoke + baseline regression (build/) =="
 ctest --test-dir build -L perf --output-on-failure

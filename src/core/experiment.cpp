@@ -3,14 +3,13 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/sweep.hpp"
 #include "util/contracts.hpp"
 #include "util/stats.hpp"
 
 namespace fedra {
 
-namespace {
-
-MetricCI make_ci(const std::vector<double>& xs) {
+MetricCI make_metric_ci(const std::vector<double>& xs) {
   MetricCI ci;
   ci.samples = xs.size();
   ci.mean = mean(xs);
@@ -21,52 +20,21 @@ MetricCI make_ci(const std::vector<double>& xs) {
   return ci;
 }
 
-}  // namespace
-
 MultiSeedResult run_multi_seed(const ExperimentConfig& base,
                                const std::vector<PolicySpec>& policies,
                                std::size_t num_seeds,
-                               std::size_t iterations) {
+                               std::size_t iterations,
+                               ThreadPool* pool) {
   FEDRA_EXPECTS(!policies.empty());
   FEDRA_EXPECTS(num_seeds > 0 && iterations > 0);
 
-  MultiSeedResult result;
-  const std::size_t p = policies.size();
-  std::vector<std::vector<double>> costs(p), times(p), energies(p);
-  std::vector<double> wins(p, 0.0);
-
-  for (std::size_t s = 0; s < num_seeds; ++s) {
-    ExperimentConfig cfg = base;
-    cfg.seed = base.seed + s;
-    result.seeds.push_back(cfg.seed);
-    auto sim = build_simulator(cfg);
-
-    double best_cost = 1e300;
-    std::size_t best_policy = 0;
-    for (std::size_t i = 0; i < p; ++i) {
-      auto controller = policies[i].make(sim);
-      FEDRA_EXPECTS(controller != nullptr);
-      auto series = run_controller(sim, *controller, iterations);
-      costs[i].push_back(series.avg_cost());
-      times[i].push_back(series.avg_time());
-      energies[i].push_back(series.avg_compute_energy());
-      if (series.avg_cost() < best_cost) {
-        best_cost = series.avg_cost();
-        best_policy = i;
-      }
-    }
-    wins[best_policy] += 1.0;
-  }
-
-  result.policies.resize(p);
-  for (std::size_t i = 0; i < p; ++i) {
-    result.policies[i].policy = policies[i].name;
-    result.policies[i].cost = make_ci(costs[i]);
-    result.policies[i].time = make_ci(times[i]);
-    result.policies[i].compute_energy = make_ci(energies[i]);
-    result.policies[i].win_rate = wins[i] / static_cast<double>(num_seeds);
-  }
-  return result;
+  SweepGrid grid;
+  grid.configs = {base};
+  grid.policies = policies;
+  grid.num_seeds = num_seeds;
+  grid.iterations = iterations;
+  SweepEngine engine(std::move(grid));
+  return reduce_multi_seed(engine.grid(), engine.run(pool));
 }
 
 std::string format_aggregate_row(const PolicyAggregate& a) {

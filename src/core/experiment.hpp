@@ -15,6 +15,8 @@
 
 namespace fedra {
 
+class ThreadPool;
+
 /// A policy entry: name + factory producing a fresh controller for a
 /// given simulator (controllers are stateful, so each seed needs its own).
 struct PolicySpec {
@@ -43,13 +45,20 @@ struct MultiSeedResult {
   std::vector<std::uint64_t> seeds;
 };
 
+/// Mean / stddev / 95 % CI of one metric's samples (normal approximation).
+MetricCI make_metric_ci(const std::vector<double>& samples);
+
 /// Runs every policy on `num_seeds` scenario instances derived from
 /// `base` (seed = base.seed + s), `iterations` iterations each, all
-/// policies on identical conditions per seed.
+/// policies on identical conditions per seed. Routed through the sweep
+/// engine (core/sweep.hpp): pass a pool to run arms concurrently — the
+/// aggregate is bitwise identical to the serial (pool == nullptr) loop
+/// for any pool size.
 MultiSeedResult run_multi_seed(const ExperimentConfig& base,
                                const std::vector<PolicySpec>& policies,
                                std::size_t num_seeds,
-                               std::size_t iterations);
+                               std::size_t iterations,
+                               ThreadPool* pool = nullptr);
 
 /// Formats one aggregate as a table row.
 std::string format_aggregate_row(const PolicyAggregate& a);

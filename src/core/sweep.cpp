@@ -1,0 +1,167 @@
+#include "core/sweep.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "core/evaluation.hpp"
+#include "util/rng.hpp"
+
+namespace fedra {
+
+std::uint64_t sweep_arm_seed(std::uint64_t base_seed,
+                             std::size_t config_index,
+                             std::size_t policy_index,
+                             std::size_t seed_index) {
+  // Each coordinate feeds a fresh SplitMix64 round, so nearby coordinates
+  // land in unrelated regions of seed space; purely positional, hence
+  // invariant to execution order, pool size, and grid subsetting.
+  SplitMix64 base(base_seed ^ 0x5857a6f3c5e1dbadULL);
+  std::uint64_t h = base.next();
+  h = SplitMix64(h ^ (0x9e3779b97f4a7c15ULL *
+                      static_cast<std::uint64_t>(config_index + 1))).next();
+  h = SplitMix64(h ^ (0xbf58476d1ce4e5b9ULL *
+                      static_cast<std::uint64_t>(policy_index + 1))).next();
+  h = SplitMix64(h ^ (0x94d049bb133111ebULL *
+                      static_cast<std::uint64_t>(seed_index + 1))).next();
+  return h;
+}
+
+SweepEngine::SweepEngine(SweepGrid grid) : grid_(std::move(grid)) {
+  FEDRA_EXPECTS(!grid_.configs.empty());
+  FEDRA_EXPECTS(!grid_.policies.empty());
+  FEDRA_EXPECTS(grid_.num_seeds > 0);
+  FEDRA_EXPECTS(grid_.iterations > 0);
+}
+
+std::vector<SweepArm> SweepEngine::arms() const {
+  std::vector<SweepArm> out;
+  out.reserve(num_arms());
+  for (std::size_t c = 0; c < grid_.configs.size(); ++c) {
+    for (std::size_t s = 0; s < grid_.num_seeds; ++s) {
+      for (std::size_t p = 0; p < grid_.policies.size(); ++p) {
+        SweepArm arm;
+        arm.config_index = c;
+        arm.seed_index = s;
+        arm.policy_index = p;
+        arm.arm_index = out.size();
+        arm.scenario_seed = grid_.configs[c].seed + s;
+        arm.arm_seed = sweep_arm_seed(grid_.configs[c].seed, c, p, s);
+        out.push_back(arm);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SweepArmResult> SweepEngine::run(ThreadPool* pool) const {
+  const std::vector<SweepArm> all = arms();
+  std::vector<SweepArmResult> results(all.size());
+  const std::size_t num_policies = grid_.policies.size();
+
+  // One arm: fresh controller from the shared scenario simulator, one
+  // evaluation (run_controller copies the simulator, so the shared
+  // instance stays const). Writes only results[arm.arm_index].
+  auto run_arm = [&](const SweepArm& arm, const auto& sim) {
+    SweepArmResult& slot = results[arm.arm_index];
+    slot.arm = arm;
+    auto controller = grid_.policies[arm.policy_index].make(sim);
+    FEDRA_EXPECTS(controller != nullptr);
+    const auto t0 = std::chrono::steady_clock::now();
+    slot.series = run_controller(sim, *controller, grid_.iterations);
+    slot.wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  };
+
+  if (pool == nullptr) {
+    // Serial reference: the legacy nesting (configs, then seeds, then
+    // policies), one scenario build per (config, seed).
+    std::size_t a = 0;
+    for (std::size_t c = 0; c < grid_.configs.size(); ++c) {
+      for (std::size_t s = 0; s < grid_.num_seeds; ++s) {
+        ExperimentConfig cfg = grid_.configs[c];
+        cfg.seed = all[a].scenario_seed;
+        const auto sim = build_simulator(cfg);
+        for (std::size_t p = 0; p < num_policies; ++p) run_arm(all[a++], sim);
+      }
+    }
+    return results;
+  }
+
+  // Parallel: one top-level task per scenario (sharing its simulator —
+  // trace pool, fleet build — across that scenario's arms), forking one
+  // nested subtask per policy arm. Nested forks land in the spawning
+  // worker's own deque, so idle workers steal whole arms of a slow
+  // scenario. Every task body is wrapped in ledger suppression (the scopes
+  // are thread-local, so each task needs its own).
+  TaskGroup scenarios(*pool);
+  for (std::size_t c = 0; c < grid_.configs.size(); ++c) {
+    for (std::size_t s = 0; s < grid_.num_seeds; ++s) {
+      const std::size_t first = ((c * grid_.num_seeds) + s) * num_policies;
+      scenarios.run([this, &all, &run_arm, pool, first, c, num_policies] {
+        obs::ScopedLedgerSuppression mute;
+        ExperimentConfig cfg = grid_.configs[c];
+        cfg.seed = all[first].scenario_seed;
+        const auto sim = build_simulator(cfg);
+        if (num_policies == 1) {
+          run_arm(all[first], sim);
+          return;
+        }
+        TaskGroup arms_of_scenario(*pool);
+        for (std::size_t p = 0; p < num_policies; ++p) {
+          arms_of_scenario.run([&all, &run_arm, &sim, first, p] {
+            obs::ScopedLedgerSuppression arm_mute;
+            run_arm(all[first + p], sim);
+          });
+        }
+        arms_of_scenario.wait();
+      });
+    }
+  }
+  scenarios.wait();
+  return results;
+}
+
+MultiSeedResult reduce_multi_seed(const SweepGrid& grid,
+                                  const std::vector<SweepArmResult>& results) {
+  FEDRA_EXPECTS(grid.configs.size() == 1);
+  const std::size_t num_policies = grid.policies.size();
+  FEDRA_EXPECTS(results.size() == grid.num_seeds * num_policies);
+
+  MultiSeedResult result;
+  std::vector<std::vector<double>> costs(num_policies), times(num_policies),
+      energies(num_policies);
+  std::vector<double> wins(num_policies, 0.0);
+
+  // Fixed arm-index order on the calling thread: the same floating-point
+  // evaluation order as the legacy serial loop, bit for bit.
+  for (std::size_t s = 0; s < grid.num_seeds; ++s) {
+    result.seeds.push_back(grid.configs[0].seed + s);
+    double best_cost = 1e300;
+    std::size_t best_policy = 0;
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      const EvalSeries& series = results[s * num_policies + p].series;
+      costs[p].push_back(series.avg_cost());
+      times[p].push_back(series.avg_time());
+      energies[p].push_back(series.avg_compute_energy());
+      if (series.avg_cost() < best_cost) {
+        best_cost = series.avg_cost();
+        best_policy = p;
+      }
+    }
+    wins[best_policy] += 1.0;
+  }
+
+  result.policies.resize(num_policies);
+  for (std::size_t p = 0; p < num_policies; ++p) {
+    result.policies[p].policy = grid.policies[p].name;
+    result.policies[p].cost = make_metric_ci(costs[p]);
+    result.policies[p].time = make_metric_ci(times[p]);
+    result.policies[p].compute_energy = make_metric_ci(energies[p]);
+    result.policies[p].win_rate =
+        wins[p] / static_cast<double>(grid.num_seeds);
+  }
+  return result;
+}
+
+}  // namespace fedra

@@ -1,0 +1,131 @@
+// Parallel sweep engine: expands a (config × seed × policy) grid into
+// top-level scheduler tasks and reduces the results in fixed arm-index
+// order, so the aggregate output is bitwise identical to the serial loop
+// regardless of pool size or steal order.
+//
+// Determinism model, in layers:
+//   1. Arm identity — every arm's seeds are pure functions of its grid
+//      coordinates (scenario seed = cfg.seed + seed_index, exactly the
+//      legacy run_multi_seed rule; arm seed = SplitMix64 over the
+//      coordinates), never of execution order.
+//   2. Arm isolation — each arm runs a controller on its own value-copy of
+//      the scenario simulator (run_controller already copies), owns its
+//      EvalSeries, and writes only results[arm_index]. Concurrent arms
+//      share nothing mutable; the scenario simulator (one TraceTable pool
+//      + fleet build per (config, seed), not per arm) is shared const.
+//   3. Fixed-order reduction — aggregation walks arms in arm-index order
+//      on the calling thread, reproducing the serial loop's floating-point
+//      evaluation order bit for bit.
+//
+// Global sinks: the process-wide RunLedger is not arm-addressable, so
+// parallel arms run under obs::ScopedLedgerSuppression — per-arm results
+// stay complete (they live in SweepArmResult), but concurrent arms never
+// interleave rounds into one ledger file. The serial path (pool ==
+// nullptr) records exactly what the legacy loop did.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/ledger.hpp"
+#include "sim/experiment_config.hpp"
+#include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fedra {
+
+/// Order-invariant per-arm seed: hashes the grid coordinates through
+/// SplitMix64, so any subset of arms — run in any order, on any pool —
+/// derives the same stream. Distinct coordinates give distinct seeds for
+/// every practical grid size.
+std::uint64_t sweep_arm_seed(std::uint64_t base_seed,
+                             std::size_t config_index,
+                             std::size_t policy_index,
+                             std::size_t seed_index);
+
+/// The sweep grid: every config × every seed replicate × every policy.
+struct SweepGrid {
+  std::vector<ExperimentConfig> configs;
+  std::vector<PolicySpec> policies;
+  std::size_t num_seeds = 1;
+  std::size_t iterations = 1;
+};
+
+/// Grid coordinates of one arm plus its derived seeds. arm_index is the
+/// flattened position: ((config_index * num_seeds) + seed_index) *
+/// policies.size() + policy_index — seeds outer, policies inner, exactly
+/// the legacy serial nesting.
+struct SweepArm {
+  std::size_t config_index = 0;
+  std::size_t seed_index = 0;
+  std::size_t policy_index = 0;
+  std::size_t arm_index = 0;
+  std::uint64_t scenario_seed = 0;  ///< cfg.seed + seed_index (legacy rule)
+  std::uint64_t arm_seed = 0;       ///< sweep_arm_seed(...), for arm-local RNG
+};
+
+struct SweepArmResult {
+  SweepArm arm;
+  EvalSeries series;
+  double wall_us = 0.0;  ///< wall-clock of this arm's evaluation
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepGrid grid);
+
+  const SweepGrid& grid() const { return grid_; }
+  std::size_t num_arms() const {
+    return grid_.configs.size() * grid_.num_seeds * grid_.policies.size();
+  }
+  /// The flattened grid in arm-index order.
+  std::vector<SweepArm> arms() const;
+
+  /// Runs every arm and returns results indexed by arm_index. With a pool,
+  /// scenarios become top-level tasks that fork one subtask per policy arm
+  /// (nested fork/join — arms of a slow scenario are stolen by idle
+  /// workers); without one, a plain serial loop in arm-index order — the
+  /// bitwise reference. Per-arm series are bit-identical either way.
+  std::vector<SweepArmResult> run(ThreadPool* pool = nullptr) const;
+
+ private:
+  SweepGrid grid_;
+};
+
+/// Folds sweep results into the legacy MultiSeedResult aggregate —
+/// fixed arm-index order, bitwise identical to what the serial
+/// run_multi_seed loop computes. Requires a single-config grid (the
+/// multi-seed table has no config axis).
+MultiSeedResult reduce_multi_seed(const SweepGrid& grid,
+                                  const std::vector<SweepArmResult>& results);
+
+/// Deterministic generic fan-out for harnesses whose arms are not
+/// roster-shaped (e.g. one DRL training run per λ): computes arm(i) for
+/// i in [0, count) and returns the results in index order. With a pool,
+/// arms run as concurrent tasks under ledger suppression; arm(i) must not
+/// touch shared mutable state. R must be default-constructible and
+/// movable.
+template <typename R>
+std::vector<R> run_arms(std::size_t count,
+                        const std::function<R(std::size_t)>& arm,
+                        ThreadPool* pool = nullptr) {
+  FEDRA_EXPECTS(arm != nullptr);
+  std::vector<R> out(count);
+  if (pool == nullptr || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = arm(i);
+    return out;
+  }
+  TaskGroup group(*pool);
+  for (std::size_t i = 0; i < count; ++i) {
+    group.run([&out, &arm, i] {
+      obs::ScopedLedgerSuppression mute;
+      out[i] = arm(i);
+    });
+  }
+  group.wait();
+  return out;
+}
+
+}  // namespace fedra

@@ -102,7 +102,34 @@ void count_drop() {
   }
 }
 
+thread_local int t_suppress_depth = 0;
+std::atomic<std::uint64_t> g_suppressed{0};
+
+/// True (and counted) when the calling thread sits inside a
+/// ScopedLedgerSuppression scope; record_* bails out before touching the
+/// ledger state, so suppression is contention-free.
+bool consume_suppressed() {
+  if (t_suppress_depth == 0) return false;
+  g_suppressed.fetch_add(1, std::memory_order_relaxed);
+  FEDRA_TELEMETRY_IF {
+    namespace tel = fedra::telemetry;
+    static auto suppressed =
+        tel::Telemetry::metrics().counter("obs.ledger.suppressed");
+    suppressed.add();
+  }
+  return true;
+}
+
 }  // namespace
+
+ScopedLedgerSuppression::ScopedLedgerSuppression() { ++t_suppress_depth; }
+ScopedLedgerSuppression::~ScopedLedgerSuppression() { --t_suppress_depth; }
+
+bool ScopedLedgerSuppression::active() { return t_suppress_depth > 0; }
+
+std::uint64_t ScopedLedgerSuppression::suppressed_records() {
+  return g_suppressed.load(std::memory_order_relaxed);
+}
 
 std::atomic<bool>& RunLedger::enabled_flag() {
   static std::atomic<bool> flag{false};
@@ -187,6 +214,7 @@ std::uint64_t RunLedger::dropped_records() {
 
 void RunLedger::record_round(const RoundRecord& record) {
   if (!enabled()) return;
+  if (consume_suppressed()) return;
   LedgerState& s = state();
   {
     std::lock_guard<std::mutex> lock(s.mutex);
@@ -200,6 +228,7 @@ void RunLedger::record_round(const RoundRecord& record) {
 
 void RunLedger::record_decision(const DecisionRecord& record) {
   if (!enabled()) return;
+  if (consume_suppressed()) return;
   LedgerState& s = state();
   {
     std::lock_guard<std::mutex> lock(s.mutex);
@@ -213,6 +242,7 @@ void RunLedger::record_decision(const DecisionRecord& record) {
 
 void RunLedger::record_fl_round(const FlRoundRecord& record) {
   if (!enabled()) return;
+  if (consume_suppressed()) return;
   LedgerState& s = state();
   {
     std::lock_guard<std::mutex> lock(s.mutex);

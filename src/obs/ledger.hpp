@@ -174,6 +174,27 @@ class RunLedger {
   static std::atomic<bool>& enabled_flag();
 };
 
+/// RAII thread-local mute for the global ledger: while at least one
+/// instance is alive on a thread, record_* calls from that thread are
+/// dropped (counted in suppressed_records() and the obs.ledger.suppressed
+/// telemetry counter). The sweep engine wraps concurrently-running arm
+/// tasks in one of these, so parallel arms cannot interleave rounds from
+/// different experiments into a single ledger file; the serial reference
+/// path stays un-suppressed and records exactly what the legacy loop did.
+/// Nestable; scopes on different threads are independent.
+class ScopedLedgerSuppression {
+ public:
+  ScopedLedgerSuppression();
+  ~ScopedLedgerSuppression();
+  ScopedLedgerSuppression(const ScopedLedgerSuppression&) = delete;
+  ScopedLedgerSuppression& operator=(const ScopedLedgerSuppression&) = delete;
+
+  /// True while the calling thread is inside a suppression scope.
+  static bool active();
+  /// Records dropped via suppression since process start.
+  static std::uint64_t suppressed_records();
+};
+
 // ---------------------------------------------------------------------------
 // Reader side (report tool, attribution, tests).
 

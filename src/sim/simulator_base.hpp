@@ -58,24 +58,6 @@ class SimulatorBase {
   /// Device i's upload trace.
   const BandwidthTrace& trace(std::size_t i) const { return traces_[i]; }
 
-  [[deprecated("use fleet() / fleet_state(); this shim materializes an AoS "
-               "copy of the fleet")]]
-  const std::vector<DeviceProfile>& devices() const {
-    if (legacy_devices_.size() != fleet_.size()) {
-      legacy_devices_ = fleet_.to_profiles();
-    }
-    return legacy_devices_;
-  }
-
-  [[deprecated("use trace_table() / trace(i); this shim materializes one "
-               "trace copy per device")]]
-  const std::vector<BandwidthTrace>& traces() const {
-    if (legacy_traces_.size() != traces_.size()) {
-      legacy_traces_ = traces_.materialize();
-    }
-    return legacy_traces_;
-  }
-
   const CostParams& params() const { return params_; }
 
   /// Current wall-clock time t^k (start of the next round).
@@ -169,10 +151,6 @@ class SimulatorBase {
   FleetState fleet_;
   TraceTable traces_;
   CostParams params_;
-  // Lazily-materialized AoS copies backing the deprecated devices() /
-  // traces() shims (kept one PR cycle).
-  mutable std::vector<DeviceProfile> legacy_devices_;
-  mutable std::vector<BandwidthTrace> legacy_traces_;
 };
 
 /// Code that needs to copy simulators by value (the evaluation harness

@@ -48,7 +48,8 @@ class TraceTable {
   const std::vector<BandwidthTrace>& pool() const { return pool_; }
   const std::vector<std::uint32_t>& assignment() const { return assignment_; }
 
-  /// One private trace copy per device (the deprecated traces() shim).
+  /// One private trace copy per device (tests and oracles that want a
+  /// plain per-device vector).
   std::vector<BandwidthTrace> materialize() const;
 
   /// Batched Eq. (3) solve for `count` uploads:

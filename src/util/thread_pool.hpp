@@ -1,28 +1,154 @@
-// Task-based thread pool (Core Guidelines CP.4: think in terms of tasks).
+// Work-stealing task scheduler (Core Guidelines CP.4: think in terms of
+// tasks).
 //
-// A fixed set of worker threads drains a mutex-protected task queue.
-// Submission returns std::future so callers compose results without sharing
-// mutable state (CP.3). parallel_for is the structured-parallelism helper
-// used by the tensor kernels and the per-device federated training fan-out:
-// it blocks until every chunk completes, so parallel regions have
-// OpenMP-style fork/join scoping.
+// Each worker owns a Chase–Lev deque: the owner pushes and pops tasks at
+// the bottom (LIFO, cache-warm), idle workers steal from the top (FIFO,
+// oldest-first so whole subtrees migrate). External threads submit through
+// a mutex-protected injection queue. TaskGroup is the fork/join primitive:
+// a joiner blocked in wait() does not sleep while work is pending — it
+// pops/steals and executes tasks itself ("join by stealing"), so nested
+// parallel regions compose instead of serialising on one worker.
+//
+// Determinism contract: parallel_for / parallel_for_chunks split [begin,
+// end) into chunks whose boundaries are a pure function of the range —
+// never of pool size, worker count, or steal order. Callers that write
+// disjoint per-index (or per-chunk) outputs therefore produce bit-identical
+// results for any pool size, including 1, and across repeated runs.
 #pragma once
 
-#include <chrono>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
-#include "telemetry/telemetry.hpp"
 #include "util/contracts.hpp"
 
 namespace fedra {
+
+class ThreadPool;
+
+namespace detail {
+
+/// One schedulable unit. Scheduler-owned fields (group/owns_self) are set
+/// by ThreadPool/TaskGroup at spawn time; run() is the type-erased body.
+struct TaskNode {
+  virtual ~TaskNode() = default;
+  virtual void run() = 0;
+  class TaskGroupBase* group = nullptr;  ///< joined group, if any
+  bool owns_self = true;  ///< heap node: scheduler deletes after run
+};
+
+class TaskGroupBase;
+
+/// Chase–Lev work-stealing deque of TaskNode*. Owner thread calls
+/// push_bottom/pop_bottom; any other thread calls steal_top. Lock-free;
+/// written with seq_cst operations on the indices instead of standalone
+/// fences so ThreadSanitizer (which does not model fences) sees the
+/// orderings. Grown ring buffers are retired, not freed, until the deque
+/// is destroyed, so a lagging thief can still read through an old buffer.
+class WorkStealDeque {
+ public:
+  explicit WorkStealDeque(std::size_t initial_capacity = 64);
+  ~WorkStealDeque();
+
+  WorkStealDeque(const WorkStealDeque&) = delete;
+  WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+
+  /// Owner only: push a task at the bottom.
+  void push_bottom(TaskNode* task);
+  /// Owner only: pop the most recently pushed task, or nullptr.
+  TaskNode* pop_bottom();
+  /// Any thread: steal the oldest task, or nullptr (empty or lost race).
+  TaskNode* steal_top();
+
+  bool empty() const {
+    return bottom_.load(std::memory_order_seq_cst) <=
+           top_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(cap) {}
+    std::size_t capacity;
+    std::size_t mask;  ///< capacity is a power of two
+    std::vector<std::atomic<TaskNode*>> slots;
+    TaskNode* get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, TaskNode* t) {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          t, std::memory_order_relaxed);
+    }
+  };
+
+  Ring* grow(Ring* old, std::int64_t top, std::int64_t bottom);
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_;
+  std::vector<std::unique_ptr<Ring>> retired_;  ///< owner-only, freed at end
+};
+
+/// Non-template core of TaskGroup so TaskNode can reference it.
+class TaskGroupBase {
+ public:
+  explicit TaskGroupBase(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroupBase();
+
+  TaskGroupBase(const TaskGroupBase&) = delete;
+  TaskGroupBase& operator=(const TaskGroupBase&) = delete;
+
+  /// Blocks until every task run() through this group has finished,
+  /// executing pending pool tasks itself while it waits. Rethrows the
+  /// first exception thrown by any task in the group.
+  void wait();
+
+  ThreadPool& pool() { return pool_; }
+
+ protected:
+  friend class fedra::ThreadPool;
+
+  void register_spawn() {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  /// Called by the scheduler after a task of this group finishes.
+  void finish_one() noexcept;
+  /// Called by the scheduler when a task of this group throws.
+  void capture_exception() noexcept;
+
+  ThreadPool& pool_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::exception_ptr error_;  ///< guarded by mutex_
+};
+
+}  // namespace detail
+
+/// Fork/join task group. run() forks a task into the owning pool; wait()
+/// joins all of them, stealing and executing pending tasks while blocked
+/// so that nested groups make progress even on a 1-worker pool. Not
+/// reusable across waits concurrently with run() from other threads:
+/// the usual pattern is fork-all-then-wait within one scope.
+class TaskGroup : public detail::TaskGroupBase {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : TaskGroupBase(pool) {}
+
+  /// Fork `fn` as a task of this group. Safe to call from any thread,
+  /// including pool workers (the task goes to the worker's own deque).
+  void run(std::function<void()> fn);
+};
 
 class ThreadPool {
  public:
@@ -38,14 +164,15 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Tasks submitted but not yet picked up by a worker (telemetry gauge
-  /// and back-pressure probe; racy by nature, exact under the lock).
+  /// Tasks spawned but not yet picked up by a worker or joiner (telemetry
+  /// gauge and back-pressure probe; racy by nature).
   std::size_t pending() const {
-    std::lock_guard lock(mutex_);
-    return tasks_.size();
+    return queued_.load(std::memory_order_relaxed);
   }
 
-  /// Submit a callable; returns a future for its result.
+  /// Submit a callable; returns a future for its result. Note: blocking on
+  /// the future from inside a pool task can deadlock a fully busy pool —
+  /// use TaskGroup (which joins by stealing) for nested fork/join.
   template <typename F, typename... Args>
   auto submit(F&& f, Args&&... args)
       -> std::future<std::invoke_result_t<F, Args...>> {
@@ -56,15 +183,16 @@ class ThreadPool {
           return std::invoke(std::move(fn), std::move(as)...);
         });
     std::future<R> fut = task->get_future();
-    enqueue([task]() { (*task)(); });
+    spawn_function([task]() { (*task)(); }, nullptr);
     return fut;
   }
 
   /// Fork/join loop: body(i) for i in [begin, end), split into contiguous
-  /// chunks across the pool. Blocks until all chunks finish. The calling
-  /// thread participates, so the pool is usable even with 1 worker and
-  /// never deadlocks on nested use from a worker thread (nested calls run
-  /// inline).
+  /// chunks. Blocks until all chunks finish. The calling thread
+  /// participates (runs the first chunk, then joins by stealing), so the
+  /// pool is usable with 1 worker and nested use from a worker thread
+  /// forks into that worker's own deque instead of running inline.
+  /// Chunk boundaries depend only on [begin, end) — see file header.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
@@ -73,23 +201,59 @@ class ThreadPool {
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& body);
 
+  /// Scheduler counters (always on; relaxed atomics). Cumulative since
+  /// construction. Mirrored into telemetry (`pool.steal_count`,
+  /// `pool.idle_wakeups`, `pool.worker.<i>.tasks`) when it is enabled.
+  std::uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t idle_wakeups() const {
+    return idle_wakeups_.load(std::memory_order_relaxed);
+  }
+  /// Tasks executed by worker `i` (joiner-executed tasks are attributed to
+  /// the joining thread and not counted here unless it is a worker).
+  std::uint64_t worker_tasks(std::size_t i) const;
+
  private:
-  struct Task {
-    std::function<void()> fn;
-    /// Set at submit time when telemetry is enabled (default-constructed
-    /// otherwise); lets workers report queue-wait latency.
-    std::chrono::steady_clock::time_point enqueued{};
-    bool timed = false;
-  };
+  friend class TaskGroup;
+  friend class detail::TaskGroupBase;
 
-  void enqueue(std::function<void()> fn);
-  void worker_loop();
+  struct Worker;
 
-  std::vector<std::thread> workers_;
-  std::queue<Task> tasks_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  /// Heap-allocates a node for `fn` and schedules it.
+  void spawn_function(std::function<void()> fn, detail::TaskGroupBase* group);
+  /// Schedules a ready node: own deque when called from a worker of this
+  /// pool, injection queue otherwise. Registers with `task->group` first.
+  void spawn(detail::TaskNode* task);
+  /// Pops/steals one ready task and executes it. Returns false if no task
+  /// was obtained (empty queues or lost steal races).
+  bool help_one();
+
+  detail::TaskNode* pop_injected();
+  detail::TaskNode* try_acquire(std::size_t self_index, bool is_worker);
+  void execute(detail::TaskNode* task);
+  void signal_work();
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // External submissions land here; workers and joiners drain it.
+  mutable std::mutex inject_mutex_;
+  std::deque<detail::TaskNode*> injected_;
+
+  // Sleep/wake protocol: spawners bump epoch_ then wake sleepers; a worker
+  // records the epoch before its final empty scan and re-checks it under
+  // the lock before sleeping, so a publish between scan and sleep is never
+  // missed.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> sleepers_{0};
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> idle_wakeups_{0};
 };
 
 /// A process-wide default pool for library internals. Constructed on first

@@ -1,0 +1,209 @@
+// fedra::sweep — the parallel sweep engine's determinism contract.
+//
+// The engine promises per-arm series (and therefore every reduced
+// aggregate) bitwise identical to the serial loop, for any pool size and
+// across repeated runs. These tests pin that promise plus the arm seed
+// derivation (order-invariant, coordinate-distinct) and the generic
+// run_arms fan-out.
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "sched/baselines.hpp"
+
+namespace fedra {
+namespace {
+
+std::vector<PolicySpec> basic_roster() {
+  std::vector<PolicySpec> roster;
+  roster.push_back({"fullspeed", [](const SimulatorBase&) {
+                      return std::make_unique<FullSpeedController>();
+                    }});
+  roster.push_back({"heuristic", [](const SimulatorBase& sim) {
+                      return std::make_unique<HeuristicController>(sim);
+                    }});
+  roster.push_back({"oracle", [](const SimulatorBase&) {
+                      return std::make_unique<OracleController>();
+                    }});
+  return roster;
+}
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg = testbed_config();
+  cfg.trace_samples = 400;
+  return cfg;
+}
+
+SweepGrid small_grid(std::size_t num_configs, std::size_t num_seeds,
+                     std::size_t iterations) {
+  SweepGrid grid;
+  for (std::size_t c = 0; c < num_configs; ++c) {
+    ExperimentConfig cfg = small_config();
+    cfg.cost.tau = 1.0 + 0.5 * static_cast<double>(c);
+    grid.configs.push_back(cfg);
+  }
+  grid.policies = basic_roster();
+  grid.num_seeds = num_seeds;
+  grid.iterations = iterations;
+  return grid;
+}
+
+bool series_equal(const EvalSeries& a, const EvalSeries& b) {
+  return a.costs == b.costs && a.times == b.times &&
+         a.compute_energies == b.compute_energies;
+}
+
+TEST(SweepSeed, OrderInvariantAndDeterministic) {
+  // Pure function of (base_seed, coordinates): calling in any order, any
+  // number of times, yields the same value.
+  const std::uint64_t a = sweep_arm_seed(42, 3, 1, 7);
+  const std::uint64_t b = sweep_arm_seed(42, 0, 0, 0);
+  EXPECT_EQ(sweep_arm_seed(42, 3, 1, 7), a);
+  EXPECT_EQ(sweep_arm_seed(42, 0, 0, 0), b);
+}
+
+TEST(SweepSeed, DistinctCoordinatesGiveDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::size_t c = 0; c < 8; ++c) {
+    for (std::size_t p = 0; p < 8; ++p) {
+      for (std::size_t s = 0; s < 8; ++s) {
+        seen.insert(sweep_arm_seed(7, c, p, s));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 8u * 8u);
+}
+
+TEST(SweepSeed, BaseSeedSeparatesStreams) {
+  EXPECT_NE(sweep_arm_seed(1, 0, 0, 0), sweep_arm_seed(2, 0, 0, 0));
+}
+
+TEST(SweepEngineTest, ArmsEnumerateTheGridInArmIndexOrder) {
+  const SweepEngine engine(small_grid(2, 3, 5));
+  const auto arms = engine.arms();
+  ASSERT_EQ(arms.size(), engine.num_arms());
+  ASSERT_EQ(arms.size(), 2u * 3u * 3u);
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    EXPECT_EQ(arms[i].arm_index, i);
+    const auto& a = arms[i];
+    EXPECT_EQ(a.arm_index,
+              (a.config_index * 3 + a.seed_index) * 3 + a.policy_index);
+    EXPECT_EQ(a.scenario_seed,
+              engine.grid().configs[a.config_index].seed + a.seed_index);
+    EXPECT_EQ(a.arm_seed,
+              sweep_arm_seed(engine.grid().configs[a.config_index].seed,
+                             a.config_index, a.policy_index, a.seed_index));
+  }
+}
+
+TEST(SweepEngineTest, ParallelMatchesSerialBitwiseAtEveryPoolSize) {
+  const SweepEngine engine(small_grid(2, 2, 15));
+  const auto reference = engine.run(nullptr);
+  ASSERT_EQ(reference.size(), engine.num_arms());
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    const auto results = engine.run(&pool);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t a = 0; a < results.size(); ++a) {
+      EXPECT_EQ(results[a].arm.arm_index, a);
+      EXPECT_TRUE(series_equal(results[a].series, reference[a].series))
+          << "pool=" << workers << " arm=" << a;
+    }
+  }
+}
+
+TEST(SweepEngineTest, RepeatedParallelRunsAreIdentical) {
+  const SweepEngine engine(small_grid(1, 3, 10));
+  ThreadPool pool(4);
+  const auto first = engine.run(&pool);
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto again = engine.run(&pool);
+    ASSERT_EQ(again.size(), first.size());
+    for (std::size_t a = 0; a < first.size(); ++a) {
+      EXPECT_TRUE(series_equal(again[a].series, first[a].series))
+          << "rep=" << rep << " arm=" << a;
+    }
+  }
+}
+
+TEST(SweepEngineTest, ReduceMatchesLegacyRunMultiSeedBitwise) {
+  const auto cfg = small_config();
+  const auto roster = basic_roster();
+  const auto legacy = run_multi_seed(cfg, roster, 4, 15);
+
+  SweepGrid grid;
+  grid.configs.push_back(cfg);
+  grid.policies = roster;
+  grid.num_seeds = 4;
+  grid.iterations = 15;
+  const SweepEngine engine(std::move(grid));
+  ThreadPool pool(4);
+  const auto parallel =
+      reduce_multi_seed(engine.grid(), engine.run(&pool));
+
+  ASSERT_EQ(parallel.policies.size(), legacy.policies.size());
+  EXPECT_EQ(parallel.seeds, legacy.seeds);
+  for (std::size_t p = 0; p < legacy.policies.size(); ++p) {
+    const auto& lhs = parallel.policies[p];
+    const auto& rhs = legacy.policies[p];
+    EXPECT_EQ(lhs.policy, rhs.policy);
+    // Bitwise, not approximate: memcmp on the doubles.
+    EXPECT_EQ(std::memcmp(&lhs.cost.mean, &rhs.cost.mean, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&lhs.cost.stddev, &rhs.cost.stddev,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&lhs.time.mean, &rhs.time.mean, sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&lhs.compute_energy.mean, &rhs.compute_energy.mean,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&lhs.win_rate, &rhs.win_rate, sizeof(double)), 0);
+  }
+}
+
+TEST(SweepEngineTest, WallClockIsRecordedPerArm) {
+  const SweepEngine engine(small_grid(1, 1, 5));
+  const auto results = engine.run(nullptr);
+  for (const auto& r : results) EXPECT_GT(r.wall_us, 0.0);
+}
+
+TEST(RunArms, ReturnsResultsInIndexOrder) {
+  const std::function<std::size_t(std::size_t)> arm =
+      [](std::size_t i) { return i * i; };
+  const auto serial = run_arms(8, arm);
+  ThreadPool pool(4);
+  const auto parallel = run_arms(8, arm, &pool);
+  ASSERT_EQ(serial.size(), 8u);
+  EXPECT_EQ(serial, parallel);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(serial[i], i * i);
+}
+
+TEST(RunArms, SuppressesLedgerOnConcurrentArms) {
+  // Concurrent arms must not interleave into the process-wide ledger;
+  // run_arms wraps each arm in ScopedLedgerSuppression.
+  // (int, not bool: vector<bool> packs bits, and concurrent arms writing
+  // adjacent elements of one would race.)
+  ThreadPool pool(2);
+  const std::function<int(std::size_t)> arm = [](std::size_t) {
+    return obs::ScopedLedgerSuppression::active() ? 1 : 0;
+  };
+  const auto suppressed = run_arms(4, arm, &pool);
+  for (int s : suppressed) EXPECT_EQ(s, 1);
+  // The serial path records exactly what the legacy loop did: no
+  // suppression.
+  const auto serial = run_arms(4, arm);
+  for (int s : serial) EXPECT_EQ(s, 0);
+}
+
+TEST(SweepDeathTest, ReduceRequiresSingleConfigGrid) {
+  const SweepEngine engine(small_grid(2, 1, 3));
+  const auto results = engine.run(nullptr);
+  EXPECT_DEATH(reduce_multi_seed(engine.grid(), results), "precondition");
+}
+
+}  // namespace
+}  // namespace fedra

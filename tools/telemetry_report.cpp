@@ -242,6 +242,49 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Scheduler summary: the pool.* counters written by the work-stealing
+  // ThreadPool — total tasks, steals, idle wakeups, and the per-worker
+  // task counters (a skewed distribution here means the steal path is not
+  // balancing the load). pool.* counters are shown here, not in the
+  // generic counter dump below.
+  {
+    double tasks = 0.0, steals = 0.0, wakeups = 0.0;
+    bool have_tasks = false, have_steals = false, have_wakeups = false;
+    std::vector<std::pair<std::string, double>> worker_tasks;
+    for (const auto& [name, v] : counters) {
+      if (name == "pool.tasks") {
+        tasks = v;
+        have_tasks = true;
+      } else if (name == "pool.steal_count") {
+        steals = v;
+        have_steals = true;
+      } else if (name == "pool.idle_wakeups") {
+        wakeups = v;
+        have_wakeups = true;
+      } else if (name.rfind("pool.worker.", 0) == 0) {
+        worker_tasks.emplace_back(name, v);
+      }
+    }
+    if (have_tasks || have_steals || have_wakeups || !worker_tasks.empty()) {
+      std::printf("\n== scheduler ==\n");
+      if (have_tasks) std::printf("%-28s %14.0f\n", "pool.tasks", tasks);
+      if (have_steals) {
+        std::printf("%-28s %14.0f", "pool.steal_count", steals);
+        if (tasks > 0.0) std::printf("  (%.1f%% of tasks)", 100.0 * steals / tasks);
+        std::printf("\n");
+      }
+      if (have_wakeups) {
+        std::printf("%-28s %14.0f\n", "pool.idle_wakeups", wakeups);
+      }
+      std::sort(worker_tasks.begin(), worker_tasks.end());
+      for (const auto& [name, v] : worker_tasks) {
+        std::printf("%-28s %14.0f", name.c_str(), v);
+        if (tasks > 0.0) std::printf("  (%.1f%% of tasks)", 100.0 * v / tasks);
+        std::printf("\n");
+      }
+    }
+  }
+
   if (show_metrics) {
     if (!histograms.empty()) {
       std::printf("\n== histograms ==\n");
@@ -253,11 +296,14 @@ int main(int argc, char** argv) {
                     h.max);
       }
     }
-    if (!counters.empty()) {
-      std::printf("\n== counters ==\n");
-      for (const auto& [name, v] : counters) {
-        std::printf("%-28s %14.0f\n", name.c_str(), v);
+    bool counters_header = false;
+    for (const auto& [name, v] : counters) {
+      if (name.rfind("pool.", 0) == 0) continue;  // shown in == scheduler ==
+      if (!counters_header) {
+        std::printf("\n== counters ==\n");
+        counters_header = true;
       }
+      std::printf("%-28s %14.0f\n", name.c_str(), v);
     }
     if (!gauges.empty()) {
       std::printf("\n== gauges ==\n");
