@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "live/http_exporter.hpp"
 #include "rl/policy.hpp"
 #include "serve/engine.hpp"
 #include "serve/session.hpp"
@@ -190,6 +191,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::size_t decisions = 0;  // 0 = mode default
   double min_speedup = 3.0;
+  int live_port = -1;  // -1 = exporter off
   std::string out_path = "BENCH_serve.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -199,16 +201,30 @@ int main(int argc, char** argv) {
       decisions = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--min-speedup" && i + 1 < argc) {
       min_speedup = std::atof(argv[++i]);
+    } else if (arg == "--live-port" && i + 1 < argc) {
+      live_port = std::atoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_serve [--smoke] [--decisions N] "
-                   "[--min-speedup F] [--out PATH]\n");
+                   "[--min-speedup F] [--live-port P] [--out PATH]\n");
       return 1;
     }
   }
   if (decisions == 0) decisions = smoke ? 30 : 200;
+
+  // --live-port P: scrape /metrics and /statusz while the legs run (watch
+  // queue depth, shed counts, batch sizes from outside the process).
+  live::LiveServer live_server({live_port < 0 ? 0 : live_port});
+  if (live_port >= 0) {
+    if (!live_server.start()) {
+      std::fprintf(stderr, "bench_serve: cannot bind live exporter to %d\n",
+                   live_port);
+      return 2;
+    }
+    std::printf("live exporter on http://127.0.0.1:%d\n", live_server.port());
+  }
 
   Rng init_rng(42);
   PolicyConfig pcfg;

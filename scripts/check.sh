@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# One-command verification, the same four legs a PR must pass:
+# One-command verification, the same five legs a PR must pass:
 #
 #   1. tier-1: default configure + build + full ctest;
 #   2. sanitize: address,undefined build, `sanitize`-labeled suites
@@ -11,7 +11,12 @@
 #      concurrency-heavy tests (work-stealing scheduler, sweep engine,
 #      serving stack, fleet pricing pools, async ledger, telemetry)
 #      race-checked under TSan;
-#   4. perf: smoke-run the perf harnesses and diff them against the
+#   4. live: start the embedded observability exporter in-process
+#      (tools/live_probe), fetch /metrics, /healthz, /statusz and the
+#      flight-recorder dump over real TCP, validate every payload
+#      (Prometheus line shapes + JSON parses), and verify clean
+#      double-stop shutdown;
+#   5. perf: smoke-run the perf harnesses and diff them against the
 #      checked-in bench/baselines/ snapshots (`-L perf`); this leg also
 #      enforces bench_serve's batched-vs-sequential speedup floor and
 #      bit-exactness flag, bench_fleet's engine-vs-scalar-oracle
@@ -56,6 +61,9 @@ cmake -B build-tsan -S . -DFEDRA_SANITIZE=thread \
       -DFEDRA_BUILD_BENCH=OFF -DFEDRA_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan -L tsan --output-on-failure -j "$jobs"
+
+echo "== live: exporter smoke (build/tools/live_probe) =="
+./build/tools/live_probe
 
 echo "== perf: smoke + baseline regression (build/) =="
 ctest --test-dir build -L perf --output-on-failure

@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "core/evaluation.hpp"
+#include "live/status.hpp"
+#include "live/trace_context.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace fedra {
@@ -57,11 +60,18 @@ std::vector<SweepArmResult> SweepEngine::run(ThreadPool* pool) const {
   const std::vector<SweepArm> all = arms();
   std::vector<SweepArmResult> results(all.size());
   const std::size_t num_policies = grid_.policies.size();
+  live::sweep_progress_add_total(all.size());
 
   // One arm: fresh controller from the shared scenario simulator, one
   // evaluation (run_controller copies the simulator, so the shared
   // instance stays const). Writes only results[arm.arm_index].
   auto run_arm = [&](const SweepArm& arm, const auto& sim) {
+    // Per-arm ROOT trace: the id is a pure function of the arm's seed
+    // (never of scheduling), so the same arm carries the same trace id
+    // on any pool size — and everything the arm forks inherits it via
+    // the scheduler's context capture.
+    live::ScopedTraceContext arm_trace({arm.arm_seed | 1ULL, 0});
+    FEDRA_TRACE_SPAN("sweep.arm");
     SweepArmResult& slot = results[arm.arm_index];
     slot.arm = arm;
     auto controller = grid_.policies[arm.policy_index].make(sim);
@@ -71,6 +81,8 @@ std::vector<SweepArmResult> SweepEngine::run(ThreadPool* pool) const {
     slot.wall_us = std::chrono::duration<double, std::micro>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
+    live::sweep_progress_arm_done();
+    live::watchdog_kick();
   };
 
   if (pool == nullptr) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "live/flight_recorder.hpp"
 #include "obs/ledger.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -105,6 +106,11 @@ std::vector<double> FlEnv::observe() const {
 
 StepResult FlEnv::step(const std::vector<double>& action) {
   FEDRA_EXPECTS(action.size() == action_dim());
+  // Always-on black box: one ring slot per environment step, so a crash
+  // mid-training shows which round every thread was in. Costs one clock
+  // read + a few relaxed stores; the bench_obs recorder leg pins it ≤5%
+  // of a step.
+  live::record_event("env.step", sim_.iteration());
   const auto caps = max_freqs();
   std::vector<double> freqs(action.size());
   for (std::size_t i = 0; i < action.size(); ++i) {

@@ -1,0 +1,74 @@
+#include "live/http_client.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace fedra::live {
+
+HttpResponse http_get(const std::string& host, int port,
+                      const std::string& target, int timeout_ms) {
+  HttpResponse out;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return out;
+  }
+
+  std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ::ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return out;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ::ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 <code> ..." then headers, blank line, body.
+  if (raw.compare(0, 5, "HTTP/") != 0) return out;
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) return out;
+  out.status = std::atoi(raw.c_str() + sp + 1);
+  std::size_t body_at = raw.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (body_at == std::string::npos) {
+    body_at = raw.find("\n\n");
+    skip = 2;
+  }
+  if (body_at != std::string::npos) out.body = raw.substr(body_at + skip);
+  return out;
+}
+
+}  // namespace fedra::live

@@ -1,0 +1,21 @@
+// Minimal blocking HTTP/1.1 GET client — the curl-equivalent used by the
+// live-plane tests and the scripts/check.sh smoke tool (live_probe), so
+// verification needs no external binaries. Loopback-oriented: one
+// request, Connection: close, read to EOF.
+#pragma once
+
+#include <string>
+
+namespace fedra::live {
+
+struct HttpResponse {
+  int status = 0;     ///< HTTP status code; 0 = connect/transport failure
+  std::string body;   ///< response body (headers stripped)
+  bool ok() const { return status == 200; }
+};
+
+/// GETs http://host:port<target> with a bounded timeout per socket op.
+HttpResponse http_get(const std::string& host, int port,
+                      const std::string& target, int timeout_ms = 2000);
+
+}  // namespace fedra::live

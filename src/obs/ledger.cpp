@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "live/status.hpp"
 #include "obs/async_writer.hpp"
 #include "obs/json_min.hpp"
 #include "telemetry/sinks.hpp"
@@ -78,6 +79,7 @@ struct LedgerState {
   std::ofstream out;
   std::atomic<std::uint64_t> records{0};
   std::unique_ptr<AsyncLedgerWriter> writer;
+  std::atomic<bool> status_registered{false};  ///< /statusz source, once
 };
 
 LedgerState& state() {
@@ -171,6 +173,25 @@ bool RunLedger::enable(const LedgerConfig& config) {
         });
   }
   enabled_flag().store(true, std::memory_order_relaxed);
+  if (!s.status_registered.exchange(true, std::memory_order_acq_rel)) {
+    // Registered once and never unregistered: the state it reads is the
+    // immortal LedgerState, so the callback can outlive any one run.
+    live::register_status_source("ledger", [](std::string& out) {
+      out += '{';
+      append_kv(out, "enabled", RunLedger::enabled());
+      out += ',';
+      append_kv(out, "records_written",
+                static_cast<std::size_t>(RunLedger::records_written()));
+      out += ',';
+      append_kv(out, "dropped",
+                static_cast<std::size_t>(RunLedger::dropped_records()));
+      out += ',';
+      append_kv(out, "suppressed",
+                static_cast<std::size_t>(
+                    ScopedLedgerSuppression::suppressed_records()));
+      out += '}';
+    });
+  }
   return true;
 }
 

@@ -1,7 +1,9 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "live/status.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/contracts.hpp"
 
@@ -51,6 +53,10 @@ struct InferenceEngine::Request {
   std::vector<double> action;
   std::size_t batch_rows = 0;
   double queue_wait_us = 0.0;
+  /// Client thread's trace context at admission: the batcher emits this
+  /// request's serve.infer span under it, so one trace id follows the
+  /// request decide() -> queue -> batched forward -> completion.
+  live::TraceContext trace;
 };
 
 InferenceEngine::InferenceEngine(BatchPolicy& policy, ServeConfig config)
@@ -58,10 +64,41 @@ InferenceEngine::InferenceEngine(BatchPolicy& policy, ServeConfig config)
   FEDRA_EXPECTS(config_.max_batch > 0);
   FEDRA_EXPECTS(config_.max_queue_depth > 0);
   batch_.reserve(config_.max_batch);
+  // /statusz "serve" source: queue depth + admission/deadline counters.
+  // Unregistered first thing in the destructor (the registry mutex is
+  // held across callback invocation, so no scrape can race teardown).
+  live_status_id_ = live::register_status_source(
+      "serve", [this](std::string& out) {
+        ServeStats s;
+        std::size_t depth = 0;
+        {
+          std::lock_guard lock(mu_);
+          s = stats_;
+          depth = queue_.size();
+        }
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"queue_depth\":%zu,\"admitted\":%llu,\"served\":%llu,"
+            "\"shed\":%llu,\"expired\":%llu,\"rejected\":%llu,"
+            "\"batches\":%llu,\"max_batch_rows\":%zu,"
+            "\"max_queue_depth\":%zu}",
+            depth, static_cast<unsigned long long>(s.admitted),
+            static_cast<unsigned long long>(s.served),
+            static_cast<unsigned long long>(s.shed),
+            static_cast<unsigned long long>(s.expired),
+            static_cast<unsigned long long>(s.rejected),
+            static_cast<unsigned long long>(s.batches), s.max_batch_rows,
+            s.max_queue_depth);
+        out += buf;
+      });
   batcher_ = std::thread([this] { batcher_loop(); });
 }
 
-InferenceEngine::~InferenceEngine() { stop(); }
+InferenceEngine::~InferenceEngine() {
+  live::unregister_status_source(live_status_id_);
+  stop();
+}
 
 DecideResult InferenceEngine::decide(std::span<const double> state,
                                      double deadline_us) {
@@ -72,9 +109,14 @@ DecideResult InferenceEngine::decide(std::span<const double> state,
 
 void InferenceEngine::decide(std::span<const double> state, DecideResult& out,
                              double deadline_us) {
+  // The request's root span: covers admission, the queue wait, and the
+  // wakeup. Opening it first means req.trace (captured below) carries
+  // this span as parent — the batcher's serve.infer span attaches there.
+  telemetry::TraceSpan decide_span("serve.decide");
   out.batch_rows = 0;
   out.queue_wait_us = 0.0;
   Request req;
+  req.trace = live::current_trace_context();
   req.action = std::move(out.action);  // recycle the caller's buffer
   req.action.clear();
   if (state.size() != policy_.state_dim()) {
@@ -226,10 +268,44 @@ void InferenceEngine::batcher_loop() {
                 dst.begin());
     }
     batch_actions_.resize_reuse(rows, policy_.action_dim());
+    const bool tel_on = telemetry::Telemetry::enabled();
+    const bool rec_on = live::flight_recorder_enabled();
+    const double fwd_t0 = (tel_on || rec_on) ? telemetry::now_us() : 0.0;
     policy_.mean_action_batch(batch_states_, batch_actions_);
+    const double fwd_dur =
+        (tel_on || rec_on) ? telemetry::now_us() - fwd_t0 : 0.0;
+    live::watchdog_kick();
 
     // Telemetry first: once a request is completed below, its owner may
-    // return and the stack node is gone.
+    // return and the stack node is gone. One serve.infer span per row,
+    // emitted under the REQUEST's trace context — this is how a request
+    // keeps one trace id across the client thread and the batcher thread.
+    if (tel_on || rec_on) {
+      for (std::size_t b = 0; b < rows; ++b) {
+        Request* req = batch_[b];
+        live::ScopedTraceContext request_ctx(req->trace);
+        if (rec_on) {
+          live::record_flight("serve.infer", fwd_t0, fwd_dur,
+                              live::FlightKind::kSpan, rows);
+        }
+        if (tel_on) {
+          telemetry::SpanRecord span;
+          span.name = "serve.infer";
+          span.start_us = fwd_t0;
+          span.dur_us = fwd_dur;
+          span.tid = telemetry::current_thread_id();
+          span.trace_id = req->trace.trace_id;
+          span.parent_span_id = req->trace.span_id;
+          span.span_id = live::next_trace_id();
+          telemetry::Telemetry::spans().push(span);
+        }
+      }
+      if (tel_on) {
+        static auto infer_hist =
+            tel::Telemetry::metrics().histogram("serve.infer");
+        infer_hist.record(fwd_dur);
+      }
+    }
     FEDRA_TELEMETRY_IF {
       static auto served =
           tel::Telemetry::metrics().counter("serve.served");

@@ -174,6 +174,8 @@ class InferenceEngine {
   std::vector<Request*> expired_;  ///< deadline-blown pops, completed
                                    ///< after the queue lock is released
 
+  std::size_t live_status_id_ = 0;  ///< /statusz "serve" source handle
+
   std::thread batcher_;  ///< last member: starts after everything above
 };
 

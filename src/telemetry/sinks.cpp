@@ -15,6 +15,13 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+std::string fmt_hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
 struct SpanAgg {
   std::uint64_t count = 0;
   double total_us = 0.0;
@@ -98,8 +105,15 @@ void write_jsonl(std::ostream& os, const MetricsSnapshot& metrics,
   for (const auto& s : spans) {
     os << "{\"type\":\"span\",\"name\":\"" << json_escape(s.name)
        << "\",\"ts_us\":" << fmt_double(s.start_us)
-       << ",\"dur_us\":" << fmt_double(s.dur_us) << ",\"tid\":" << s.tid
-       << "}\n";
+       << ",\"dur_us\":" << fmt_double(s.dur_us) << ",\"tid\":" << s.tid;
+    if (s.trace_id != 0) {
+      // Hex strings, not numbers: full-width 64-bit ids do not survive a
+      // double-precision JSON number parse.
+      os << ",\"trace_id\":\"" << fmt_hex64(s.trace_id) << "\",\"span_id\":\""
+         << fmt_hex64(s.span_id) << "\",\"parent_span_id\":\""
+         << fmt_hex64(s.parent_span_id) << '"';
+    }
+    os << "}\n";
   }
 }
 
@@ -113,9 +127,35 @@ void write_chrome_trace(std::ostream& os,
     os << "{\"name\":\"" << json_escape(s.name)
        << "\",\"cat\":\"fedra\",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid
        << ",\"ts\":" << fmt_double(s.start_us)
-       << ",\"dur\":" << fmt_double(s.dur_us) << "}";
+       << ",\"dur\":" << fmt_double(s.dur_us);
+    if (s.trace_id != 0) {
+      // The causal annotations: every span of one serve request / sweep
+      // arm carries the same trace id even when rows complete on the
+      // batcher thread and the client blocked elsewhere.
+      os << ",\"args\":{\"trace_id\":\"" << fmt_hex64(s.trace_id)
+         << "\",\"span_id\":\"" << fmt_hex64(s.span_id)
+         << "\",\"parent_span_id\":\"" << fmt_hex64(s.parent_span_id)
+         << "\"}";
+    }
+    os << "}";
   }
   os << "]}\n";
+}
+
+std::string prometheus_escape_help(const std::string& text) {
+  // Exposition-format HELP escaping: backslash and newline only.
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
 }
 
 std::string prometheus_sanitize(const std::string& name) {
@@ -135,15 +175,21 @@ std::string prometheus_sanitize(const std::string& name) {
 void write_prometheus(std::ostream& os, const MetricsSnapshot& metrics) {
   for (const auto& [name, value] : metrics.counters) {
     const std::string n = prometheus_sanitize(name);
+    os << "# HELP " << n << " fedra metric " << prometheus_escape_help(name)
+       << '\n';
     os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
   }
   for (const auto& [name, value] : metrics.gauges) {
     const std::string n = prometheus_sanitize(name);
+    os << "# HELP " << n << " fedra metric " << prometheus_escape_help(name)
+       << '\n';
     os << "# TYPE " << n << " gauge\n" << n << ' ' << fmt_double(value)
        << '\n';
   }
   for (const auto& h : metrics.histograms) {
     const std::string n = prometheus_sanitize(h.name);
+    os << "# HELP " << n << " fedra metric " << prometheus_escape_help(h.name)
+       << '\n';
     os << "# TYPE " << n << " histogram\n";
     // Exposition buckets are CUMULATIVE, unlike the per-bucket counts the
     // registry stores; the +Inf bucket always equals the total count.

@@ -12,9 +12,10 @@
 //   - format_text_summary: fixed-width human-readable dump used by
 //     Telemetry::summary().
 //   - write_prometheus: Prometheus text exposition format 0.0.4 —
-//     counters/gauges as single samples, histograms as cumulative
-//     `_bucket{le=...}` series plus `_sum`/`_count`, names sanitized to
-//     the [a-zA-Z0-9_:] metric-name alphabet.
+//     `# HELP`/`# TYPE` headers per metric, counters/gauges as single
+//     samples, histograms as cumulative `_bucket{le=...}` series plus
+//     `_sum`/`_count`, names sanitized to the [a-zA-Z0-9_:] metric-name
+//     alphabet (HELP carries the original unsanitized name).
 #pragma once
 
 #include <ostream>
@@ -43,6 +44,9 @@ void write_prometheus(std::ostream& os, const MetricsSnapshot& metrics);
 /// ([a-zA-Z0-9_:], not starting with a digit): every other byte becomes
 /// '_' ("sim.iter_time_s" -> "sim_iter_time_s").
 std::string prometheus_sanitize(const std::string& name);
+
+/// Escapes `\` and newline for Prometheus `# HELP` text.
+std::string prometheus_escape_help(const std::string& text);
 
 /// Escapes `"` `\` and control characters for embedding in JSON strings.
 std::string json_escape(const std::string& s);

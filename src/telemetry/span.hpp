@@ -29,12 +29,18 @@ double now_us();
 std::uint32_t current_thread_id();
 
 /// One completed span. `name` must point at storage that outlives the
-/// buffer — instrumentation sites pass string literals.
+/// buffer — instrumentation sites pass string literals. The trace ids
+/// come from live::TraceContext: all spans of one logical request/arm
+/// share `trace_id` even across threads, and `parent_span_id` links each
+/// span to the span that was open when it started (0 = trace root).
 struct SpanRecord {
   const char* name = "";
   double start_us = 0.0;
   double dur_us = 0.0;
   std::uint32_t tid = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 /// Bounded MPMC span sink: a mutex-protected vector that stops growing at

@@ -117,11 +117,22 @@ void Telemetry::reset() {
 
 void TraceSpan::finish() {
   const double end_us = now_us();
+  const double dur_us = end_us - start_us_;
+  if (live::flight_recorder_enabled()) {
+    // The black box sees every span even with telemetry off; the context
+    // was already restored, so stamp this span's own ids explicitly.
+    live::ScopedTraceContext as_self({trace_id_, span_id_});
+    live::record_flight(name_, start_us_, dur_us, live::FlightKind::kSpan);
+  }
+  if (!telemetry_on_) return;
   SpanRecord record;
   record.name = name_;
   record.start_us = start_us_;
-  record.dur_us = end_us - start_us_;
+  record.dur_us = dur_us;
   record.tid = current_thread_id();
+  record.trace_id = trace_id_;
+  record.span_id = span_id_;
+  record.parent_span_id = prev_.span_id;
   Telemetry::spans().push(record);
   // Mirror into a duration histogram so span phases show up in metric
   // sinks even when the span buffer overflows.

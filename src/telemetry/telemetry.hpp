@@ -24,6 +24,8 @@
 
 #include <string>
 
+#include "live/flight_recorder.hpp"
+#include "live/trace_context.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/sinks.hpp"
 #include "telemetry/span.hpp"
@@ -70,16 +72,33 @@ class Telemetry {
 /// RAII span: records [construction, destruction) of the enclosing scope
 /// into the global span buffer and a `<name>` duration histogram. `name`
 /// must be a string literal (stored by pointer).
+///
+/// A live span also participates in trace-context propagation: it
+/// derives its trace id from the thread's live::TraceContext (opening a
+/// fresh trace when there is none), installs itself as the context's
+/// current span for the scope, and restores the previous context on
+/// exit. When only the flight recorder is on (telemetry off), the span
+/// still times itself and records a ring slot, but touches no buffer or
+/// histogram — so the always-on black box never allocates.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
-    if (Telemetry::enabled()) {
+    telemetry_on_ = Telemetry::enabled();
+    if (telemetry_on_ || live::flight_recorder_enabled()) {
       name_ = name;
       start_us_ = now_us();
+      live::TraceContext& ctx = live::current_trace_context();
+      prev_ = ctx;
+      trace_id_ = ctx.trace_id != 0 ? ctx.trace_id : live::next_trace_id();
+      span_id_ = live::next_trace_id();
+      ctx = {trace_id_, span_id_};
     }
   }
   ~TraceSpan() {
-    if (name_ != nullptr) finish();
+    if (name_ != nullptr) {
+      live::current_trace_context() = prev_;
+      finish();
+    }
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -87,8 +106,12 @@ class TraceSpan {
  private:
   void finish();
 
-  const char* name_ = nullptr;  ///< nullptr = telemetry was off at entry
+  const char* name_ = nullptr;  ///< nullptr = nothing observing at entry
   double start_us_ = 0.0;
+  bool telemetry_on_ = false;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  live::TraceContext prev_;  ///< context to restore (prev_.span_id = parent)
 };
 
 /// RAII timer: records the scope duration (microseconds) into a caller-

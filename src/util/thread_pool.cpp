@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <string>
 
+#include "live/status.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fedra {
@@ -219,9 +221,25 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
   }
   FEDRA_ENSURES(!workers_.empty());
+  // /statusz scheduler counters. The callback reads only relaxed atomics;
+  // the registry mutex is held across invocation, so unregistering in the
+  // destructor (before joining) makes dangling-`this` impossible.
+  live_status_id_ = live::register_status_source(
+      "pool", [this](std::string& out) {
+        char buf[192];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"threads\":%zu,\"pending\":%zu,\"steals\":%llu,"
+            "\"idle_wakeups\":%llu}",
+            size(), pending(),
+            static_cast<unsigned long long>(steal_count()),
+            static_cast<unsigned long long>(idle_wakeups()));
+        out += buf;
+      });
 }
 
 ThreadPool::~ThreadPool() {
+  live::unregister_status_source(live_status_id_);
   stopping_.store(true, std::memory_order_seq_cst);
   epoch_.fetch_add(1, std::memory_order_seq_cst);
   {
@@ -249,6 +267,7 @@ void ThreadPool::spawn_function(std::function<void()> fn,
 }
 
 void ThreadPool::spawn(detail::TaskNode* task) {
+  task->ctx = live::current_trace_context();
   if (t_pool == this) {
     if (task->group) task->group->register_spawn();
     queued_.fetch_add(1, std::memory_order_relaxed);
@@ -313,17 +332,23 @@ void ThreadPool::execute(detail::TaskNode* task) {
   const bool timed = telemetry::Telemetry::enabled();
   const auto start =
       timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
-  if (group) {
-    try {
+  {
+    // Run under the spawner's trace context so spans opened by the task
+    // parent correctly even after a steal; restored before accounting.
+    live::ScopedTraceContext trace_scope(task->ctx);
+    if (group) {
+      try {
+        task->run();
+      } catch (...) {
+        group->capture_exception();
+      }
+    } else {
+      // Group-less tasks come from submit(); the packaged_task captures
+      // any exception into the future.
       task->run();
-    } catch (...) {
-      group->capture_exception();
     }
-  } else {
-    // Group-less tasks come from submit(); the packaged_task captures any
-    // exception into the future.
-    task->run();
   }
+  live::watchdog_kick();
   if (timed) {
     auto& m = pool_metrics();
     m.task_us.record(std::chrono::duration<double, std::micro>(

@@ -30,6 +30,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "live/trace_context.hpp"
 #include "util/contracts.hpp"
 
 namespace fedra {
@@ -38,12 +39,16 @@ class ThreadPool;
 
 namespace detail {
 
-/// One schedulable unit. Scheduler-owned fields (group/owns_self) are set
-/// by ThreadPool/TaskGroup at spawn time; run() is the type-erased body.
+/// One schedulable unit. Scheduler-owned fields (group/owns_self/ctx) are
+/// set by ThreadPool/TaskGroup at spawn time; run() is the type-erased
+/// body. `ctx` is the spawner's live::TraceContext, restored around run()
+/// so spans opened inside a task parent under the span that forked it —
+/// across threads and steals.
 struct TaskNode {
   virtual ~TaskNode() = default;
   virtual void run() = 0;
   class TaskGroupBase* group = nullptr;  ///< joined group, if any
+  live::TraceContext ctx;  ///< spawner's trace context, captured in spawn()
   bool owns_self = true;  ///< heap node: scheduler deletes after run
 };
 
@@ -254,6 +259,7 @@ class ThreadPool {
   std::atomic<std::size_t> queued_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> idle_wakeups_{0};
+  std::size_t live_status_id_ = 0;  ///< /statusz "pool" source handle
 };
 
 /// A process-wide default pool for library internals. Constructed on first

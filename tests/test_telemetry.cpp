@@ -307,10 +307,13 @@ TEST_F(TelemetryTest, PrometheusSinkMatchesGoldenString) {
   std::ostringstream os;
   write_prometheus(os, snap);
   const std::string golden =
+      "# HELP sim_iterations fedra metric sim.iterations\n"
       "# TYPE sim_iterations counter\n"
       "sim_iterations 3\n"
+      "# HELP rl_kl_weird_name fedra metric rl/kl weird-name\n"
       "# TYPE rl_kl_weird_name gauge\n"
       "rl_kl_weird_name 0.5\n"
+      "# HELP sim_iter_time_s fedra metric sim.iter_time_s\n"
       "# TYPE sim_iter_time_s histogram\n"
       "sim_iter_time_s_bucket{le=\"1\"} 1\n"
       "sim_iter_time_s_bucket{le=\"10\"} 3\n"

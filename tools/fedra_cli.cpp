@@ -18,17 +18,22 @@
 #include <stdexcept>
 #include <string>
 
+#include <memory>
+
 #include "ckpt/checkpoint.hpp"
 #include "core/drl_controller.hpp"
 #include "core/evaluation.hpp"
 #include "core/experiment.hpp"
 #include "core/fairness.hpp"
 #include "core/offline_trainer.hpp"
+#include "live/flight_recorder.hpp"
+#include "live/http_exporter.hpp"
 #include "sched/predictive.hpp"
 #include "sched/baselines.hpp"
 #include "sim/experiment_config.hpp"
 #include "trace/fit.hpp"
 #include "trace/generator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/loader.hpp"
 #include "util/argparse.hpp"
 #include "util/csv.hpp"
@@ -52,8 +57,34 @@ int usage() {
                "[--resume F]\n"
                "  eval      --ckpt prefix [--iterations K] [--seed S]\n"
                "  multiseed [--seeds S] [--iterations K] [--devices N] "
-               "[--lambda L] [--scale]\n");
+               "[--lambda L] [--scale]\n"
+               "  any command also accepts --live-port P (0 = ephemeral): "
+               "serve GET /metrics, /healthz, /statusz on 127.0.0.1:P for "
+               "the lifetime of the command\n");
   return 2;
+}
+
+// --live-port P: start the embedded observability exporter for the
+// duration of the command. Enables in-memory telemetry (no sink files —
+// scrapes read the live registry) and installs the flight-recorder crash
+// handler so a SIGSEGV/SIGABRT mid-run still dumps the black box.
+std::unique_ptr<live::LiveServer> maybe_start_live(const ArgParser& args) {
+  if (!args.has("live-port")) return nullptr;
+  telemetry::TelemetryConfig tcfg;
+  telemetry::Telemetry::enable(tcfg);
+  live::install_flight_recorder_crash_handler();
+  live::LiveConfig lcfg;
+  lcfg.port = static_cast<int>(args.get_int("live-port", 0));
+  auto server = std::make_unique<live::LiveServer>(lcfg);
+  if (!server->start()) {
+    std::fprintf(stderr, "fedra_cli: cannot bind live exporter to port %d\n",
+                 lcfg.port);
+    return nullptr;
+  }
+  std::printf("live exporter on http://127.0.0.1:%d (/metrics /healthz "
+              "/statusz)\n",
+              server->port());
+  return server;
 }
 
 ExperimentConfig scenario_from(const ArgParser& args) {
@@ -312,6 +343,7 @@ int main(int argc, char** argv) {
   fedra::set_log_level(fedra::LogLevel::Info);
   try {
     fedra::ArgParser args(argc - 1, argv + 1);
+    const auto live_server = maybe_start_live(args);
     if (cmd == "traces") return cmd_traces(args);
     if (cmd == "solve") return cmd_solve(args);
     if (cmd == "train") return cmd_train(args);

@@ -66,6 +66,55 @@ bool extract_double(const std::string& line, const std::string& key,
   return true;
 }
 
+// Extracts a flat numeric array following `"key":[...]`. Histogram lines
+// carry the raw geometric buckets as "bounds" and "bucket_counts"; the
+// percentile table below re-derives quantiles from them so the report
+// works on logs that predate the precomputed p50/p90/p99 fields.
+bool extract_array(const std::string& line, const std::string& key,
+                   std::vector<double>& out) {
+  const std::string needle = "\"" + key + "\":[";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t i = pos + needle.size();
+  const auto end = line.find(']', i);
+  if (end == std::string::npos) return false;
+  out.clear();
+  while (i < end) {
+    std::size_t next = line.find(',', i);
+    if (next == std::string::npos || next > end) next = end;
+    try {
+      out.push_back(std::stod(line.substr(i, next - i)));
+    } catch (...) {
+      return false;
+    }
+    i = next + 1;
+  }
+  return true;
+}
+
+// Mirror of HistogramSnapshot::percentile: linear interpolation inside
+// the first bucket whose cumulative count reaches the target, clamped to
+// the observed extrema.
+double bucket_percentile(double q, double count, double min, double max,
+                         const std::vector<double>& bounds,
+                         const std::vector<double>& counts) {
+  if (count <= 0.0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  const double target = q / 100.0 * count;
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] <= 0.0) continue;
+    const double lo_seen = seen;
+    seen += counts[i];
+    if (seen < target) continue;
+    const double lo = i == 0 ? min : bounds[i - 1];
+    const double hi = i < bounds.size() ? std::min(bounds[i], max) : max;
+    const double frac = (target - lo_seen) / counts[i];
+    return std::clamp(lo + frac * (hi - lo), min, max);
+  }
+  return max;
+}
+
 struct PhaseAgg {
   std::uint64_t count = 0;
   double total_us = 0.0;
@@ -76,10 +125,14 @@ struct HistRow {
   std::string name;
   double count = 0.0;
   double mean = 0.0;
+  double min = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
   double max = 0.0;
+  bool has_exact = false;  // line carried precomputed p50/p90/p99 fields
+  std::vector<double> bounds;
+  std::vector<double> bucket_counts;
 };
 
 }  // namespace
@@ -157,10 +210,23 @@ int main(int argc, char** argv) {
       row.name = name;
       extract_double(line, "count", row.count);
       extract_double(line, "mean", row.mean);
-      extract_double(line, "p50", row.p50);
+      extract_double(line, "min", row.min);
+      row.has_exact = extract_double(line, "p50", row.p50);
       extract_double(line, "p90", row.p90);
       extract_double(line, "p99", row.p99);
       extract_double(line, "max", row.max);
+      extract_array(line, "bounds", row.bounds);
+      extract_array(line, "bucket_counts", row.bucket_counts);
+      // Older logs without the precomputed quantile fields: estimate
+      // from the geometric buckets instead of printing zeros.
+      if (!row.has_exact && !row.bucket_counts.empty()) {
+        row.p50 = bucket_percentile(50.0, row.count, row.min, row.max,
+                                    row.bounds, row.bucket_counts);
+        row.p90 = bucket_percentile(90.0, row.count, row.min, row.max,
+                                    row.bounds, row.bucket_counts);
+        row.p99 = bucket_percentile(99.0, row.count, row.min, row.max,
+                                    row.bounds, row.bucket_counts);
+      }
       histograms.push_back(std::move(row));
     } else {
       ++bad_lines;
@@ -285,6 +351,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Live-plane summary: counters/gauges written by the embedded HTTP
+  // exporter and the flight recorder (live.http.scrapes bumps on every
+  // /metrics, /healthz, /statusz hit; live.recorder.dropped is the
+  // ring-overwrite count sampled at the last scrape). live.* series are
+  // shown here, not in the generic dumps below.
+  {
+    bool any = false;
+    auto live_row = [&](const std::string& name, double v) {
+      if (!any) {
+        std::printf("\n== live ==\n");
+        any = true;
+      }
+      std::printf("%-28s %14.0f\n", name.c_str(), v);
+    };
+    for (const auto& [name, v] : counters) {
+      if (name.rfind("live.", 0) == 0) live_row(name, v);
+    }
+    for (const auto& [name, v] : gauges) {
+      if (name.rfind("live.", 0) == 0) live_row(name, v);
+    }
+  }
+
   if (show_metrics) {
     if (!histograms.empty()) {
       std::printf("\n== histograms ==\n");
@@ -295,21 +383,51 @@ int main(int argc, char** argv) {
                     h.name.c_str(), h.count, h.mean, h.p50, h.p90, h.p99,
                     h.max);
       }
+      // Bucket-estimated percentile table: re-derives every quantile from
+      // the raw geometric buckets (the same interpolation the snapshot
+      // uses), so the two tables agreeing is a cross-check that the
+      // serialized buckets are self-consistent with the precomputed
+      // fields — and the only quantile source for logs lacking them.
+      bool header = false;
+      for (const auto& h : histograms) {
+        if (h.bucket_counts.empty()) continue;
+        if (!header) {
+          std::printf("\n== percentiles (bucket-estimated) ==\n");
+          std::printf("%-28s %10s %12s %12s %12s %12s\n", "name", "buckets",
+                      "p50", "p90", "p99", "p99.9");
+          header = true;
+        }
+        std::printf(
+            "%-28s %10zu %12.4g %12.4g %12.4g %12.4g\n", h.name.c_str(),
+            h.bucket_counts.size(),
+            bucket_percentile(50.0, h.count, h.min, h.max, h.bounds,
+                              h.bucket_counts),
+            bucket_percentile(90.0, h.count, h.min, h.max, h.bounds,
+                              h.bucket_counts),
+            bucket_percentile(99.0, h.count, h.min, h.max, h.bounds,
+                              h.bucket_counts),
+            bucket_percentile(99.9, h.count, h.min, h.max, h.bounds,
+                              h.bucket_counts));
+      }
     }
     bool counters_header = false;
     for (const auto& [name, v] : counters) {
       if (name.rfind("pool.", 0) == 0) continue;  // shown in == scheduler ==
+      if (name.rfind("live.", 0) == 0) continue;  // shown in == live ==
       if (!counters_header) {
         std::printf("\n== counters ==\n");
         counters_header = true;
       }
       std::printf("%-28s %14.0f\n", name.c_str(), v);
     }
-    if (!gauges.empty()) {
-      std::printf("\n== gauges ==\n");
-      for (const auto& [name, v] : gauges) {
-        std::printf("%-28s %14.6g\n", name.c_str(), v);
+    bool gauges_header = false;
+    for (const auto& [name, v] : gauges) {
+      if (name.rfind("live.", 0) == 0) continue;  // shown in == live ==
+      if (!gauges_header) {
+        std::printf("\n== gauges ==\n");
+        gauges_header = true;
       }
+      std::printf("%-28s %14.6g\n", name.c_str(), v);
     }
   }
   if (bad_lines > 0) {
